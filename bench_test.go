@@ -1,0 +1,348 @@
+// Benchmarks regenerating the paper's evaluation artifacts (one family per
+// table/figure; see DESIGN.md §4 for the index). `go test -bench=. -benchmem`
+// runs laptop-scale versions; cmd/gzbench runs the full sweeps with table
+// output.
+package graphzeppelin_test
+
+import (
+	"fmt"
+	"testing"
+
+	"graphzeppelin"
+	"graphzeppelin/internal/baseline/aspenlike"
+	"graphzeppelin/internal/baseline/terracelike"
+	"graphzeppelin/internal/cubesketch"
+	"graphzeppelin/internal/experiments"
+	"graphzeppelin/internal/kron"
+	"graphzeppelin/internal/l0"
+)
+
+// --- Figure 4: sketch update throughput ---
+
+var fig4BenchLengths = []uint64{1e3, 1e6, 1e9, 1e10, 1e12}
+
+func BenchmarkFig4CubeSketchUpdate(b *testing.B) {
+	for _, n := range fig4BenchLengths {
+		b.Run(fmt.Sprintf("len=1e%d", lenExp(n)), func(b *testing.B) {
+			s := cubesketch.New(n, 0, 1)
+			idxs := randomIndices(n, 4096)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Update(idxs[i%len(idxs)])
+			}
+		})
+	}
+}
+
+func BenchmarkFig4StandardL0Update(b *testing.B) {
+	for _, n := range fig4BenchLengths {
+		b.Run(fmt.Sprintf("len=1e%d", lenExp(n)), func(b *testing.B) {
+			s := l0.New(n, 0, 1)
+			idxs := randomIndices(n, 4096)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Update(idxs[i%len(idxs)], 1)
+			}
+		})
+	}
+}
+
+// --- Figure 5: sketch sizes (reported as metrics, not time) ---
+
+func BenchmarkFig5SketchSizes(b *testing.B) {
+	for _, n := range fig4BenchLengths {
+		b.Run(fmt.Sprintf("len=1e%d", lenExp(n)), func(b *testing.B) {
+			std := l0.New(n, 0, 1)
+			cube := cubesketch.New(n, 0, 1)
+			for i := 0; i < b.N; i++ {
+				_ = cube.Bytes()
+			}
+			b.ReportMetric(float64(std.Bytes()), "stdB")
+			b.ReportMetric(float64(cube.Bytes()), "cubeB")
+			b.ReportMetric(float64(std.Bytes())/float64(cube.Bytes()), "ratio")
+		})
+	}
+}
+
+// --- Figures 11 & 13: system ingestion and memory on dense kron streams ---
+
+const benchScale = 8
+
+func benchStream() kron.Result { return experiments.KronStream(benchScale, 1) }
+
+func BenchmarkFig13IngestGraphZeppelin(b *testing.B) {
+	res := benchStream()
+	g, err := graphzeppelin.New(res.NumNodes, graphzeppelin.WithSeed(1), graphzeppelin.WithWorkers(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.Apply(res.Updates[i%len(res.Updates)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := g.Stats()
+	b.ReportMetric(float64(st.MemoryBytes), "memB")
+}
+
+func BenchmarkFig13IngestAspenLike(b *testing.B) {
+	res := benchStream()
+	g := aspenlike.New(res.NumNodes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Apply(res.Updates[i%len(res.Updates)])
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(g.Bytes()), "memB") // Figure 11's quantity
+}
+
+func BenchmarkFig13IngestTerraceLike(b *testing.B) {
+	res := benchStream()
+	g := terracelike.New(res.NumNodes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Apply(res.Updates[i%len(res.Updates)])
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(g.Bytes()), "memB")
+}
+
+func BenchmarkFig11MemoryFootprint(b *testing.B) {
+	// Ingest the whole stream once, then report each system's footprint;
+	// the timing loop is a no-op read so -benchmem noise stays out.
+	res := benchStream()
+	asp := aspenlike.New(res.NumNodes)
+	ter := terracelike.New(res.NumNodes)
+	for _, u := range res.Updates {
+		asp.Apply(u)
+		ter.Apply(u)
+	}
+	g, err := graphzeppelin.New(res.NumNodes, graphzeppelin.WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	for _, u := range res.Updates {
+		if err := g.Apply(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+	gz := g.Stats().MemoryBytes
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = gz
+	}
+	b.ReportMetric(float64(asp.Bytes()), "aspenB")
+	b.ReportMetric(float64(ter.Bytes()), "terraceB")
+	b.ReportMetric(float64(gz), "gzB")
+}
+
+// --- Figure 12: out-of-core ingestion ---
+
+func BenchmarkFig12OutOfCoreIngest(b *testing.B) {
+	for _, buffering := range []struct {
+		name string
+		kind graphzeppelin.Buffering
+	}{{"gutter-tree", graphzeppelin.GutterTree}, {"leaf-only", graphzeppelin.LeafGutters}} {
+		b.Run(buffering.name, func(b *testing.B) {
+			res := benchStream()
+			g, err := graphzeppelin.New(res.NumNodes,
+				graphzeppelin.WithSeed(1),
+				graphzeppelin.WithWorkers(2),
+				graphzeppelin.WithSketchesOnDisk(b.TempDir()),
+				graphzeppelin.WithBuffering(buffering.kind),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer g.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := g.Apply(res.Updates[i%len(res.Updates)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := g.Stats()
+			b.ReportMetric(float64(st.SketchIO.TotalBlocks()), "sketchIOblocks")
+			b.ReportMetric(float64(st.BufferIO.TotalBlocks()), "bufferIOblocks")
+		})
+	}
+}
+
+// --- Figure 14: worker scaling ---
+
+func BenchmarkFig14Workers(b *testing.B) {
+	res := benchStream()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			g, err := graphzeppelin.New(res.NumNodes, graphzeppelin.WithSeed(1), graphzeppelin.WithWorkers(w))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer g.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := g.Apply(res.Updates[i%len(res.Updates)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 15: gutter size factor ---
+
+func BenchmarkFig15BufferFactor(b *testing.B) {
+	res := benchStream()
+	for _, f := range []float64{0.001, 0.01, 0.1, 0.5, 1.0} {
+		b.Run(fmt.Sprintf("f=%g", f), func(b *testing.B) {
+			g, err := graphzeppelin.New(res.NumNodes,
+				graphzeppelin.WithSeed(1),
+				graphzeppelin.WithWorkers(2),
+				graphzeppelin.WithBufferFactor(f),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer g.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := g.Apply(res.Updates[i%len(res.Updates)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 16: query latency ---
+
+func BenchmarkFig16QueryGraphZeppelin(b *testing.B) {
+	res := benchStream()
+	g, err := graphzeppelin.New(res.NumNodes, graphzeppelin.WithSeed(1), graphzeppelin.WithWorkers(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	for _, u := range res.Updates {
+		if err := g.Apply(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.SpanningForest(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig16QueryAspenLike(b *testing.B) {
+	res := benchStream()
+	g := aspenlike.New(res.NumNodes)
+	for _, u := range res.Updates {
+		g.Apply(u)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ConnectedComponents()
+	}
+}
+
+func BenchmarkFig16QueryTerraceLike(b *testing.B) {
+	res := benchStream()
+	g := terracelike.New(res.NumNodes)
+	for _, u := range res.Updates {
+		g.Apply(u)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ConnectedComponents()
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationColumns sweeps the per-sketch column count log(1/δ):
+// fewer columns are faster and smaller but raise the per-query failure
+// probability (the reliability experiment sweeps the same knob).
+func BenchmarkAblationColumns(b *testing.B) {
+	const n = 1 << 30
+	for _, cols := range []int{3, 5, 7, 9, 11} {
+		b.Run(fmt.Sprintf("cols=%d", cols), func(b *testing.B) {
+			s := cubesketch.New(n, cols, 1)
+			idxs := randomIndices(n, 4096)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Update(idxs[i%len(idxs)])
+			}
+			b.ReportMetric(float64(s.Bytes()), "sketchB")
+		})
+	}
+}
+
+// BenchmarkAblationBatchSize compares one-at-a-time sketch updating with
+// the batched path the Graph Workers use.
+func BenchmarkAblationBatchSize(b *testing.B) {
+	const n = 1 << 30
+	for _, batch := range []int{1, 16, 256, 4096} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			s := cubesketch.New(n, 0, 1)
+			idxs := randomIndices(n, batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.UpdateBatch(idxs)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(batch), "updates/op")
+		})
+	}
+}
+
+// BenchmarkAblationUnbuffered quantifies what the gutters buy: the same
+// stream with the buffering stage disabled entirely (the paper's 33×
+// observation in §6.5).
+func BenchmarkAblationUnbuffered(b *testing.B) {
+	res := benchStream()
+	g, err := graphzeppelin.New(res.NumNodes,
+		graphzeppelin.WithSeed(1),
+		graphzeppelin.WithBuffering(graphzeppelin.Unbuffered),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.Apply(res.Updates[i%len(res.Updates)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- helpers ---
+
+func lenExp(n uint64) int {
+	e := 0
+	for n >= 10 {
+		n /= 10
+		e++
+	}
+	return e
+}
+
+func randomIndices(n uint64, count int) []uint64 {
+	idxs := make([]uint64, count)
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := range idxs {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		idxs[i] = x % n
+	}
+	return idxs
+}

@@ -1,0 +1,88 @@
+// Command gzbench regenerates the paper's evaluation tables and figures on
+// this machine. Each -exp value corresponds to one artifact of Section 6;
+// "all" runs the full evaluation. See DESIGN.md §4 for the experiment
+// index and EXPERIMENTS.md for recorded paper-vs-measured results.
+//
+// Usage:
+//
+//	gzbench -exp fig4
+//	gzbench -exp all -max-scale 11 -trials 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"graphzeppelin/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gzbench: ")
+	var (
+		exp      = flag.String("exp", "all", "experiment: fig4, fig5, table10, fig11, fig12, fig13, fig14, fig15, fig16, reliability, all")
+		maxScale = flag.Int("max-scale", 10, "largest Kronecker scale for system experiments")
+		trials   = flag.Int("trials", 25, "correctness checks per dataset (reliability)")
+		seed     = flag.Uint64("seed", 1, "generator/sketch seed")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	o := experiments.Options{
+		MaxScale: *maxScale,
+		Trials:   *trials,
+		Seed:     *seed,
+		Verbose:  !*quiet,
+		Progress: os.Stderr,
+	}
+
+	type runner func() (*experiments.Table, error)
+	all := []struct {
+		name string
+		run  runner
+	}{
+		{"fig4", func() (*experiments.Table, error) { return experiments.Fig4(o), nil }},
+		{"fig5", func() (*experiments.Table, error) { return experiments.Fig5(o), nil }},
+		{"table10", func() (*experiments.Table, error) { return experiments.Table10(o), nil }},
+		{"fig11", func() (*experiments.Table, error) { return experiments.Fig11(o) }},
+		{"fig12", func() (*experiments.Table, error) { return experiments.Fig12(o) }},
+		{"fig13", func() (*experiments.Table, error) { return experiments.Fig13(o) }},
+		{"fig14", func() (*experiments.Table, error) { return experiments.Fig14(o) }},
+		{"fig15", func() (*experiments.Table, error) { return experiments.Fig15(o) }},
+		{"fig16", func() (*experiments.Table, error) { return experiments.Fig16(o) }},
+		{"reliability", func() (*experiments.Table, error) {
+			t, _, err := experiments.Reliability(o)
+			return t, err
+		}},
+	}
+
+	want := strings.Split(*exp, ",")
+	matched := false
+	for _, e := range all {
+		if !selected(want, e.name) {
+			continue
+		}
+		matched = true
+		t, err := e.run()
+		if err != nil {
+			log.Fatalf("%s: %v", e.name, err)
+		}
+		t.Print(os.Stdout)
+	}
+	if !matched {
+		log.Fatalf("no experiment matches %q", *exp)
+	}
+	fmt.Fprintln(os.Stderr, "done")
+}
+
+func selected(want []string, name string) bool {
+	for _, w := range want {
+		if w == "all" || strings.TrimSpace(w) == name {
+			return true
+		}
+	}
+	return false
+}

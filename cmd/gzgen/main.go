@@ -1,0 +1,89 @@
+// Command gzgen generates benchmark graph streams in the GZS1 binary
+// format: dense Graph500-style Kronecker graphs (the paper's kronNN
+// datasets) or the synthetic stand-ins for its real-world datasets,
+// converted to insert/delete streams with the Section 6.1 guarantees.
+//
+// Usage:
+//
+//	gzgen -kind kron -scale 12 -seed 1 -o kron12.gzs
+//	gzgen -kind gnutella -nodes 63000 -o gnutella.gzs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"graphzeppelin/internal/kron"
+	"graphzeppelin/internal/stream"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gzgen: ")
+	var (
+		kind   = flag.String("kind", "kron", "graph family: kron, gnutella, amazon, gplus, webuk")
+		scale  = flag.Int("scale", 10, "kron: log2 of node count")
+		nodes  = flag.Uint("nodes", 10000, "non-kron: node count")
+		eper   = flag.Int("edges-per-node", 8, "gplus: edges per node; gnutella: m = nodes*this/4")
+		seed   = flag.Uint64("seed", 1, "generator seed")
+		churn  = flag.Float64("churn", 0.03, "stream churn fraction")
+		out    = flag.String("o", "", "output stream file (required)")
+		noDisc = flag.Bool("no-disconnect", false, "skip disconnecting a node set (guarantee iii)")
+	)
+	flag.Parse()
+	if *out == "" {
+		log.Fatal("-o output file is required")
+	}
+
+	var edges []stream.Edge
+	var n uint32
+	switch *kind {
+	case "kron":
+		n = 1 << *scale
+		edges = kron.DenseKronecker(*scale, *seed)
+	case "gnutella":
+		n = uint32(*nodes)
+		edges = kron.GnutellaLike(n, int(*nodes)**eper/4, *seed)
+	case "amazon":
+		n = uint32(*nodes)
+		edges = kron.AmazonLike(n, *seed)
+	case "gplus":
+		n = uint32(*nodes)
+		edges = kron.GooglePlusLike(n, *eper, *seed)
+	case "webuk":
+		n = uint32(*nodes)
+		edges = kron.WebUKLike(n, 16, 0.3, 0.5, *seed)
+	default:
+		log.Fatalf("unknown kind %q", *kind)
+	}
+
+	opts := kron.StreamOptions{ChurnFraction: *churn}
+	if *noDisc {
+		opts.DisconnectNodes = -1
+	}
+	res := kron.ToStream(edges, n, opts, *seed+1)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := stream.NewWriter(f, res.NumNodes, uint64(len(res.Updates)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, u := range res.Updates {
+		if err := w.Write(u); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d nodes, %d final edges, %d stream updates, %d nodes disconnected\n",
+		*out, res.NumNodes, len(res.FinalEdges), len(res.Updates), len(res.Disconnected))
+}

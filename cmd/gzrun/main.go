@@ -1,0 +1,128 @@
+// Command gzrun ingests a GZS1 stream file into GraphZeppelin and answers
+// a connectivity query, printing ingestion rate, query latency, memory and
+// I/O statistics — the per-run measurements behind the paper's system
+// tables.
+//
+// Usage:
+//
+//	gzrun -stream kron12.gzs -workers 4
+//	gzrun -stream kron12.gzs -disk /mnt/ssd -buffering tree
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"graphzeppelin"
+	"graphzeppelin/internal/stream"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gzrun: ")
+	var (
+		path      = flag.String("stream", "", "GZS1 stream file (required)")
+		workers   = flag.Int("workers", 1, "graph workers")
+		buffering = flag.String("buffering", "leaf", "buffering: leaf, tree, none")
+		factor    = flag.Float64("f", 0.5, "gutter size factor")
+		disk      = flag.String("disk", "", "directory for on-disk sketches (empty = RAM)")
+		seed      = flag.Uint64("seed", 1, "sketch seed")
+		queries   = flag.Int("queries", 1, "number of evenly spaced connectivity queries")
+	)
+	flag.Parse()
+	if *path == "" {
+		log.Fatal("-stream is required")
+	}
+
+	f, err := os.Open(*path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	r, err := stream.NewReader(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hdr := r.Header()
+	fmt.Printf("stream: %d nodes, %d updates\n", hdr.NumNodes, hdr.Count)
+
+	opts := []graphzeppelin.Option{
+		graphzeppelin.WithSeed(*seed),
+		graphzeppelin.WithWorkers(*workers),
+		graphzeppelin.WithBufferFactor(*factor),
+	}
+	switch *buffering {
+	case "leaf":
+	case "tree":
+		opts = append(opts, graphzeppelin.WithBuffering(graphzeppelin.GutterTree))
+	case "none":
+		opts = append(opts, graphzeppelin.WithBuffering(graphzeppelin.Unbuffered))
+	default:
+		log.Fatalf("unknown buffering %q", *buffering)
+	}
+	if *disk != "" {
+		opts = append(opts, graphzeppelin.WithSketchesOnDisk(*disk), graphzeppelin.WithDir(*disk))
+	}
+	g, err := graphzeppelin.New(hdr.NumNodes, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer g.Close()
+
+	every := hdr.Count
+	if *queries > 1 {
+		every = hdr.Count / uint64(*queries)
+	}
+	start := time.Now()
+	var ingested uint64
+	for {
+		u, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := g.Apply(u); err != nil {
+			log.Fatal(err)
+		}
+		ingested++
+		if *queries > 1 && ingested%every == 0 && ingested < hdr.Count {
+			qs := time.Now()
+			_, count, err := g.ConnectedComponents()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  query @ %3.0f%%: %d components (%.3fs)\n",
+				100*float64(ingested)/float64(hdr.Count), count, time.Since(qs).Seconds())
+		}
+	}
+	ingestDur := time.Since(start)
+
+	qs := time.Now()
+	_, count, err := g.ConnectedComponents()
+	if err != nil {
+		log.Fatal(err)
+	}
+	qDur := time.Since(qs)
+
+	st := g.Stats()
+	fmt.Printf("ingested %d updates in %.3fs (%.2f M updates/s)\n",
+		ingested, ingestDur.Seconds(), float64(ingested)/ingestDur.Seconds()/1e6)
+	fmt.Printf("final query: %d components in %.3fs\n", count, qDur.Seconds())
+	fmt.Printf("memory %.1f MiB, disk %.1f MiB, %d batches\n",
+		float64(st.MemoryBytes)/(1<<20), float64(st.DiskBytes)/(1<<20), st.Batches)
+	if st.SketchIO.TotalBlocks() > 0 {
+		fmt.Printf("sketch I/O: %d read blocks, %d write blocks\n",
+			st.SketchIO.ReadBlocks, st.SketchIO.WriteBlocks)
+	}
+	if st.BufferIO.TotalBlocks() > 0 {
+		fmt.Printf("gutter I/O: %d read blocks, %d write blocks\n",
+			st.BufferIO.ReadBlocks, st.BufferIO.WriteBlocks)
+	}
+}

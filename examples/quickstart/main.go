@@ -1,0 +1,54 @@
+// Command quickstart is the minimal GraphZeppelin walkthrough: build a
+// graph from an interleaved insert/delete stream and query its connected
+// components.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graphzeppelin"
+)
+
+func main() {
+	// A graph over node ids 0..9.
+	g, err := graphzeppelin.New(10, graphzeppelin.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer g.Close()
+
+	// Build two paths: 0-1-2-3-4 and 5-6-7-8-9 ...
+	for u := uint32(0); u < 4; u++ {
+		must(g.Insert(u, u+1))
+	}
+	for u := uint32(5); u < 9; u++ {
+		must(g.Insert(u, u+1))
+	}
+	// ... bridge them, then change our mind.
+	must(g.Insert(4, 5))
+	must(g.Delete(4, 5))
+
+	forest, err := g.SpanningForest()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("spanning forest:")
+	for _, e := range forest {
+		fmt.Printf("  %d -- %d\n", e.U, e.V)
+	}
+
+	rep, count, err := g.ConnectedComponents()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("components: %d\n", count)
+	fmt.Printf("node 0 and node 9 connected: %v\n", rep[0] == rep[9])
+	fmt.Printf("node 0 and node 4 connected: %v\n", rep[0] == rep[4])
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+package graphzeppelin
+
+import (
+	"io"
+	"os"
+
+	"graphzeppelin/internal/core"
+	"graphzeppelin/internal/sketchext"
+)
+
+// WriteCheckpoint drains buffered updates and writes the Graph's full
+// sketch state to w. Because sketches are linear, checkpoints with equal
+// parameters are mergeable (see MergeCheckpoint), so checkpoints double as
+// the shard-shipping format for distributed ingestion.
+func (g *Graph) WriteCheckpoint(w io.Writer) error {
+	return g.engine.WriteCheckpoint(w)
+}
+
+// SaveCheckpoint writes a checkpoint to a file.
+func (g *Graph) SaveCheckpoint(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.WriteCheckpoint(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// MergeCheckpoint XORs a checkpoint into this Graph: the result summarizes
+// the mod-2 sum of both streams (for disjoint stream shards, their union).
+// The checkpoint must have the same node count, seed, columns and rounds.
+func (g *Graph) MergeCheckpoint(r io.Reader) error {
+	return g.engine.MergeCheckpoint(r)
+}
+
+// ReadCheckpoint restores a Graph from a checkpoint stream; opts control
+// deployment choices (workers, buffering, disk placement) while the sketch
+// parameters come from the checkpoint.
+func ReadCheckpoint(r io.Reader, opts ...Option) (*Graph, error) {
+	var cfg core.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	eng, err := core.ReadCheckpoint(r, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{engine: eng, numNodes: eng.Config().NumNodes}, nil
+}
+
+// LoadCheckpoint restores a Graph from a checkpoint file.
+func LoadCheckpoint(path string, opts ...Option) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCheckpoint(f, opts...)
+}
+
+// BipartiteTester tests bipartiteness of a dynamic graph stream in small
+// space via the double-cover reduction (the Section 3.1 extension
+// direction; see internal/sketchext).
+type BipartiteTester struct {
+	b *sketchext.Bipartite
+}
+
+// NewBipartiteTester creates a tester over node ids [0, numNodes).
+func NewBipartiteTester(numNodes uint32, opts ...Option) (*BipartiteTester, error) {
+	var cfg core.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	b, err := sketchext.NewBipartite(numNodes, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &BipartiteTester{b: b}, nil
+}
+
+// Insert ingests an edge insertion.
+func (t *BipartiteTester) Insert(u, v uint32) error {
+	return t.b.Update(Update{Edge: Edge{U: u, V: v}, Type: Insert})
+}
+
+// Delete ingests an edge deletion.
+func (t *BipartiteTester) Delete(u, v uint32) error {
+	return t.b.Update(Update{Edge: Edge{U: u, V: v}, Type: Delete})
+}
+
+// IsBipartite reports whether the current graph is bipartite (w.h.p.).
+func (t *BipartiteTester) IsBipartite() (bool, error) { return t.b.IsBipartite() }
+
+// Close releases the tester's engines.
+func (t *BipartiteTester) Close() error { return t.b.Close() }
+
+// ForestPeeler maintains k independent sketch layers and peels k
+// edge-disjoint spanning forests — Ahn, Guha and McGregor's
+// k-edge-connectivity certificate (the Section 3.1 extension direction).
+type ForestPeeler struct {
+	kf *sketchext.KForests
+}
+
+// NewForestPeeler creates a peeler with k layers over [0, numNodes).
+func NewForestPeeler(k int, numNodes uint32, opts ...Option) (*ForestPeeler, error) {
+	var cfg core.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	kf, err := sketchext.NewKForests(k, numNodes, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ForestPeeler{kf: kf}, nil
+}
+
+// Apply ingests one stream update into every layer.
+func (p *ForestPeeler) Apply(u Update) error { return p.kf.Update(u) }
+
+// Insert ingests an edge insertion into every layer.
+func (p *ForestPeeler) Insert(u, v uint32) error {
+	return p.kf.Update(Update{Edge: Edge{U: u, V: v}, Type: Insert})
+}
+
+// Forests peels and returns k edge-disjoint spanning forests. Terminal:
+// peel once, after the stream.
+func (p *ForestPeeler) Forests() ([][]Edge, error) { return p.kf.Forests() }
+
+// EdgeConnectivity returns min(k, λ(G)) exactly, by Stoer–Wagner on the
+// peeled certificate.
+func (p *ForestPeeler) EdgeConnectivity() (int, error) { return p.kf.EdgeConnectivity() }
+
+// Close releases every layer.
+func (p *ForestPeeler) Close() error { return p.kf.Close() }
+
+// MSFWeightSketch computes the exact minimum-spanning-forest weight of a
+// dynamic weighted graph stream with integer weights in [1, maxWeight],
+// via levelled connectivity sketches (the Section 3.1 "minimum spanning
+// trees" extension; see internal/sketchext).
+type MSFWeightSketch struct {
+	m *sketchext.MSFWeight
+}
+
+// NewMSFWeightSketch creates the structure over node ids [0, numNodes).
+func NewMSFWeightSketch(maxWeight int, numNodes uint32, opts ...Option) (*MSFWeightSketch, error) {
+	var cfg core.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	m, err := sketchext.NewMSFWeight(maxWeight, numNodes, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &MSFWeightSketch{m: m}, nil
+}
+
+// Insert ingests a weighted edge insertion.
+func (s *MSFWeightSketch) Insert(u, v uint32, weight int) error { return s.m.Insert(u, v, weight) }
+
+// Delete ingests a weighted edge deletion (same weight as its insertion).
+func (s *MSFWeightSketch) Delete(u, v uint32, weight int) error { return s.m.Delete(u, v, weight) }
+
+// Weight returns the exact MSF weight; ingestion may continue afterwards.
+func (s *MSFWeightSketch) Weight() (int64, error) { return s.m.Weight() }
+
+// Close releases all level engines.
+func (s *MSFWeightSketch) Close() error { return s.m.Close() }

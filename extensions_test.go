@@ -1,0 +1,228 @@
+package graphzeppelin_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"graphzeppelin"
+)
+
+func TestCheckpointSaveLoadFile(t *testing.T) {
+	g, err := graphzeppelin.New(16, graphzeppelin.WithSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	for u := uint32(0); u < 15; u++ {
+		if err := g.Insert(u, u+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "graph.gze")
+	if err := g.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := graphzeppelin.LoadCheckpoint(path, graphzeppelin.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	_, count, err := back.ConnectedComponents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("restored path graph has %d components", count)
+	}
+	// The restored graph keeps accepting the stream where it left off,
+	// including deletions of edges inserted before the checkpoint.
+	if err := back.Delete(7, 8); err != nil {
+		t.Fatal(err)
+	}
+	_, count, err = back.ConnectedComponents()
+	if err != nil || count != 2 {
+		t.Fatalf("after post-restore delete: count = %d, err = %v", count, err)
+	}
+}
+
+func TestCheckpointMergeShards(t *testing.T) {
+	mk := func() *graphzeppelin.Graph {
+		g, err := graphzeppelin.New(32, graphzeppelin.WithSeed(22))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a, b := mk(), mk()
+	defer a.Close()
+	defer b.Close()
+	for u := uint32(0); u < 15; u++ {
+		if err := a.Insert(u, u+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for u := uint32(16); u < 31; u++ {
+		if err := b.Insert(u, u+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Insert(15, 16); err != nil { // the bridge lives on shard b
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := b.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MergeCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, count, err := a.ConnectedComponents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("merged shards give %d components, want 1", count)
+	}
+}
+
+func TestBipartiteTesterAPI(t *testing.T) {
+	bt, err := graphzeppelin.NewBipartiteTester(8, graphzeppelin.WithSeed(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bt.Close()
+	mustIns := func(u, v uint32) {
+		t.Helper()
+		if err := bt.Insert(u, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustIns(0, 1)
+	mustIns(1, 2)
+	mustIns(2, 0) // triangle
+	if ok, err := bt.IsBipartite(); err != nil || ok {
+		t.Fatalf("triangle: IsBipartite = %v, %v", ok, err)
+	}
+	if err := bt.Delete(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := bt.IsBipartite(); err != nil || !ok {
+		t.Fatalf("path: IsBipartite = %v, %v", ok, err)
+	}
+}
+
+func TestForestPeelerAPI(t *testing.T) {
+	p, err := graphzeppelin.NewForestPeeler(2, 8, graphzeppelin.WithSeed(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// 6-cycle: 2-edge-connected.
+	for u := uint32(0); u < 6; u++ {
+		if err := p.Insert(u, (u+1)%6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lambda, err := p.EdgeConnectivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lambda != 2 {
+		t.Fatalf("cycle connectivity = %d, want 2", lambda)
+	}
+}
+
+func TestNamedGraph(t *testing.T) {
+	g, err := graphzeppelin.NewNamed(8, graphzeppelin.WithSeed(25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(g.Insert("alice", "bob"))
+	must(g.Insert("bob", "carol"))
+	must(g.Insert("dave", "erin"))
+	must(g.Delete("bob", "carol"))
+	must(g.Insert("carol", "alice"))
+
+	if g.NumSeen() != 5 {
+		t.Fatalf("NumSeen = %d, want 5", g.NumSeen())
+	}
+	conn, err := g.Connected("alice", "carol")
+	if err != nil || !conn {
+		t.Fatalf("Connected(alice, carol) = %v, %v", conn, err)
+	}
+	conn, err = g.Connected("alice", "dave")
+	if err != nil || conn {
+		t.Fatalf("Connected(alice, dave) = %v, %v", conn, err)
+	}
+	conn, err = g.Connected("nobody", "nobody")
+	if err != nil || !conn {
+		t.Fatal("unknown name should be connected to itself")
+	}
+	groups, err := g.Components()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("Components over seen nodes = %d groups, want 2", len(groups))
+	}
+	forest, err := g.Forest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forest) != 3 { // alice-bob-carol tree (2) + dave-erin (1)
+		t.Fatalf("forest has %d edges, want 3", len(forest))
+	}
+}
+
+func TestNamedGraphErrors(t *testing.T) {
+	g, err := graphzeppelin.NewNamed(2, graphzeppelin.WithSeed(26))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if err := g.Insert("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Insert("a", "c"); err == nil {
+		t.Fatal("universe overflow accepted")
+	}
+	if err := g.Delete("a", "zzz"); err == nil {
+		t.Fatal("delete of unknown name accepted")
+	}
+}
+
+func TestMSFWeightSketchAPI(t *testing.T) {
+	s, err := graphzeppelin.NewMSFWeightSketch(3, 4, graphzeppelin.WithSeed(27))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Insert(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(0, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.Weight()
+	if err != nil || w != 3 { // MSF takes weights 1 and 2
+		t.Fatalf("Weight = %d, %v; want 3", w, err)
+	}
+	if err := s.Delete(0, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	w, err = s.Weight()
+	if err != nil || w != 4 { // now forced onto weights 1 and 3
+		t.Fatalf("Weight = %d, %v; want 4", w, err)
+	}
+}

@@ -1,0 +1,225 @@
+// Package graphzeppelin computes the connected components of dynamic graph
+// streams in small space, reproducing the system of "GraphZeppelin:
+// Storage-Friendly Sketching for Connected Components on Dynamic Graph
+// Streams" (SIGMOD 2022).
+//
+// A Graph ingests an arbitrary interleaving of edge insertions and
+// deletions over a fixed node-id universe and answers spanning-forest /
+// connected-component queries at any point. Internally each node holds a
+// stack of CubeSketch l0-samplers (O(log³V) bits per node, O(V·log³V)
+// total — asymptotically far below an explicit representation of a dense
+// graph), updates are buffered per destination node for locality and I/O
+// efficiency, and queries emulate Boruvka's algorithm over the sketches.
+//
+// Basic use:
+//
+//	g, err := graphzeppelin.New(1024)
+//	...
+//	g.Insert(1, 2)
+//	g.Delete(1, 2)
+//	forest, err := g.SpanningForest()
+//	comps, n, err := g.ConnectedComponents()
+//	g.Close()
+//
+// The answer is correct with high probability (the failure probability is
+// polynomially small in V; Section 6.3 of the paper — and this
+// reproduction's test suite — observed zero failures).
+package graphzeppelin
+
+import (
+	"fmt"
+
+	"graphzeppelin/internal/core"
+	"graphzeppelin/internal/gutter"
+	"graphzeppelin/internal/stream"
+)
+
+// Edge is an undirected edge between two node ids.
+type Edge = stream.Edge
+
+// Update is one stream element: an edge plus insert/delete.
+type Update = stream.Update
+
+// Update types re-exported for stream construction.
+const (
+	Insert = stream.Insert
+	Delete = stream.Delete
+)
+
+// Buffering selects the ingestion buffering structure.
+type Buffering = core.BufferingKind
+
+// Buffering structures.
+const (
+	// LeafGutters buffers updates in one in-RAM gutter per node
+	// (default; the paper's choice when RAM is plentiful).
+	LeafGutters = core.BufferLeaf
+	// GutterTree buffers updates in a disk-backed buffer tree (the
+	// paper's choice when gutters exceed RAM).
+	GutterTree = core.BufferTree
+	// Unbuffered applies each update synchronously (slow; for tests and
+	// the f→0 ablation).
+	Unbuffered = core.BufferNone
+)
+
+// Option customizes a Graph.
+type Option func(*core.Config)
+
+// WithSeed fixes the sketch-hashing seed, making the Graph's random
+// choices reproducible.
+func WithSeed(seed uint64) Option {
+	return func(c *core.Config) { c.Seed = seed }
+}
+
+// WithWorkers sets the number of Graph Worker goroutines applying batched
+// sketch updates (default 1).
+func WithWorkers(n int) Option {
+	return func(c *core.Config) { c.Workers = n }
+}
+
+// WithBuffering selects the buffering structure (default LeafGutters).
+func WithBuffering(k Buffering) Option {
+	return func(c *core.Config) { c.Buffering = k }
+}
+
+// WithBufferFactor sets the paper's gutter-size factor f: each leaf gutter
+// holds f × (node-sketch bytes) of buffered updates (default 0.5).
+func WithBufferFactor(f float64) Option {
+	return func(c *core.Config) { c.BufferFactor = f }
+}
+
+// WithSketchesOnDisk stores the node sketches on disk in dir instead of
+// RAM — the paper's out-of-core mode for graphs whose sketches exceed
+// memory. An empty dir keeps the data in an accounting in-memory device,
+// which still exercises the block-I/O code paths.
+func WithSketchesOnDisk(dir string) Option {
+	return func(c *core.Config) {
+		c.SketchesOnDisk = true
+		c.Dir = dir
+	}
+}
+
+// WithDir sets the directory used for any disk-backed structures.
+func WithDir(dir string) Option {
+	return func(c *core.Config) { c.Dir = dir }
+}
+
+// WithColumns overrides the per-sketch column count log(1/δ) (default 7).
+func WithColumns(cols int) Option {
+	return func(c *core.Config) { c.Columns = cols }
+}
+
+// WithRounds overrides the node-sketch depth (default ⌈log2 V⌉+2).
+func WithRounds(r int) Option {
+	return func(c *core.Config) { c.Rounds = r }
+}
+
+// WithGutterTreeConfig sizes the gutter tree used with GutterTree
+// buffering.
+func WithGutterTreeConfig(fanout, bufferRecords, leafRecords int) Option {
+	return func(c *core.Config) {
+		c.Tree = gutter.TreeConfig{
+			Fanout:        fanout,
+			BufferRecords: bufferRecords,
+			LeafRecords:   leafRecords,
+		}
+	}
+}
+
+// Stats reports a Graph's activity counters and footprint; see
+// core.Stats for field meanings.
+type Stats = core.Stats
+
+// Graph is a dynamic-graph-stream connectivity sketch over a fixed
+// universe of node ids [0, NumNodes). Ingestion must be driven from one
+// goroutine; sketch maintenance is parallel internally.
+type Graph struct {
+	engine   *core.Engine
+	numNodes uint32
+	validate *stream.Validator
+}
+
+// New creates a Graph over node ids [0, numNodes).
+func New(numNodes uint32, opts ...Option) (*Graph, error) {
+	cfg := core.Config{NumNodes: numNodes}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{engine: eng, numNodes: numNodes}, nil
+}
+
+// NumNodes returns the node-universe size.
+func (g *Graph) NumNodes() uint32 { return g.numNodes }
+
+// EnableValidation turns on stream well-formedness checking: duplicate
+// inserts and deletes of absent edges are rejected instead of silently
+// corrupting the sketch. Costs O(E) extra memory; intended for debugging.
+func (g *Graph) EnableValidation() {
+	if g.validate == nil {
+		g.validate = &stream.Validator{}
+	}
+}
+
+// Insert ingests the insertion of edge (u, v).
+func (g *Graph) Insert(u, v uint32) error {
+	return g.Apply(Update{Edge: Edge{U: u, V: v}, Type: Insert})
+}
+
+// Delete ingests the deletion of edge (u, v). The edge must currently be
+// present (the streaming-model contract); with validation enabled a
+// violating delete returns an error.
+func (g *Graph) Delete(u, v uint32) error {
+	return g.Apply(Update{Edge: Edge{U: u, V: v}, Type: Delete})
+}
+
+// Apply ingests one stream update.
+func (g *Graph) Apply(u Update) error {
+	if g.validate != nil {
+		if err := g.validate.Apply(u); err != nil {
+			return err
+		}
+	}
+	return g.engine.Update(u)
+}
+
+// SpanningForest flushes buffered updates and returns the edges of a
+// spanning forest of the current graph. Ingestion may continue afterwards.
+func (g *Graph) SpanningForest() ([]Edge, error) {
+	forest, err := g.engine.SpanningForest()
+	if err != nil {
+		return forest, fmt.Errorf("graphzeppelin: %w", err)
+	}
+	return forest, nil
+}
+
+// ConnectedComponents returns a component representative for every node
+// and the number of components.
+func (g *Graph) ConnectedComponents() (rep []uint32, count int, err error) {
+	rep, count, err = g.engine.ConnectedComponents()
+	if err != nil {
+		return rep, count, fmt.Errorf("graphzeppelin: %w", err)
+	}
+	return rep, count, nil
+}
+
+// Connected reports whether u and v are currently in the same component.
+func (g *Graph) Connected(u, v uint32) (bool, error) {
+	rep, _, err := g.ConnectedComponents()
+	if err != nil {
+		return false, err
+	}
+	if int(u) >= len(rep) || int(v) >= len(rep) {
+		return false, fmt.Errorf("graphzeppelin: node out of range")
+	}
+	return rep[u] == rep[v], nil
+}
+
+// Stats returns activity counters and footprint estimates.
+func (g *Graph) Stats() Stats { return g.engine.Stats() }
+
+// Close stops the worker pool and releases disk resources.
+func (g *Graph) Close() error { return g.engine.Close() }

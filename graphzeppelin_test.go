@@ -1,0 +1,237 @@
+package graphzeppelin_test
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"graphzeppelin"
+	"graphzeppelin/internal/core"
+	"graphzeppelin/internal/dsu"
+	"graphzeppelin/internal/stream"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	g, err := graphzeppelin.New(10, graphzeppelin.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	for u := uint32(0); u < 4; u++ {
+		if err := g.Insert(u, u+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Insert(7, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Delete(7, 8); err != nil {
+		t.Fatal(err)
+	}
+	_, count, err := g.ConnectedComponents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 6 { // {0..4}, 5, 6, 7, 8, 9
+		t.Fatalf("components = %d, want 6", count)
+	}
+	conn, err := g.Connected(0, 4)
+	if err != nil || !conn {
+		t.Fatalf("Connected(0,4) = %v, %v", conn, err)
+	}
+	conn, err = g.Connected(7, 8)
+	if err != nil || conn {
+		t.Fatalf("Connected(7,8) = %v, %v; edge was deleted", conn, err)
+	}
+}
+
+func TestValidationCatchesProtocolViolations(t *testing.T) {
+	g, err := graphzeppelin.New(8, graphzeppelin.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	g.EnableValidation()
+	if err := g.Insert(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Insert(1, 0); err == nil {
+		t.Fatal("duplicate insert accepted with validation on")
+	}
+	if err := g.Delete(2, 3); err == nil {
+		t.Fatal("delete of absent edge accepted with validation on")
+	}
+	if err := g.Insert(3, 3); err == nil {
+		t.Fatal("self loop accepted")
+	}
+	// State is still consistent after rejected updates.
+	_, count, err := g.ConnectedComponents()
+	if err != nil || count != 7 {
+		t.Fatalf("count = %d, err = %v; want 7, nil", count, err)
+	}
+}
+
+func TestInvalidNodeRejected(t *testing.T) {
+	g, err := graphzeppelin.New(4, graphzeppelin.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if err := g.Insert(0, 4); err == nil {
+		t.Fatal("out-of-universe node accepted")
+	}
+	if err := g.Insert(2, 2); err == nil {
+		t.Fatal("self loop accepted")
+	}
+}
+
+func TestTooFewNodesRejected(t *testing.T) {
+	if _, err := graphzeppelin.New(1); err == nil {
+		t.Fatal("1-node universe accepted")
+	}
+}
+
+func TestSpanningForestIsAcyclicAndSpanning(t *testing.T) {
+	const n = 128
+	g, err := graphzeppelin.New(n, graphzeppelin.WithSeed(4), graphzeppelin.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	rng := rand.New(rand.NewPCG(5, 6))
+	exact := dsu.New(n)
+	seen := map[stream.Edge]bool{}
+	for i := 0; i < 2000; i++ {
+		e := stream.Edge{U: uint32(rng.Uint64N(n)), V: uint32(rng.Uint64N(n))}.Normalize()
+		if e.U == e.V || seen[e] {
+			continue
+		}
+		seen[e] = true
+		if err := g.Insert(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+		exact.Union(e.U, e.V)
+	}
+	forest, err := g.SpanningForest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dsu.New(n)
+	for _, e := range forest {
+		if !seen[e.Normalize()] {
+			t.Fatalf("forest edge %v was never inserted", e)
+		}
+		if _, merged := d.Union(e.U, e.V); !merged {
+			t.Fatalf("forest contains a cycle at %v", e)
+		}
+	}
+	if d.Count() != exact.Count() {
+		t.Fatalf("forest spans %d components, exact graph has %d", d.Count(), exact.Count())
+	}
+}
+
+func TestOptionsArePlumbedThrough(t *testing.T) {
+	dir := t.TempDir()
+	g, err := graphzeppelin.New(32,
+		graphzeppelin.WithSeed(7),
+		graphzeppelin.WithWorkers(3),
+		graphzeppelin.WithBuffering(graphzeppelin.GutterTree),
+		graphzeppelin.WithGutterTreeConfig(4, 256, 64),
+		graphzeppelin.WithSketchesOnDisk(dir),
+		graphzeppelin.WithColumns(5),
+		graphzeppelin.WithRounds(8),
+		graphzeppelin.WithBufferFactor(0.25),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	for u := uint32(0); u < 31; u++ {
+		if err := g.Insert(u, u+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, count, err := g.ConnectedComponents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("path graph gave %d components", count)
+	}
+	st := g.Stats()
+	if st.DiskBytes == 0 {
+		t.Fatal("on-disk sketches reported zero disk bytes")
+	}
+	if st.SketchIO.TotalBlocks() == 0 || st.BufferIO.TotalBlocks() == 0 {
+		t.Fatalf("disk structures reported no I/O: %+v", st)
+	}
+}
+
+func TestQueriesInterleaveWithIngestion(t *testing.T) {
+	const n = 64
+	g, err := graphzeppelin.New(n, graphzeppelin.WithSeed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	exact := dsu.New(n)
+	rng := rand.New(rand.NewPCG(9, 10))
+	seen := map[stream.Edge]bool{}
+	for step := 0; step < 10; step++ {
+		for i := 0; i < 50; i++ {
+			e := stream.Edge{U: uint32(rng.Uint64N(n)), V: uint32(rng.Uint64N(n))}.Normalize()
+			if e.U == e.V || seen[e] {
+				continue
+			}
+			seen[e] = true
+			if err := g.Insert(e.U, e.V); err != nil {
+				t.Fatal(err)
+			}
+			exact.Union(e.U, e.V)
+		}
+		_, count, err := g.ConnectedComponents()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != exact.Count() {
+			t.Fatalf("step %d: count = %d, want %d", step, count, exact.Count())
+		}
+	}
+}
+
+func TestQueryFailureSurfacesWithTooFewRounds(t *testing.T) {
+	// One Boruvka round cannot finish a long path graph; the engine must
+	// report the failure rather than return a partial forest silently.
+	g, err := graphzeppelin.New(64, graphzeppelin.WithSeed(9), graphzeppelin.WithRounds(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	for u := uint32(0); u < 63; u++ {
+		if err := g.Insert(u, u+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := g.SpanningForest(); !errors.Is(err, core.ErrQueryFailed) {
+		t.Fatalf("err = %v, want ErrQueryFailed", err)
+	}
+}
+
+func TestEmptyGraphQuery(t *testing.T) {
+	g, err := graphzeppelin.New(16, graphzeppelin.WithSeed(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	forest, err := g.SpanningForest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forest) != 0 {
+		t.Fatalf("empty graph produced forest %v", forest)
+	}
+	_, count, err := g.ConnectedComponents()
+	if err != nil || count != 16 {
+		t.Fatalf("count = %d, err = %v; want 16 singletons", count, err)
+	}
+}

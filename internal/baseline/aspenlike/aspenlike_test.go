@@ -1,0 +1,131 @@
+package aspenlike
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"graphzeppelin/internal/dsu"
+	"graphzeppelin/internal/stream"
+)
+
+func TestApplyMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	const n = 50
+	g := New(n)
+	model := map[stream.Edge]bool{}
+	for i := 0; i < 4000; i++ {
+		u := uint32(rng.Uint64N(n))
+		v := uint32(rng.Uint64N(n))
+		if u == v {
+			continue
+		}
+		e := stream.Edge{U: u, V: v}.Normalize()
+		typ := stream.Insert
+		if model[e] {
+			typ = stream.Delete
+		}
+		g.Apply(stream.Update{Edge: e, Type: typ})
+		model[e] = !model[e]
+	}
+	count := 0
+	for e, on := range model {
+		if on {
+			count++
+			if !g.Has(e.U, e.V) {
+				t.Fatalf("edge %v missing", e)
+			}
+		} else if g.Has(e.U, e.V) {
+			t.Fatalf("edge %v should be gone", e)
+		}
+	}
+	if g.NumEdges() != uint64(count) {
+		t.Fatalf("NumEdges = %d, want %d", g.NumEdges(), count)
+	}
+}
+
+func TestBatchesMatchApply(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	const n = 40
+	a, b := New(n), New(n)
+	var ins []stream.Edge
+	seen := map[stream.Edge]bool{}
+	for len(ins) < 300 {
+		e := stream.Edge{U: uint32(rng.Uint64N(n)), V: uint32(rng.Uint64N(n))}.Normalize()
+		if e.U == e.V || seen[e] {
+			continue
+		}
+		seen[e] = true
+		ins = append(ins, e)
+	}
+	a.InsertBatch(ins)
+	for _, e := range ins {
+		b.Apply(stream.Update{Edge: e, Type: stream.Insert})
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("batch %d edges, sequential %d", a.NumEdges(), b.NumEdges())
+	}
+	dels := ins[:100]
+	a.DeleteBatch(dels)
+	for _, e := range dels {
+		b.Apply(stream.Update{Edge: e, Type: stream.Delete})
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("after deletes: batch %d, sequential %d", a.NumEdges(), b.NumEdges())
+	}
+	for u := uint32(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if a.Has(u, v) != b.Has(u, v) {
+				t.Fatalf("Has(%d,%d) differs", u, v)
+			}
+		}
+	}
+}
+
+func TestInsertBatchIgnoresDuplicates(t *testing.T) {
+	g := New(4)
+	g.InsertBatch([]stream.Edge{{U: 0, V: 1}, {U: 1, V: 0}, {U: 0, V: 1}})
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 {
+		t.Fatal("degrees wrong after duplicate batch")
+	}
+}
+
+func TestConnectedComponentsAndForest(t *testing.T) {
+	g := New(7)
+	g.InsertBatch([]stream.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}})
+	rep, count := g.ConnectedComponents()
+	if count != 4 { // {0,1,2}, {3,4}, {5}, {6}
+		t.Fatalf("count = %d, want 4", count)
+	}
+	if rep[0] != rep[2] || rep[0] == rep[3] || rep[5] == rep[6] {
+		t.Fatal("partition wrong")
+	}
+	forest := g.SpanningForest()
+	if len(forest) != 3 {
+		t.Fatalf("forest has %d edges, want 3", len(forest))
+	}
+	d := dsu.New(7)
+	for _, e := range forest {
+		if _, merged := d.Union(e.U, e.V); !merged {
+			t.Fatal("forest contains a cycle")
+		}
+	}
+	if d.Count() != 4 {
+		t.Fatal("forest spans the wrong partition")
+	}
+}
+
+func TestBytesGrowsWithEdges(t *testing.T) {
+	g := New(100)
+	before := g.Bytes()
+	var ins []stream.Edge
+	for u := uint32(0); u < 99; u++ {
+		ins = append(ins, stream.Edge{U: u, V: u + 1})
+	}
+	g.InsertBatch(ins)
+	if g.Bytes() <= before {
+		t.Fatal("Bytes did not grow with edges")
+	}
+}

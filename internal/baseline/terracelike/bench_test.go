@@ -1,0 +1,28 @@
+package terracelike
+
+import "testing"
+
+func BenchmarkPMAInsertUniform(b *testing.B) {
+	p := newPMA()
+	x := uint64(0x9e3779b97f4a7c15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		p.Insert(x >> 1)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(p.Moves())/float64(b.N), "moves/insert")
+}
+
+func BenchmarkPMAInsertAscending(b *testing.B) {
+	// The adversarial pattern: every insert hits the rightmost segment.
+	p := newPMA()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Insert(uint64(i))
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(p.Moves())/float64(b.N), "moves/insert")
+}

@@ -1,0 +1,339 @@
+package terracelike
+
+import "math/bits"
+
+// pma is a packed-memory array over uint64 keys: a sorted array with gaps,
+// rebalanced over a binary tree of windows with density thresholds. It is
+// the shared middle tier of the Terrace hierarchy — all medium-degree
+// vertices' neighbour lists interleave in one PMA keyed by
+// (vertex<<32 | neighbour) — and it is the mechanism behind Terrace's
+// dense-graph degradation: when most vertices are medium-degree, every
+// insert lands in an already-dense region and pays for window
+// redistribution, and unrelated vertices' data shifts together.
+type pma struct {
+	slots []uint64 // per segment: keys packed at the front, then pmaEmpty
+	// segMin[s] is the first key of segment s when non-empty; an empty
+	// segment inherits its left neighbour's value (0 at the far left), so
+	// the array stays monotone and binary-searchable.
+	segMin []uint64
+	seg    int // slots per leaf segment (power of two)
+	count  int
+	moves  uint64 // slot writes during redistribution (degradation metric)
+}
+
+const pmaEmpty = ^uint64(0)
+
+// density thresholds: leaves may fill to 7/8, the root window only to
+// 1/2; intermediate windows interpolate (the classic PMA schedule).
+const (
+	densLeafNum, densLeafDen = 7, 8
+	densRootNum, densRootDen = 1, 2
+)
+
+func newPMA() *pma {
+	p := &pma{seg: 32}
+	p.slots = make([]uint64, p.seg*2)
+	for i := range p.slots {
+		p.slots[i] = pmaEmpty
+	}
+	p.segMin = make([]uint64, 2)
+	return p
+}
+
+func (p *pma) numSegs() int { return len(p.slots) / p.seg }
+
+func (p *pma) segEmpty(s int) bool { return p.slots[s*p.seg] == pmaEmpty }
+
+// levels returns the height of the window tree (leaf = level 0).
+func (p *pma) levels() int { return bits.Len(uint(p.numSegs())) - 1 }
+
+// maxKeys returns the allowed key count for a window of windowSlots slots
+// at the given level of the window tree.
+func (p *pma) maxKeys(level, windowSlots int) int {
+	lv := p.levels()
+	if lv == 0 {
+		return windowSlots * densLeafNum / densLeafDen
+	}
+	num := float64(densLeafNum)/float64(densLeafDen) -
+		(float64(densLeafNum)/float64(densLeafDen)-float64(densRootNum)/float64(densRootDen))*
+			float64(level)/float64(lv)
+	return int(num * float64(windowSlots))
+}
+
+// findSeg returns the rightmost non-empty segment whose min is <= key, or
+// 0 when key precedes everything (or the PMA is empty).
+func (p *pma) findSeg(key uint64) int {
+	lo, hi, res := 0, p.numSegs()-1, 0
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if p.segMin[mid] <= key {
+			res = mid
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	for res > 0 && p.segEmpty(res) {
+		res--
+	}
+	return res
+}
+
+// Has reports whether key is present.
+func (p *pma) Has(key uint64) bool {
+	base := p.findSeg(key) * p.seg
+	for i := base; i < base+p.seg; i++ {
+		k := p.slots[i]
+		if k == pmaEmpty || k > key {
+			return false
+		}
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert adds key; inserting a present key is a no-op returning false.
+func (p *pma) Insert(key uint64) bool {
+	if key == pmaEmpty {
+		panic("terracelike: reserved key")
+	}
+	s := p.findSeg(key)
+	base := s * p.seg
+	keys := make([]uint64, 0, p.seg+1)
+	for i := base; i < base+p.seg; i++ {
+		if p.slots[i] != pmaEmpty {
+			keys = append(keys, p.slots[i])
+		}
+	}
+	pos := len(keys)
+	for i, k := range keys {
+		if k == key {
+			return false
+		}
+		if k > key {
+			pos = i
+			break
+		}
+	}
+	keys = append(keys, 0)
+	copy(keys[pos+1:], keys[pos:])
+	keys[pos] = key
+	p.count++
+	if len(keys) <= p.maxKeys(0, p.seg) {
+		p.writeSeg(s, keys)
+		return true
+	}
+	p.rebalance(s, keys)
+	return true
+}
+
+// Delete removes key, returning whether it was present. Underfull windows
+// are left sparse (delete rebalancing deferred, as Terrace defers it).
+func (p *pma) Delete(key uint64) bool {
+	s := p.findSeg(key)
+	base := s * p.seg
+	for i := base; i < base+p.seg; i++ {
+		k := p.slots[i]
+		if k == pmaEmpty || k > key {
+			return false
+		}
+		if k == key {
+			copy(p.slots[i:base+p.seg-1], p.slots[i+1:base+p.seg])
+			p.slots[base+p.seg-1] = pmaEmpty
+			p.count--
+			p.refreshMin(s)
+			return true
+		}
+	}
+	return false
+}
+
+// Range calls fn for every key in [lo, hi) in ascending order.
+func (p *pma) Range(lo, hi uint64, fn func(key uint64)) {
+	for s := p.findSeg(lo); s < p.numSegs(); s++ {
+		base := s * p.seg
+		for i := base; i < base+p.seg; i++ {
+			k := p.slots[i]
+			if k == pmaEmpty {
+				break
+			}
+			if k >= hi {
+				return
+			}
+			if k >= lo {
+				fn(k)
+			}
+		}
+	}
+}
+
+// writeSeg stores sorted keys into segment s (they must fit), packed at
+// the front, then repairs the min index from s rightward.
+func (p *pma) writeSeg(s int, keys []uint64) {
+	p.writeSegNoIndex(s, keys)
+	p.refreshMin(s)
+}
+
+// writeSegNoIndex writes the slots only; callers doing bulk rewrites
+// (redistribute, grow) repair the min index once afterwards instead of
+// paying a propagation walk per segment.
+func (p *pma) writeSegNoIndex(s int, keys []uint64) {
+	base := s * p.seg
+	copy(p.slots[base:], keys)
+	for i := base + len(keys); i < base+p.seg; i++ {
+		p.slots[i] = pmaEmpty
+	}
+	p.moves += uint64(len(keys))
+}
+
+// rebuildMins recomputes the min index for segments [start, start+n) in
+// one left-to-right pass.
+func (p *pma) rebuildMins(start, n int) {
+	for s := start; s < start+n; s++ {
+		if !p.segEmpty(s) {
+			p.segMin[s] = p.slots[s*p.seg]
+		} else if s > 0 {
+			p.segMin[s] = p.segMin[s-1]
+		} else {
+			p.segMin[s] = 0
+		}
+	}
+}
+
+// refreshMin recomputes segMin[s] and re-propagates inheritance through
+// any run of empty segments to the right.
+func (p *pma) refreshMin(s int) {
+	for t := s; t < p.numSegs(); t++ {
+		var m uint64
+		if !p.segEmpty(t) {
+			m = p.slots[t*p.seg]
+		} else if t > 0 {
+			m = p.segMin[t-1]
+		}
+		if t > s && p.segMin[t] == m {
+			return // inheritance already consistent from here on
+		}
+		p.segMin[t] = m
+		if t > s && !p.segEmpty(t) {
+			return // authoritative min reached; nothing right changes
+		}
+	}
+}
+
+// rebalance finds the smallest window around segment s whose density
+// (counting extra, the overflowing segment's keys including the new one)
+// is legal, then redistributes evenly; if even the root is too dense the
+// array doubles.
+func (p *pma) rebalance(s int, extra []uint64) {
+	p.writeSeg(s, nil) // the segment's contents live in extra now
+	winSegs := 1
+	for level := 1; ; level++ {
+		winSegs *= 2
+		if winSegs > p.numSegs() {
+			p.grow(extra)
+			return
+		}
+		start := (s / winSegs) * winSegs
+		n := p.countWindow(start, winSegs) + len(extra)
+		if n <= p.maxKeys(level, winSegs*p.seg) {
+			p.redistribute(start, winSegs, extra)
+			return
+		}
+	}
+}
+
+func (p *pma) countWindow(startSeg, nSegs int) int {
+	c := 0
+	for s := startSeg; s < startSeg+nSegs; s++ {
+		base := s * p.seg
+		for i := base; i < base+p.seg; i++ {
+			if p.slots[i] == pmaEmpty {
+				break
+			}
+			c++
+		}
+	}
+	return c
+}
+
+// redistribute merges the window's keys with extra (both sorted) and
+// spreads them evenly over the window's segments.
+func (p *pma) redistribute(startSeg, nSegs int, extra []uint64) {
+	merged := p.gatherMerge(startSeg, nSegs, extra)
+	per := (len(merged) + nSegs - 1) / nSegs
+	if per == 0 {
+		per = 1
+	}
+	for i := 0; i < nSegs; i++ {
+		lo := min(i*per, len(merged))
+		hi := min(lo+per, len(merged))
+		p.writeSegNoIndex(startSeg+i, merged[lo:hi])
+	}
+	p.rebuildMins(startSeg, nSegs)
+	// Segments right of the window may inherit from its last segment.
+	if end := startSeg + nSegs; end < p.numSegs() {
+		p.refreshMin(end - 1)
+	}
+}
+
+// gatherMerge extracts the window's keys in order and merges extra in.
+func (p *pma) gatherMerge(startSeg, nSegs int, extra []uint64) []uint64 {
+	keys := make([]uint64, 0, p.countWindow(startSeg, nSegs)+len(extra))
+	for s := startSeg; s < startSeg+nSegs; s++ {
+		base := s * p.seg
+		for i := base; i < base+p.seg; i++ {
+			if p.slots[i] == pmaEmpty {
+				break
+			}
+			keys = append(keys, p.slots[i])
+		}
+	}
+	if len(extra) == 0 {
+		return keys
+	}
+	merged := make([]uint64, 0, len(keys)+len(extra))
+	i, j := 0, 0
+	for i < len(keys) || j < len(extra) {
+		if j >= len(extra) || (i < len(keys) && keys[i] < extra[j]) {
+			merged = append(merged, keys[i])
+			i++
+		} else {
+			merged = append(merged, extra[j])
+			j++
+		}
+	}
+	return merged
+}
+
+// grow doubles the slot array and redistributes everything plus extra.
+func (p *pma) grow(extra []uint64) {
+	all := p.gatherMerge(0, p.numSegs(), extra)
+	newSegs := 2 * p.numSegs()
+	p.slots = make([]uint64, newSegs*p.seg)
+	for i := range p.slots {
+		p.slots[i] = pmaEmpty
+	}
+	p.segMin = make([]uint64, newSegs)
+	per := (len(all) + newSegs - 1) / newSegs
+	if per == 0 {
+		per = 1
+	}
+	for i := 0; i < newSegs; i++ {
+		lo := min(i*per, len(all))
+		hi := min(lo+per, len(all))
+		p.writeSegNoIndex(i, all[lo:hi])
+	}
+	p.rebuildMins(0, newSegs)
+}
+
+// Bytes returns the PMA's memory footprint (slots plus segment index).
+func (p *pma) Bytes() int64 { return int64(len(p.slots)*8 + len(p.segMin)*8) }
+
+// Len returns the number of stored keys.
+func (p *pma) Len() int { return p.count }
+
+// Moves returns cumulative slot writes from segment writes and
+// redistributions — the shifting work that grows with density.
+func (p *pma) Moves() uint64 { return p.moves }

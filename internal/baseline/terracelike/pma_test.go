@@ -1,0 +1,185 @@
+package terracelike
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"graphzeppelin/internal/stream"
+)
+
+func TestPMAInsertHasDelete(t *testing.T) {
+	p := newPMA()
+	for _, k := range []uint64{5, 1, 9, 3, 7} {
+		if !p.Insert(k) {
+			t.Fatalf("Insert(%d) reported duplicate", k)
+		}
+	}
+	if p.Insert(5) {
+		t.Fatal("duplicate insert accepted")
+	}
+	if p.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", p.Len())
+	}
+	for _, k := range []uint64{1, 3, 5, 7, 9} {
+		if !p.Has(k) {
+			t.Fatalf("Has(%d) = false", k)
+		}
+	}
+	if p.Has(4) {
+		t.Fatal("Has(4) = true")
+	}
+	if !p.Delete(5) || p.Delete(5) {
+		t.Fatal("Delete semantics wrong")
+	}
+	if p.Has(5) || p.Len() != 4 {
+		t.Fatal("Delete did not remove")
+	}
+}
+
+func TestPMARangeSorted(t *testing.T) {
+	p := newPMA()
+	rng := rand.New(rand.NewPCG(1, 2))
+	want := map[uint64]bool{}
+	for i := 0; i < 5000; i++ {
+		k := rng.Uint64() >> 1
+		if p.Insert(k) != !want[k] {
+			t.Fatal("Insert return inconsistent with model")
+		}
+		want[k] = true
+	}
+	var got []uint64
+	p.Range(0, pmaEmpty, func(k uint64) { got = append(got, k) })
+	if len(got) != len(want) {
+		t.Fatalf("Range yielded %d keys, want %d", len(got), len(want))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("Range not ascending")
+	}
+	for _, k := range got {
+		if !want[k] {
+			t.Fatalf("Range yielded unknown key %d", k)
+		}
+	}
+}
+
+func TestPMARangeWindow(t *testing.T) {
+	p := newPMA()
+	for k := uint64(0); k < 200; k += 2 {
+		p.Insert(k)
+	}
+	var got []uint64
+	p.Range(50, 61, func(k uint64) { got = append(got, k) })
+	want := []uint64{50, 52, 54, 56, 58, 60}
+	if len(got) != len(want) {
+		t.Fatalf("Range(50,61) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range(50,61) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPMAAgainstMapModel(t *testing.T) {
+	f := func(ops []uint16, seed uint64) bool {
+		p := newPMA()
+		model := map[uint64]bool{}
+		rng := rand.New(rand.NewPCG(seed, 0))
+		for _, op := range ops {
+			k := uint64(op % 512)
+			if rng.Uint64()%3 == 0 {
+				if p.Delete(k) != model[k] {
+					return false
+				}
+				delete(model, k)
+			} else {
+				if p.Insert(k) == model[k] {
+					return false
+				}
+				model[k] = true
+			}
+		}
+		if p.Len() != len(model) {
+			return false
+		}
+		for k := uint64(0); k < 512; k++ {
+			if p.Has(k) != model[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPMAAdversarialSameRegion(t *testing.T) {
+	// Hammer one key region: every insert hits the same segment,
+	// forcing repeated rebalances and growth — the dense-graph pattern.
+	p := newPMA()
+	for k := uint64(0); k < 20000; k++ {
+		p.Insert(k) // strictly ascending: always the rightmost segment
+	}
+	if p.Len() != 20000 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if p.Moves() == 0 {
+		t.Fatal("no redistribution work recorded")
+	}
+	count := 0
+	p.Range(0, pmaEmpty, func(uint64) { count++ })
+	if count != 20000 {
+		t.Fatalf("Range count = %d", count)
+	}
+}
+
+func TestPMADescendingInserts(t *testing.T) {
+	p := newPMA()
+	for k := 3000; k >= 1; k-- {
+		if !p.Insert(uint64(k)) {
+			t.Fatalf("Insert(%d) failed", k)
+		}
+	}
+	for k := 1; k <= 3000; k++ {
+		if !p.Has(uint64(k)) {
+			t.Fatalf("Has(%d) = false after descending build", k)
+		}
+	}
+}
+
+func TestHubPromotion(t *testing.T) {
+	g := New(3000)
+	for v := uint32(1); v < 2000; v++ {
+		g.Apply(streamInsert(0, v))
+	}
+	if g.verts[0].tier != tierHub {
+		t.Fatalf("vertex 0 at degree %d not promoted to hub tier", g.Degree(0))
+	}
+	// Its neighbours must have left the shared PMA.
+	found := 0
+	g.shared.Range(key(0, 0), key(1, 0), func(uint64) { found++ })
+	if found != 0 {
+		t.Fatalf("%d neighbours still in shared PMA after promotion", found)
+	}
+	for v := uint32(1); v < 2000; v++ {
+		if !g.Has(0, v) {
+			t.Fatalf("lost neighbour %d during promotion", v)
+		}
+	}
+	// Deletes still work from the hub tier.
+	g.Apply(streamDelete(0, 1))
+	if g.Has(0, 1) || g.Degree(0) != 1998 {
+		t.Fatal("hub delete failed")
+	}
+}
+
+func streamInsert(u, v uint32) stream.Update {
+	return stream.Update{Edge: stream.Edge{U: u, V: v}, Type: stream.Insert}
+}
+
+func streamDelete(u, v uint32) stream.Update {
+	return stream.Update{Edge: stream.Edge{U: u, V: v}, Type: stream.Delete}
+}

@@ -1,0 +1,109 @@
+package terracelike
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"graphzeppelin/internal/stream"
+)
+
+func TestApplyMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	const n = 50
+	g := New(n)
+	model := map[stream.Edge]bool{}
+	for i := 0; i < 6000; i++ {
+		u := uint32(rng.Uint64N(n))
+		v := uint32(rng.Uint64N(n))
+		if u == v {
+			continue
+		}
+		e := stream.Edge{U: u, V: v}.Normalize()
+		typ := stream.Insert
+		if model[e] {
+			typ = stream.Delete
+		}
+		g.Apply(stream.Update{Edge: e, Type: typ})
+		model[e] = !model[e]
+	}
+	count := 0
+	for e, on := range model {
+		if on {
+			count++
+			if !g.Has(e.U, e.V) {
+				t.Fatalf("edge %v missing", e)
+			}
+		} else if g.Has(e.U, e.V) {
+			t.Fatalf("edge %v should be gone", e)
+		}
+	}
+	if g.NumEdges() != uint64(count) {
+		t.Fatalf("NumEdges = %d, want %d", g.NumEdges(), count)
+	}
+}
+
+func TestTierSpillAndSplit(t *testing.T) {
+	// Push one vertex's degree through the inline tier into multiple
+	// chunk splits, then delete everything back out.
+	const n = 2000
+	g := New(n)
+	for v := uint32(1); v < n; v++ {
+		g.Apply(stream.Update{Edge: stream.Edge{U: 0, V: v}, Type: stream.Insert})
+	}
+	if g.Degree(0) != n-1 {
+		t.Fatalf("Degree(0) = %d, want %d", g.Degree(0), n-1)
+	}
+	if len(g.verts[0].chunks) < 2 {
+		t.Fatalf("expected multiple chunks for a hub, got %d", len(g.verts[0].chunks))
+	}
+	for v := uint32(1); v < n; v++ {
+		if !g.Has(0, v) {
+			t.Fatalf("missing neighbour %d", v)
+		}
+	}
+	for v := uint32(1); v < n; v++ {
+		g.Apply(stream.Update{Edge: stream.Edge{U: 0, V: v}, Type: stream.Delete})
+	}
+	if g.Degree(0) != 0 || g.NumEdges() != 0 {
+		t.Fatal("deletes did not empty the hub")
+	}
+}
+
+func TestDuplicateInsertIgnored(t *testing.T) {
+	g := New(4)
+	g.Apply(stream.Update{Edge: stream.Edge{U: 0, V: 1}, Type: stream.Insert})
+	g.Apply(stream.Update{Edge: stream.Edge{U: 1, V: 0}, Type: stream.Insert})
+	if g.NumEdges() != 1 || g.Degree(0) != 1 {
+		t.Fatal("duplicate insert changed the graph")
+	}
+	g.Apply(stream.Update{Edge: stream.Edge{U: 2, V: 3}, Type: stream.Delete})
+	if g.NumEdges() != 1 {
+		t.Fatal("absent delete changed the edge count")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(6)
+	g.InsertBatch([]stream.Edge{{U: 0, V: 1}, {U: 2, V: 3}, {U: 3, V: 4}})
+	rep, count := g.ConnectedComponents()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if rep[2] != rep[4] || rep[0] == rep[5] {
+		t.Fatal("partition wrong")
+	}
+	forest := g.SpanningForest()
+	if len(forest) != 3 {
+		t.Fatalf("forest size = %d, want 3", len(forest))
+	}
+}
+
+func TestBytesIncludesFixedInlineTier(t *testing.T) {
+	// Terrace's per-vertex inline tier is charged even when empty: an
+	// empty Terrace graph is bigger than an empty Aspen-like graph of
+	// the same node count, the shape Figure 11 shows for sparse inputs.
+	g := New(1000)
+	if g.Bytes() < 1000*int64(inlineCap*4) {
+		t.Fatal("fixed inline tier not charged")
+	}
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"graphzeppelin/internal/cubesketch"
+)
+
+// Checkpoint format:
+//
+//	magic    [4]byte "GZE1"
+//	numNodes uint32
+//	seed     uint64
+//	columns  uint32
+//	rounds   uint32
+//	updates  uint64
+//	slots    numNodes × slotSize bytes (each slot: rounds serialized
+//	         CubeSketches, the same layout diskstore uses)
+//
+// Linearity makes checkpoints composable: because sketches are mergeable,
+// a checkpoint written on one machine can be merged into a live engine
+// with the same parameters elsewhere (the distributed-partitioning
+// direction of the paper's conclusion; see MergeCheckpoint).
+
+var checkpointMagic = [4]byte{'G', 'Z', 'E', '1'}
+
+// ErrIncompatibleCheckpoint is returned when merging a checkpoint whose
+// parameters (node count, seed, columns, rounds) differ from the engine's.
+var ErrIncompatibleCheckpoint = errors.New("core: incompatible checkpoint parameters")
+
+// WriteCheckpoint drains the engine and writes its full sketch state.
+// Ingestion may continue afterwards.
+func (e *Engine) WriteCheckpoint(w io.Writer) error {
+	if err := e.Drain(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(checkpointMagic[:]); err != nil {
+		return err
+	}
+	var hdr [28]byte
+	binary.LittleEndian.PutUint32(hdr[0:], e.cfg.NumNodes)
+	binary.LittleEndian.PutUint64(hdr[4:], e.cfg.Seed)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(e.cfg.Columns))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(e.cfg.Rounds))
+	binary.LittleEndian.PutUint64(hdr[20:], e.updates.Load())
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	blob := make([]byte, e.slotSize)
+	for node := uint32(0); node < e.cfg.NumNodes; node++ {
+		if err := e.readSlot(node, blob); err != nil {
+			return err
+		}
+		if _, err := bw.Write(blob); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// readSlot fills blob with node's serialized sketches from either store.
+func (e *Engine) readSlot(node uint32, blob []byte) error {
+	if e.store != nil {
+		return e.store.Read(node, blob)
+	}
+	e.locks[node].Lock()
+	defer e.locks[node].Unlock()
+	off := 0
+	for _, s := range e.ram[node] {
+		off += s.MarshalInto(blob[off:])
+	}
+	return nil
+}
+
+// writeSlot replaces node's sketches from blob.
+func (e *Engine) writeSlot(node uint32, blob []byte) error {
+	if e.store != nil {
+		return e.store.Write(node, blob)
+	}
+	e.locks[node].Lock()
+	defer e.locks[node].Unlock()
+	off := 0
+	for r := range e.ram[node] {
+		if err := e.ram[node][r].UnmarshalBinary(blob[off : off+e.sketchSize]); err != nil {
+			return fmt.Errorf("core: checkpoint slot of node %d round %d: %w", node, r, err)
+		}
+		off += e.sketchSize
+	}
+	return nil
+}
+
+type checkpointHeader struct {
+	numNodes uint32
+	seed     uint64
+	columns  int
+	rounds   int
+	updates  uint64
+}
+
+func readCheckpointHeader(br *bufio.Reader) (checkpointHeader, error) {
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return checkpointHeader{}, fmt.Errorf("core: reading checkpoint magic: %w", err)
+	}
+	if m != checkpointMagic {
+		return checkpointHeader{}, errors.New("core: not a GZE1 checkpoint")
+	}
+	var hdr [28]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return checkpointHeader{}, fmt.Errorf("core: reading checkpoint header: %w", err)
+	}
+	return checkpointHeader{
+		numNodes: binary.LittleEndian.Uint32(hdr[0:]),
+		seed:     binary.LittleEndian.Uint64(hdr[4:]),
+		columns:  int(binary.LittleEndian.Uint32(hdr[12:])),
+		rounds:   int(binary.LittleEndian.Uint32(hdr[16:])),
+		updates:  binary.LittleEndian.Uint64(hdr[20:]),
+	}, nil
+}
+
+// ReadCheckpoint restores an engine from a checkpoint stream. The provided
+// config controls deployment choices (workers, buffering, disk placement);
+// its sketch parameters are overwritten by the checkpoint's.
+func ReadCheckpoint(r io.Reader, cfg Config) (*Engine, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	h, err := readCheckpointHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	cfg.NumNodes = h.numNodes
+	cfg.Seed = h.seed
+	cfg.Columns = h.columns
+	cfg.Rounds = h.rounds
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	blob := make([]byte, e.slotSize)
+	for node := uint32(0); node < h.numNodes; node++ {
+		if _, err := io.ReadFull(br, blob); err != nil {
+			e.Close()
+			return nil, fmt.Errorf("core: checkpoint truncated at node %d: %w", node, err)
+		}
+		if err := e.writeSlot(node, blob); err != nil {
+			e.Close()
+			return nil, err
+		}
+	}
+	e.updates.Store(h.updates)
+	return e, nil
+}
+
+// MergeCheckpoint XORs a checkpoint's sketch state into the live engine:
+// the result summarizes the union-as-multiset (symmetric difference of
+// edge sets, i.e. the mod-2 sum) of both streams. With disjoint shards of
+// one stream — the distributed-ingestion pattern of the paper's
+// conclusion — the merged engine answers queries for the whole stream.
+func (e *Engine) MergeCheckpoint(r io.Reader) error {
+	if err := e.Drain(); err != nil {
+		return err
+	}
+	br := bufio.NewReaderSize(r, 1<<16)
+	h, err := readCheckpointHeader(br)
+	if err != nil {
+		return err
+	}
+	if h.numNodes != e.cfg.NumNodes || h.seed != e.cfg.Seed ||
+		h.columns != e.cfg.Columns || h.rounds != e.cfg.Rounds {
+		return fmt.Errorf("%w: checkpoint (V=%d seed=%#x cols=%d rounds=%d) vs engine (V=%d seed=%#x cols=%d rounds=%d)",
+			ErrIncompatibleCheckpoint, h.numNodes, h.seed, h.columns, h.rounds,
+			e.cfg.NumNodes, e.cfg.Seed, e.cfg.Columns, e.cfg.Rounds)
+	}
+	blob := make([]byte, e.slotSize)
+	mine := make([]byte, e.slotSize)
+	incoming := new(cubesketch.Sketch)
+	local := new(cubesketch.Sketch)
+	for node := uint32(0); node < h.numNodes; node++ {
+		if _, err := io.ReadFull(br, blob); err != nil {
+			return fmt.Errorf("core: checkpoint truncated at node %d: %w", node, err)
+		}
+		if err := e.readSlot(node, mine); err != nil {
+			return err
+		}
+		off := 0
+		for round := 0; round < e.cfg.Rounds; round++ {
+			if err := incoming.UnmarshalBinary(blob[off : off+e.sketchSize]); err != nil {
+				return fmt.Errorf("core: merge decode node %d round %d: %w", node, round, err)
+			}
+			if err := local.UnmarshalBinary(mine[off : off+e.sketchSize]); err != nil {
+				return fmt.Errorf("core: merge decode node %d round %d: %w", node, round, err)
+			}
+			if err := local.Merge(incoming); err != nil {
+				return err
+			}
+			local.MarshalInto(mine[off:])
+			off += e.sketchSize
+		}
+		if err := e.writeSlot(node, mine); err != nil {
+			return err
+		}
+	}
+	e.updates.Add(h.updates)
+	return nil
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"testing"
+
+	"graphzeppelin/internal/stream"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	for _, disk := range []bool{false, true} {
+		name := "ram"
+		if disk {
+			name = "disk"
+		}
+		t.Run(name, func(t *testing.T) {
+			src, err := NewEngine(Config{NumNodes: 48, Seed: 13, SketchesOnDisk: disk})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer src.Close()
+			var edges []stream.Edge
+			rng := rand.New(rand.NewPCG(1, 2))
+			seen := map[stream.Edge]bool{}
+			for i := 0; i < 300; i++ {
+				e := stream.Edge{U: uint32(rng.Uint64N(48)), V: uint32(rng.Uint64N(48))}.Normalize()
+				if e.U == e.V || seen[e] {
+					continue
+				}
+				seen[e] = true
+				edges = append(edges, e)
+				mustUpdate(t, src, e.U, e.V)
+			}
+			var buf bytes.Buffer
+			if err := src.WriteCheckpoint(&buf); err != nil {
+				t.Fatal(err)
+			}
+
+			// Restore into the opposite placement to prove the format is
+			// placement-independent.
+			back, err := ReadCheckpoint(&buf, Config{SketchesOnDisk: !disk, Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer back.Close()
+			checkAgainstExact(t, back, 48, edges)
+			if back.Stats().Updates != src.Stats().Updates {
+				t.Fatalf("update counter not restored: %d vs %d",
+					back.Stats().Updates, src.Stats().Updates)
+			}
+
+			// The restored engine keeps ingesting correctly.
+			extra := stream.Edge{U: 0, V: 47}
+			if !seen[extra] {
+				mustUpdate(t, back, 0, 47)
+				edges = append(edges, extra)
+			}
+			checkAgainstExact(t, back, 48, edges)
+		})
+	}
+}
+
+// TestMergeCheckpointShards splits one stream across two engines (the
+// distributed-ingestion pattern of the paper's conclusion), checkpoints
+// one shard, merges it into the other, and verifies the merged engine
+// answers for the union.
+func TestMergeCheckpointShards(t *testing.T) {
+	const n = 64
+	cfg := Config{NumNodes: n, Seed: 17}
+	a, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	rng := rand.New(rand.NewPCG(3, 4))
+	var edges []stream.Edge
+	seen := map[stream.Edge]bool{}
+	for i := 0; i < 500; i++ {
+		e := stream.Edge{U: uint32(rng.Uint64N(n)), V: uint32(rng.Uint64N(n))}.Normalize()
+		if e.U == e.V || seen[e] {
+			continue
+		}
+		seen[e] = true
+		edges = append(edges, e)
+		shard := a
+		if i%2 == 1 {
+			shard = b
+		}
+		mustUpdate(t, shard, e.U, e.V)
+	}
+
+	var buf bytes.Buffer
+	if err := b.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MergeCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstExact(t, a, n, edges)
+}
+
+func TestMergeCheckpointRejectsIncompatible(t *testing.T) {
+	a, err := NewEngine(Config{NumNodes: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewEngine(Config{NumNodes: 16, Seed: 2}) // different seed
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	var buf bytes.Buffer
+	if err := b.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MergeCheckpoint(&buf); !errors.Is(err, ErrIncompatibleCheckpoint) {
+		t.Fatalf("err = %v, want ErrIncompatibleCheckpoint", err)
+	}
+}
+
+func TestReadCheckpointErrors(t *testing.T) {
+	if _, err := ReadCheckpoint(bytes.NewReader([]byte("BAD!")), Config{}); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	e, err := NewEngine(Config{NumNodes: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if _, err := ReadCheckpoint(bytes.NewReader(trunc), Config{}); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}

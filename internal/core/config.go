@@ -1,0 +1,123 @@
+// Package core implements the GraphZeppelin engine (Section 5): per-node
+// sketches made of one CubeSketch per Boruvka round, the buffered
+// ingestion pipeline (gutters → work queue → Graph Workers), and the
+// query path that recovers a spanning forest by emulating Boruvka's
+// algorithm over the sketches.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"graphzeppelin/internal/cubesketch"
+	"graphzeppelin/internal/gutter"
+	"graphzeppelin/internal/iomodel"
+	"graphzeppelin/internal/stream"
+)
+
+// BufferingKind selects the ingestion buffering structure.
+type BufferingKind int
+
+const (
+	// BufferLeaf uses in-RAM leaf-only gutters (the default; used when
+	// RAM is plentiful, M > V·B in the paper's terms).
+	BufferLeaf BufferingKind = iota
+	// BufferTree uses the disk-backed gutter tree.
+	BufferTree
+	// BufferNone applies every update synchronously with no batching;
+	// the f→0 extreme of Figure 15, useful for tests and ablations.
+	BufferNone
+)
+
+// String names the buffering kind.
+func (k BufferingKind) String() string {
+	switch k {
+	case BufferLeaf:
+		return "leaf-only"
+	case BufferTree:
+		return "gutter-tree"
+	case BufferNone:
+		return "unbuffered"
+	default:
+		return fmt.Sprintf("BufferingKind(%d)", int(k))
+	}
+}
+
+// Config parameterizes an Engine. Zero values get the defaults noted on
+// each field.
+type Config struct {
+	// NumNodes is the (upper bound on the) number of graph nodes; node
+	// ids in updates must be < NumNodes. Required.
+	NumNodes uint32
+	// Seed drives all sketch hashing. Engines with equal NumNodes,
+	// Columns, Rounds and Seed have mergeable sketches.
+	Seed uint64
+	// Workers is the number of Graph Worker goroutines (default 1).
+	Workers int
+	// Columns is the per-CubeSketch column count (default 7, §5.1).
+	Columns int
+	// Rounds is the number of CubeSketches per node sketch, one per
+	// Boruvka round (default ⌈log2 NumNodes⌉ + 2).
+	Rounds int
+	// Buffering selects the buffering structure (default BufferLeaf).
+	Buffering BufferingKind
+	// BufferFactor is the paper's f: each leaf gutter holds
+	// f × (node-sketch bytes) of buffered updates (default 0.5, §5.1).
+	BufferFactor float64
+	// SketchesOnDisk stores node sketches on a block device instead of
+	// RAM (the out-of-core mode of §4.1).
+	SketchesOnDisk bool
+	// Dir is the directory for disk files (sketch store, gutter tree).
+	// Empty means in-memory devices are used even for "disk" structures,
+	// which still exercises the block I/O paths and accounting.
+	Dir string
+	// Tree sizes the gutter tree when Buffering == BufferTree.
+	Tree gutter.TreeConfig
+	// BlockSize is the device block size in bytes (default 16 KiB).
+	BlockSize int
+	// QueueCapacity bounds the work queue in batches (default
+	// 8 × Workers, §5.1).
+	QueueCapacity int
+	// DeviceFactory overrides block-device creation for the sketch store
+	// and gutter tree. Nil uses files under Dir (or in-memory devices when
+	// Dir is empty). Tests use it to inject faulty devices.
+	DeviceFactory func(name string) (iomodel.Device, error)
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.NumNodes < 2 {
+		return c, fmt.Errorf("core: NumNodes must be at least 2, got %d", c.NumNodes)
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Columns <= 0 {
+		c.Columns = cubesketch.DefaultColumns
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = DefaultRounds(c.NumNodes)
+	}
+	if c.BufferFactor <= 0 {
+		c.BufferFactor = 0.5
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = iomodel.DefaultBlockSize
+	}
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 8 * c.Workers
+	}
+	return c, nil
+}
+
+// DefaultRounds returns the node-sketch depth for a graph on numNodes
+// nodes: ⌈log2 numNodes⌉ + 2 Boruvka rounds, enough that the forest is
+// complete with slack before sketches run out.
+func DefaultRounds(numNodes uint32) int {
+	if numNodes <= 2 {
+		return 3
+	}
+	return bits.Len32(numNodes-1) + 2
+}
+
+// VectorLen returns the characteristic-vector length for the config.
+func (c Config) VectorLen() uint64 { return stream.VectorLen(uint64(c.NumNodes)) }

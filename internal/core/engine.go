@@ -1,0 +1,365 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"graphzeppelin/internal/cubesketch"
+	"graphzeppelin/internal/diskstore"
+	"graphzeppelin/internal/gutter"
+	"graphzeppelin/internal/iomodel"
+	"graphzeppelin/internal/stream"
+)
+
+// roundSeedSalt separates the hash seeds of the per-round CubeSketches;
+// every node's round-r sketch shares a seed so supernode merging works.
+const roundSeedSalt = 0x51ed270693a3f
+
+// Stats reports engine activity.
+type Stats struct {
+	// Updates is the number of stream updates ingested.
+	Updates uint64
+	// Batches is the number of node-keyed batches applied to sketches.
+	Batches uint64
+	// SketchIO and BufferIO are block-device statistics for the sketch
+	// store and the gutter tree (zero when those live in RAM).
+	SketchIO, BufferIO iomodel.Stats
+	// QueryRounds is the Boruvka rounds used by the last query.
+	QueryRounds int
+	// SketchFailures counts CubeSketch sampling failures observed across
+	// all queries (§6.3 observed zero in 5000 trials; so do we, but we
+	// count anyway).
+	SketchFailures uint64
+	// MemoryBytes estimates the RAM held by sketches and gutters;
+	// DiskBytes the on-device footprint (sketch slots + gutter tree).
+	MemoryBytes, DiskBytes int64
+}
+
+// Engine is a GraphZeppelin instance. Ingestion (Update) must be driven
+// from a single goroutine; sketch application is parallelized internally
+// across the configured Graph Workers. Queries may be interleaved with
+// ingestion from that same driving goroutine.
+type Engine struct {
+	cfg        Config
+	vecLen     uint64
+	sketchSize int // serialized bytes of one CubeSketch
+	slotSize   int // serialized bytes of one node sketch (all rounds)
+	nodeBytes  int // in-RAM bytes of one node sketch's bucket arrays
+
+	locks []sync.Mutex
+	ram   [][]*cubesketch.Sketch // [node][round]; nil in disk mode
+
+	store    *diskstore.Store // non-nil in disk mode
+	storeDev iomodel.Device
+
+	queue   *gutter.Queue
+	pending sync.WaitGroup
+	wg      sync.WaitGroup
+
+	leaf    *gutter.LeafGutters
+	tree    *gutter.Tree
+	treeDev iomodel.Device
+
+	updates        atomic.Uint64
+	batches        atomic.Uint64
+	sketchFailures atomic.Uint64
+	lastRounds     int
+
+	workerErr atomic.Pointer[error]
+	closed    bool
+}
+
+// NewEngine builds an engine per cfg, allocating sketches (in RAM or on
+// the sketch store), the buffering structure, and the Graph Workers.
+func NewEngine(cfg Config) (*Engine, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:    cfg,
+		vecLen: cfg.VectorLen(),
+		locks:  make([]sync.Mutex, cfg.NumNodes),
+	}
+	proto := cubesketch.New(e.vecLen, cfg.Columns, cfg.Seed)
+	e.sketchSize = proto.SerializedSize()
+	e.slotSize = e.sketchSize * cfg.Rounds
+	e.nodeBytes = proto.Bytes() * cfg.Rounds
+
+	if cfg.SketchesOnDisk {
+		e.storeDev, err = e.openDevice("sketches.gz0")
+		if err != nil {
+			return nil, err
+		}
+		e.store, err = diskstore.New(e.storeDev, cfg.NumNodes, e.slotSize)
+		if err != nil {
+			return nil, err
+		}
+		// Initialize every slot with the empty-sketch encoding so reads
+		// before first write decode correctly.
+		empty := make([]byte, e.slotSize)
+		off := 0
+		for r := 0; r < cfg.Rounds; r++ {
+			s := cubesketch.New(e.vecLen, cfg.Columns, e.roundSeed(r))
+			off += s.MarshalInto(empty[off:])
+		}
+		for node := uint32(0); node < cfg.NumNodes; node++ {
+			if err := e.store.Write(node, empty); err != nil {
+				return nil, fmt.Errorf("core: initializing sketch store: %w", err)
+			}
+		}
+	} else {
+		e.ram = make([][]*cubesketch.Sketch, cfg.NumNodes)
+		for node := range e.ram {
+			rounds := make([]*cubesketch.Sketch, cfg.Rounds)
+			for r := range rounds {
+				rounds[r] = cubesketch.New(e.vecLen, cfg.Columns, e.roundSeed(r))
+			}
+			e.ram[node] = rounds
+		}
+	}
+
+	e.queue = gutter.NewQueue(cfg.QueueCapacity)
+	sink := func(b gutter.Batch) {
+		e.pending.Add(1)
+		if !e.queue.Push(b) {
+			e.pending.Done()
+		}
+	}
+	switch cfg.Buffering {
+	case BufferLeaf:
+		capUpdates := int(cfg.BufferFactor * float64(e.slotSize) / 4)
+		if capUpdates < 1 {
+			capUpdates = 1
+		}
+		e.leaf = gutter.NewLeafGutters(cfg.NumNodes, capUpdates, sink)
+	case BufferTree:
+		e.treeDev, err = e.openDevice("guttertree.gz0")
+		if err != nil {
+			return nil, err
+		}
+		tc := cfg.Tree
+		if tc.LeafRecords <= 0 {
+			// Paper: leaf gutters sized at twice the node sketch.
+			tc.LeafRecords = 2 * e.slotSize / 8
+		}
+		e.tree, err = gutter.NewTree(cfg.NumNodes, tc, e.treeDev, sink)
+		if err != nil {
+			return nil, err
+		}
+	case BufferNone:
+		// Updates are applied synchronously in Update.
+	default:
+		return nil, fmt.Errorf("core: unknown buffering kind %d", cfg.Buffering)
+	}
+
+	for w := 0; w < cfg.Workers; w++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e, nil
+}
+
+func (e *Engine) openDevice(name string) (iomodel.Device, error) {
+	if e.cfg.DeviceFactory != nil {
+		return e.cfg.DeviceFactory(name)
+	}
+	if e.cfg.Dir == "" {
+		return iomodel.NewMem(e.cfg.BlockSize), nil
+	}
+	return iomodel.OpenFile(filepath.Join(e.cfg.Dir, name), e.cfg.BlockSize)
+}
+
+func (e *Engine) roundSeed(r int) uint64 {
+	return e.cfg.Seed + uint64(r+1)*roundSeedSalt
+}
+
+// Config returns the engine's effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Update ingests one stream update. Because CubeSketch works over Z_2,
+// insertions and deletions are the same toggle; stream well-formedness
+// (no duplicate inserts, no deletes of absent edges) is the caller's
+// contract, checkable with stream.Validator.
+func (e *Engine) Update(up stream.Update) error {
+	eg := up.Edge.Normalize()
+	if eg.U == eg.V || eg.V >= e.cfg.NumNodes {
+		return fmt.Errorf("core: invalid edge (%d,%d) for %d nodes", up.Edge.U, up.Edge.V, e.cfg.NumNodes)
+	}
+	e.updates.Add(1)
+	switch e.cfg.Buffering {
+	case BufferLeaf:
+		e.leaf.InsertEdge(eg.U, eg.V)
+	case BufferTree:
+		if err := e.tree.InsertEdge(eg.U, eg.V); err != nil {
+			return err
+		}
+	case BufferNone:
+		e.applyBatch(gutter.Batch{Node: eg.U, Others: []uint32{eg.V}}, nil)
+		e.applyBatch(gutter.Batch{Node: eg.V, Others: []uint32{eg.U}}, nil)
+	}
+	return e.err()
+}
+
+// InsertEdge ingests an edge insertion.
+func (e *Engine) InsertEdge(u, v uint32) error {
+	return e.Update(stream.Update{Edge: stream.Edge{U: u, V: v}, Type: stream.Insert})
+}
+
+// DeleteEdge ingests an edge deletion.
+func (e *Engine) DeleteEdge(u, v uint32) error {
+	return e.Update(stream.Update{Edge: stream.Edge{U: u, V: v}, Type: stream.Delete})
+}
+
+// worker is a Graph Worker: it pops node-keyed batches and applies them to
+// that node's sketches, with per-worker scratch for the disk path.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	var scratch *workerScratch
+	if e.store != nil {
+		scratch = e.newScratch()
+	}
+	for {
+		b, ok := e.queue.Pop()
+		if !ok {
+			return
+		}
+		e.applyBatch(b, scratch)
+		e.pending.Done()
+	}
+}
+
+type workerScratch struct {
+	blob     []byte
+	sketches []*cubesketch.Sketch
+	indices  []uint64
+}
+
+func (e *Engine) newScratch() *workerScratch {
+	return &workerScratch{blob: make([]byte, e.slotSize)}
+}
+
+// applyBatch applies all of a batch's updates to one node's sketches. The
+// per-node lock serializes concurrent batches for the same node, the
+// locking granularity of §5.1.
+func (e *Engine) applyBatch(b gutter.Batch, scratch *workerScratch) {
+	if scratch == nil {
+		scratch = &workerScratch{}
+		if e.store != nil {
+			scratch.blob = make([]byte, e.slotSize)
+		}
+	}
+	// Translate far endpoints into characteristic-vector indices once,
+	// outside the lock; every round's sketch consumes the same indices.
+	scratch.indices = scratch.indices[:0]
+	for _, other := range b.Others {
+		eg := stream.Edge{U: b.Node, V: other}
+		scratch.indices = append(scratch.indices, stream.EdgeIndex(uint64(e.cfg.NumNodes), eg))
+	}
+	e.batches.Add(1)
+
+	e.locks[b.Node].Lock()
+	defer e.locks[b.Node].Unlock()
+
+	if e.store == nil {
+		for _, s := range e.ram[b.Node] {
+			s.UpdateBatch(scratch.indices)
+		}
+		return
+	}
+
+	if err := e.store.Read(b.Node, scratch.blob); err != nil {
+		e.setErr(fmt.Errorf("core: reading sketches of node %d: %w", b.Node, err))
+		return
+	}
+	if scratch.sketches == nil {
+		scratch.sketches = make([]*cubesketch.Sketch, e.cfg.Rounds)
+		for r := range scratch.sketches {
+			scratch.sketches[r] = new(cubesketch.Sketch)
+		}
+	}
+	off := 0
+	for r := 0; r < e.cfg.Rounds; r++ {
+		if err := scratch.sketches[r].UnmarshalBinary(scratch.blob[off : off+e.sketchSize]); err != nil {
+			e.setErr(fmt.Errorf("core: decoding sketch %d of node %d: %w", r, b.Node, err))
+			return
+		}
+		scratch.sketches[r].UpdateBatch(scratch.indices)
+		scratch.sketches[r].MarshalInto(scratch.blob[off:])
+		off += e.sketchSize
+	}
+	if err := e.store.Write(b.Node, scratch.blob); err != nil {
+		e.setErr(fmt.Errorf("core: writing sketches of node %d: %w", b.Node, err))
+	}
+}
+
+func (e *Engine) setErr(err error) {
+	e.workerErr.CompareAndSwap(nil, &err)
+}
+
+func (e *Engine) err() error {
+	if p := e.workerErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Drain flushes the buffering structure and waits until every produced
+// batch has been applied to the sketches (the cleanup step of Figure 9).
+func (e *Engine) Drain() error {
+	switch e.cfg.Buffering {
+	case BufferLeaf:
+		e.leaf.Flush()
+	case BufferTree:
+		if err := e.tree.Flush(); err != nil {
+			return err
+		}
+	}
+	e.pending.Wait()
+	return e.err()
+}
+
+// Stats returns a snapshot of engine statistics.
+func (e *Engine) Stats() Stats {
+	st := Stats{
+		Updates:        e.updates.Load(),
+		Batches:        e.batches.Load(),
+		QueryRounds:    e.lastRounds,
+		SketchFailures: e.sketchFailures.Load(),
+	}
+	if e.storeDev != nil {
+		st.SketchIO = e.storeDev.Stats()
+		st.DiskBytes += e.store.TotalBytes()
+	} else {
+		st.MemoryBytes += int64(e.nodeBytes) * int64(e.cfg.NumNodes)
+	}
+	if e.treeDev != nil {
+		st.BufferIO = e.treeDev.Stats()
+	}
+	if e.leaf != nil {
+		st.MemoryBytes += int64(e.leaf.Capacity()) * 4 * int64(e.cfg.NumNodes)
+	}
+	return st
+}
+
+// Close stops the workers and releases devices. The engine must not be
+// used afterwards.
+func (e *Engine) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	e.queue.Close()
+	e.wg.Wait()
+	var errs []error
+	if e.storeDev != nil {
+		errs = append(errs, e.storeDev.Close())
+	}
+	if e.treeDev != nil {
+		errs = append(errs, e.treeDev.Close())
+	}
+	return errors.Join(errs...)
+}

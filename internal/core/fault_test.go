@@ -1,0 +1,120 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"graphzeppelin/internal/iomodel"
+)
+
+// faultFactory returns a DeviceFactory whose devices fail after n
+// successful operations each.
+func faultFactory(n int64) func(string) (iomodel.Device, error) {
+	return func(string) (iomodel.Device, error) {
+		return iomodel.NewFault(iomodel.NewMem(512), n), nil
+	}
+}
+
+func TestDiskFaultSurfacesThroughUpdates(t *testing.T) {
+	e, err := NewEngine(Config{
+		NumNodes:       16,
+		Seed:           51,
+		SketchesOnDisk: true,
+		BufferFactor:   0.00001, // tiny gutters: every update hits the store
+		DeviceFactory:  faultFactory(200),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var sawErr error
+	for i := 0; i < 3000 && sawErr == nil; i++ {
+		u := uint32(i % 15)
+		sawErr = e.InsertEdge(u, u+1)
+	}
+	if sawErr == nil {
+		// The error may still be pending in a worker; Drain must report it.
+		sawErr = e.Drain()
+	}
+	if !errors.Is(sawErr, iomodel.ErrInjected) {
+		t.Fatalf("disk fault not surfaced: %v", sawErr)
+	}
+}
+
+func TestDiskFaultSurfacesThroughQuery(t *testing.T) {
+	// Enough budget to ingest, but the query's full scan trips the fault.
+	e, err := NewEngine(Config{
+		NumNodes:       8,
+		Seed:           52,
+		SketchesOnDisk: true,
+		DeviceFactory:  faultFactory(60),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for i := 0; i < 7; i++ {
+		if err := e.InsertEdge(uint32(i), uint32(i+1)); err != nil {
+			return // surfaced during ingestion: fine
+		}
+	}
+	// Each query scans every slot, so the op budget runs out within a
+	// bounded number of queries and the scan error must surface.
+	for q := 0; q < 100; q++ {
+		if _, err := e.SpanningForest(); err != nil {
+			if !errors.Is(err, iomodel.ErrInjected) {
+				t.Fatalf("unexpected error kind: %v", err)
+			}
+			return
+		}
+	}
+	t.Fatal("query on a failing device never surfaced the fault")
+}
+
+func TestGutterTreeFaultSurfaces(t *testing.T) {
+	e, err := NewEngine(Config{
+		NumNodes:      32,
+		Seed:          53,
+		Buffering:     BufferTree,
+		DeviceFactory: faultFactory(5),
+	})
+	if err != nil {
+		// The tree preallocates through the device; failing there is an
+		// acceptable surfacing point too.
+		if errors.Is(err, iomodel.ErrInjected) {
+			return
+		}
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var sawErr error
+	for i := 0; i < 100000 && sawErr == nil; i++ {
+		u := uint32(i % 31)
+		sawErr = e.InsertEdge(u, u+1)
+	}
+	if !errors.Is(sawErr, iomodel.ErrInjected) {
+		t.Fatalf("gutter-tree fault not surfaced: %v", sawErr)
+	}
+}
+
+func TestHealthyFactoryStillWorks(t *testing.T) {
+	e, err := NewEngine(Config{
+		NumNodes:       16,
+		Seed:           54,
+		SketchesOnDisk: true,
+		DeviceFactory: func(string) (iomodel.Device, error) {
+			return iomodel.NewMem(512), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for i := 0; i < 15; i++ {
+		mustUpdate(t, e, uint32(i), uint32(i+1))
+	}
+	_, count, err := e.ConnectedComponents()
+	if err != nil || count != 1 {
+		t.Fatalf("count = %d, err = %v", count, err)
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"graphzeppelin/internal/cubesketch"
+	"graphzeppelin/internal/dsu"
+	"graphzeppelin/internal/stream"
+)
+
+// ErrQueryFailed is returned when Boruvka emulation exhausts the per-node
+// sketches before the forest stabilizes. The probability of this is
+// polynomially small (and was never observed in the paper's 5000 trials or
+// in our test suite); callers may retry with a different seed.
+var ErrQueryFailed = errors.New("core: connectivity query ran out of sketch rounds")
+
+// SpanningForest flushes all buffered updates and recovers a spanning
+// forest of the current graph by running Boruvka's algorithm over the
+// sketches (Figure 9): in round r, each current component queries its
+// round-r supernode sketch for an edge leaving the component; found edges
+// merge components and the corresponding supernode sketches are summed.
+//
+// The engine's live sketches are not consumed: the query operates on a
+// snapshot, so ingestion can continue afterwards (the interleaved
+// query workload of Figure 16).
+func (e *Engine) SpanningForest() ([]stream.Edge, error) {
+	if err := e.Drain(); err != nil {
+		return nil, err
+	}
+	super, err := e.snapshotSketches()
+	if err != nil {
+		return nil, err
+	}
+	return e.boruvka(super)
+}
+
+// snapshotSketches materializes a queryable copy of every node sketch. In
+// RAM mode it clones; in disk mode it performs the sequential scan of
+// Lemma 5's first phase.
+func (e *Engine) snapshotSketches() ([][]*cubesketch.Sketch, error) {
+	super := make([][]*cubesketch.Sketch, e.cfg.NumNodes)
+	if e.store == nil {
+		for node := range e.ram {
+			e.locks[node].Lock()
+			rounds := make([]*cubesketch.Sketch, e.cfg.Rounds)
+			for r, s := range e.ram[node] {
+				rounds[r] = s.Clone()
+			}
+			e.locks[node].Unlock()
+			super[node] = rounds
+		}
+		return super, nil
+	}
+	blob := make([]byte, e.slotSize)
+	for node := uint32(0); node < e.cfg.NumNodes; node++ {
+		if err := e.store.Read(node, blob); err != nil {
+			return nil, fmt.Errorf("core: query scan of node %d: %w", node, err)
+		}
+		rounds := make([]*cubesketch.Sketch, e.cfg.Rounds)
+		off := 0
+		for r := range rounds {
+			rounds[r] = new(cubesketch.Sketch)
+			if err := rounds[r].UnmarshalBinary(blob[off : off+e.sketchSize]); err != nil {
+				return nil, fmt.Errorf("core: query decode of node %d round %d: %w", node, r, err)
+			}
+			off += e.sketchSize
+		}
+		super[node] = rounds
+	}
+	return super, nil
+}
+
+// boruvka runs the merge rounds over supernode sketches, destroying super.
+func (e *Engine) boruvka(super [][]*cubesketch.Sketch) ([]stream.Edge, error) {
+	n := int(e.cfg.NumNodes)
+	d := dsu.New(n)
+	var forest []stream.Edge
+	merged := true
+	round := 0
+	for ; round < e.cfg.Rounds && merged; round++ {
+		merged = false
+		// Phase 1: sample one candidate edge per current component.
+		type candidate struct {
+			root uint32
+			edge stream.Edge
+		}
+		var cands []candidate
+		for node := 0; node < n; node++ {
+			root := uint32(node)
+			if d.Find(root) != root {
+				continue
+			}
+			idx, err := super[root][round].Query()
+			switch {
+			case err == nil:
+				edge, ierr := stream.IndexEdge(uint64(e.cfg.NumNodes), idx)
+				if ierr != nil {
+					// A checksum collision produced a non-edge index;
+					// treated as a sampling failure for this component.
+					e.sketchFailures.Add(1)
+					continue
+				}
+				cands = append(cands, candidate{root: root, edge: edge})
+			case errors.Is(err, cubesketch.ErrEmpty):
+				// No edge crosses this component's cut; it is finished.
+			case errors.Is(err, cubesketch.ErrFailed):
+				e.sketchFailures.Add(1)
+			}
+		}
+		// Phase 2+3: union endpoints and sum supernode sketches.
+		for _, c := range cands {
+			ra, rb := d.Find(c.edge.U), d.Find(c.edge.V)
+			if ra == rb {
+				// Another merge this round already connected them.
+				continue
+			}
+			newRoot, _ := d.Union(ra, rb)
+			other := ra
+			if other == newRoot {
+				other = rb
+			}
+			for r := 0; r < e.cfg.Rounds; r++ {
+				if err := super[newRoot][r].Merge(super[other][r]); err != nil {
+					return nil, fmt.Errorf("core: merging supernodes: %w", err)
+				}
+			}
+			super[other] = nil
+			forest = append(forest, c.edge)
+			merged = true
+		}
+	}
+	e.lastRounds = round
+	if merged {
+		// The final round still merged components; without fresh sketches
+		// we cannot certify the forest is complete.
+		return forest, ErrQueryFailed
+	}
+	return forest, nil
+}
+
+// ConnectedComponents returns, for every node, a component representative,
+// plus the number of components. It is SpanningForest followed by a DSU
+// pass over the forest edges.
+func (e *Engine) ConnectedComponents() (rep []uint32, count int, err error) {
+	forest, err := e.SpanningForest()
+	if err != nil {
+		return nil, 0, err
+	}
+	d := dsu.New(int(e.cfg.NumNodes))
+	for _, eg := range forest {
+		d.Union(eg.U, eg.V)
+	}
+	rep, _ = d.Components()
+	return rep, d.Count(), nil
+}

@@ -1,0 +1,91 @@
+package cubesketch
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchIndices(n uint64, count int) []uint64 {
+	idxs := make([]uint64, count)
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := range idxs {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		idxs[i] = x % n
+	}
+	return idxs
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	for _, n := range []uint64{1e6, 1e9, 1e12} {
+		b.Run(fmt.Sprintf("n=1e%d", exp10(n)), func(b *testing.B) {
+			s := New(n, 0, 1)
+			idxs := benchIndices(n, 4096)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Update(idxs[i%len(idxs)])
+			}
+		})
+	}
+}
+
+func BenchmarkUpdateBatch(b *testing.B) {
+	s := New(1e9, 0, 1)
+	batch := benchIndices(1e9, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.UpdateBatch(batch)
+	}
+	b.StopTimer()
+	b.ReportMetric(1024, "updates/op")
+}
+
+func BenchmarkMerge(b *testing.B) {
+	a := New(1e9, 0, 1)
+	c := New(1e9, 0, 1)
+	for _, idx := range benchIndices(1e9, 1000) {
+		c.Update(idx)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Merge(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	s := New(1e9, 0, 1)
+	for _, idx := range benchIndices(1e9, 100) {
+		s.Update(idx)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerialize(b *testing.B) {
+	s := New(1e9, 0, 1)
+	for _, idx := range benchIndices(1e9, 1000) {
+		s.Update(idx)
+	}
+	buf := make([]byte, s.SerializedSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.MarshalInto(buf)
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func exp10(n uint64) int {
+	e := 0
+	for n >= 10 {
+		n /= 10
+		e++
+	}
+	return e
+}

@@ -1,0 +1,307 @@
+// Package cubesketch implements CubeSketch, the paper's specialized
+// l0-sampling algorithm for vectors over the integers mod 2 (Section 3.1).
+//
+// A CubeSketch summarizes a vector x ∈ Z_2^n under a stream of index
+// toggles and can, with probability at least 1-δ, return the position of a
+// nonzero entry of x. It is linear: XOR-merging two sketches with the same
+// parameters and seed yields a sketch of the XOR (mod-2 sum) of their
+// vectors. GraphZeppelin exploits linearity to emulate Boruvka's algorithm:
+// summing the sketches of all nodes in a component yields a sketch of the
+// component's cut vector.
+//
+// Layout: numColumns independent columns (the log(1/δ) repetitions), each a
+// geometric cascade of numRows buckets. An index idx lands in bucket
+// (col, row) iff the low `row` bits of the column's membership hash of idx
+// are zero, so row r sees each index with probability 2^-r and row 0 sees
+// every index. A bucket holds α (XOR of member indices, stored 1-based so
+// the empty bucket is unambiguous) and a 32-bit checksum γ (XOR of a hash
+// of each member index). A bucket with exactly one member passes the
+// checksum test γ == h2(α) and yields its index; buckets with more members
+// fail the test with high probability.
+package cubesketch
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"graphzeppelin/internal/hashing"
+)
+
+// DefaultColumns is the number of independent columns used when the caller
+// does not override it. The paper uses log(1/δ)=7 columns per sketch for a
+// per-sketch failure probability δ far below 1/100 in practice.
+const DefaultColumns = 7
+
+// Errors returned by Query.
+var (
+	// ErrEmpty means every bucket is empty, i.e. the sketched vector is
+	// the zero vector (no nonzero index was ever toggled an odd number of
+	// times). For a cut sketch this means "no edge crosses the cut".
+	ErrEmpty = errors.New("cubesketch: sketch is empty (zero vector)")
+	// ErrFailed means the sketch is nonzero but no bucket had support
+	// exactly 1; sampling failed this time. Probability at most δ.
+	ErrFailed = errors.New("cubesketch: no good bucket (sampling failure)")
+)
+
+// seed-derivation constants; arbitrary odd 64-bit values.
+const (
+	membershipSalt = 0x9e3779b97f4a7c15
+	checksumSalt   = 0xc2b2ae3d27d4eb4f
+)
+
+// Sketch is a CubeSketch of a vector in Z_2^n.
+type Sketch struct {
+	n       uint64 // vector length; valid indices are [0, n)
+	cols    int
+	rows    int
+	seed    uint64
+	alphas  []uint64 // cols*rows, row-major within column
+	gammas  []uint32 // parallel to alphas
+	updates uint64   // total updates applied (diagnostics only)
+}
+
+// NumRows returns the bucket-cascade depth used for a vector of length n:
+// ⌈log2(n)⌉ + 2, enough rows that some row isolates a single nonzero entry
+// for any support size up to n (Lemma 2 of the paper).
+func NumRows(n uint64) int {
+	if n <= 1 {
+		return 3
+	}
+	return bits.Len64(n-1) + 2
+}
+
+// New creates a CubeSketch for vectors of length n with the given number
+// of columns and hash seed. Two sketches are mergeable iff they were
+// created with identical n, cols, and seed.
+func New(n uint64, cols int, seed uint64) *Sketch {
+	if n == 0 {
+		panic("cubesketch: vector length must be positive")
+	}
+	if cols <= 0 {
+		cols = DefaultColumns
+	}
+	rows := NumRows(n)
+	return &Sketch{
+		n:      n,
+		cols:   cols,
+		rows:   rows,
+		seed:   seed,
+		alphas: make([]uint64, cols*rows),
+		gammas: make([]uint32, cols*rows),
+	}
+}
+
+// N returns the vector length the sketch was built for.
+func (s *Sketch) N() uint64 { return s.n }
+
+// Columns returns the number of independent columns.
+func (s *Sketch) Columns() int { return s.cols }
+
+// Rows returns the bucket-cascade depth per column.
+func (s *Sketch) Rows() int { return s.rows }
+
+// Seed returns the hash seed.
+func (s *Sketch) Seed() uint64 { return s.seed }
+
+// Updates returns the number of updates applied to this sketch since
+// creation (not preserved across Merge; diagnostics only).
+func (s *Sketch) Updates() uint64 { return s.updates }
+
+// Bytes returns the in-memory size of the bucket arrays in bytes: the
+// quantity Figure 5 of the paper reports (12 bytes per bucket).
+func (s *Sketch) Bytes() int { return len(s.alphas)*8 + len(s.gammas)*4 }
+
+func (s *Sketch) membershipSeed(col int) uint64 {
+	return s.seed + uint64(col)*membershipSalt
+}
+
+func (s *Sketch) checksumSeed(col int) uint64 {
+	return s.seed ^ (uint64(col)+1)*checksumSalt
+}
+
+// Update toggles vector index idx (adds 1 mod 2). idx must be < N().
+func (s *Sketch) Update(idx uint64) {
+	if idx >= s.n {
+		panic(fmt.Sprintf("cubesketch: index %d out of range for n=%d", idx, s.n))
+	}
+	s.updates++
+	stored := idx + 1 // 1-based so the empty bucket (0,0) is unambiguous
+	for col := 0; col < s.cols; col++ {
+		colHash := hashing.Uint64(s.membershipSeed(col), idx)
+		checksum := uint32(hashing.Uint64(s.checksumSeed(col), idx))
+		depth := bits.TrailingZeros64(colHash)
+		if depth >= s.rows {
+			depth = s.rows - 1
+		}
+		base := col * s.rows
+		for row := 0; row <= depth; row++ {
+			s.alphas[base+row] ^= stored
+			s.gammas[base+row] ^= checksum
+		}
+	}
+}
+
+// UpdateBatch toggles each index in batch. Equivalent to calling Update on
+// each element; provided so callers express the paper's batched ingestion
+// path in one call.
+func (s *Sketch) UpdateBatch(batch []uint64) {
+	for _, idx := range batch {
+		s.Update(idx)
+	}
+}
+
+// Query returns the position of some nonzero entry of the sketched vector.
+// It returns ErrEmpty if the vector is (apparently) zero and ErrFailed if
+// no bucket isolates a single entry. A returned index passed the 32-bit
+// checksum, so a wrong answer occurs only on a hash collision.
+func (s *Sketch) Query() (uint64, error) {
+	empty := true
+	for col := 0; col < s.cols; col++ {
+		csSeed := s.checksumSeed(col)
+		base := col * s.rows
+		for row := 0; row < s.rows; row++ {
+			alpha := s.alphas[base+row]
+			gamma := s.gammas[base+row]
+			if alpha == 0 && gamma == 0 {
+				continue
+			}
+			empty = false
+			if alpha == 0 || alpha > s.n {
+				continue // XOR of several indices; cannot be a real entry
+			}
+			idx := alpha - 1
+			if uint32(hashing.Uint64(csSeed, idx)) == gamma {
+				return idx, nil
+			}
+		}
+	}
+	if empty {
+		return 0, ErrEmpty
+	}
+	return 0, ErrFailed
+}
+
+// Merge XOR-combines other into s, so that s becomes a sketch of the mod-2
+// sum of the two underlying vectors. The sketches must share parameters
+// and seed.
+func (s *Sketch) Merge(other *Sketch) error {
+	if s.n != other.n || s.cols != other.cols || s.rows != other.rows || s.seed != other.seed {
+		return fmt.Errorf("cubesketch: incompatible sketches (n=%d/%d cols=%d/%d seed=%#x/%#x)",
+			s.n, other.n, s.cols, other.cols, s.seed, other.seed)
+	}
+	for i, a := range other.alphas {
+		s.alphas[i] ^= a
+	}
+	for i, g := range other.gammas {
+		s.gammas[i] ^= g
+	}
+	return nil
+}
+
+// Reset zeroes the sketch in place, making it a sketch of the zero vector
+// again. The parameters and seed are retained.
+func (s *Sketch) Reset() {
+	clear(s.alphas)
+	clear(s.gammas)
+	s.updates = 0
+}
+
+// Clone returns a deep copy of the sketch.
+func (s *Sketch) Clone() *Sketch {
+	c := *s
+	c.alphas = append([]uint64(nil), s.alphas...)
+	c.gammas = append([]uint32(nil), s.gammas...)
+	return &c
+}
+
+// IsZero reports whether every bucket is empty.
+func (s *Sketch) IsZero() bool {
+	for _, a := range s.alphas {
+		if a != 0 {
+			return false
+		}
+	}
+	for _, g := range s.gammas {
+		if g != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SerializedSize returns the exact byte length of MarshalBinary's output
+// for this sketch's parameters; it is fixed given (n, cols).
+func (s *Sketch) SerializedSize() int {
+	return 8*4 + len(s.alphas)*8 + len(s.gammas)*4
+}
+
+// MarshalBinary encodes the sketch in a fixed-size little-endian format:
+// header (n, seed, cols, rows as uint64s) followed by the alpha and gamma
+// arrays.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, s.SerializedSize())
+	s.MarshalInto(buf)
+	return buf, nil
+}
+
+// MarshalInto encodes the sketch into buf, which must be at least
+// SerializedSize() bytes. It returns the number of bytes written.
+func (s *Sketch) MarshalInto(buf []byte) int {
+	binary.LittleEndian.PutUint64(buf[0:], s.n)
+	binary.LittleEndian.PutUint64(buf[8:], s.seed)
+	binary.LittleEndian.PutUint64(buf[16:], uint64(s.cols))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(s.rows))
+	off := 32
+	for _, a := range s.alphas {
+		binary.LittleEndian.PutUint64(buf[off:], a)
+		off += 8
+	}
+	for _, g := range s.gammas {
+		binary.LittleEndian.PutUint32(buf[off:], g)
+		off += 4
+	}
+	return off
+}
+
+// UnmarshalBinary decodes a sketch previously encoded by MarshalBinary,
+// replacing s's contents.
+func (s *Sketch) UnmarshalBinary(buf []byte) error {
+	if len(buf) < 32 {
+		return errors.New("cubesketch: truncated header")
+	}
+	n := binary.LittleEndian.Uint64(buf[0:])
+	seed := binary.LittleEndian.Uint64(buf[8:])
+	cols := int(binary.LittleEndian.Uint64(buf[16:]))
+	rows := int(binary.LittleEndian.Uint64(buf[24:]))
+	if n == 0 || cols <= 0 || rows <= 0 || cols > 1<<20 || rows > 1<<20 {
+		return fmt.Errorf("cubesketch: corrupt header (n=%d cols=%d rows=%d)", n, cols, rows)
+	}
+	need := 32 + cols*rows*8 + cols*rows*4
+	if len(buf) < need {
+		return fmt.Errorf("cubesketch: truncated body: have %d bytes, need %d", len(buf), need)
+	}
+	s.n, s.seed, s.cols, s.rows = n, seed, cols, rows
+	s.alphas = make([]uint64, cols*rows)
+	s.gammas = make([]uint32, cols*rows)
+	off := 32
+	for i := range s.alphas {
+		s.alphas[i] = binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+	}
+	for i := range s.gammas {
+		s.gammas[i] = binary.LittleEndian.Uint32(buf[off:])
+		off += 4
+	}
+	s.updates = 0
+	return nil
+}
+
+// CorruptBucket flips bits in one bucket; used by failure-injection tests
+// to confirm the checksum rejects damaged buckets.
+func (s *Sketch) CorruptBucket(col, row int, alphaMask uint64, gammaMask uint32) {
+	i := col*s.rows + row
+	s.alphas[i] ^= alphaMask
+	s.gammas[i] ^= gammaMask
+}

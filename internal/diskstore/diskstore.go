@@ -1,0 +1,87 @@
+// Package diskstore is the external-memory node-sketch store of
+// Section 4.1: node sketches are serialized to fixed-size slots laid out
+// contiguously by node group on a block device, so a group's sketches can
+// be fetched and written back with O(groupBytes/B) I/Os when a batch of
+// buffered updates is applied to them.
+package diskstore
+
+import (
+	"fmt"
+
+	"graphzeppelin/internal/iomodel"
+)
+
+// Store holds numNodes fixed-size sketch blobs on a Device.
+type Store struct {
+	dev      iomodel.Device
+	slotSize int
+	numNodes uint32
+}
+
+// New creates a store of numNodes slots of slotSize bytes each on dev.
+func New(dev iomodel.Device, numNodes uint32, slotSize int) (*Store, error) {
+	if slotSize <= 0 {
+		return nil, fmt.Errorf("diskstore: slot size must be positive, got %d", slotSize)
+	}
+	return &Store{dev: dev, slotSize: slotSize, numNodes: numNodes}, nil
+}
+
+// SlotSize returns the per-node blob size in bytes.
+func (s *Store) SlotSize() int { return s.slotSize }
+
+// NumNodes returns the number of slots.
+func (s *Store) NumNodes() uint32 { return s.numNodes }
+
+// TotalBytes returns the store's on-device footprint.
+func (s *Store) TotalBytes() int64 { return int64(s.numNodes) * int64(s.slotSize) }
+
+func (s *Store) offset(node uint32) (int64, error) {
+	if node >= s.numNodes {
+		return 0, fmt.Errorf("diskstore: node %d out of range (%d nodes)", node, s.numNodes)
+	}
+	return int64(node) * int64(s.slotSize), nil
+}
+
+// Read fills buf (which must be slotSize bytes) with node's blob.
+func (s *Store) Read(node uint32, buf []byte) error {
+	if len(buf) != s.slotSize {
+		return fmt.Errorf("diskstore: read buffer is %d bytes, slot is %d", len(buf), s.slotSize)
+	}
+	off, err := s.offset(node)
+	if err != nil {
+		return err
+	}
+	_, err = s.dev.ReadAt(buf, off)
+	return err
+}
+
+// Write stores buf (slotSize bytes) as node's blob.
+func (s *Store) Write(node uint32, buf []byte) error {
+	if len(buf) != s.slotSize {
+		return fmt.Errorf("diskstore: write buffer is %d bytes, slot is %d", len(buf), s.slotSize)
+	}
+	off, err := s.offset(node)
+	if err != nil {
+		return err
+	}
+	_, err = s.dev.WriteAt(buf, off)
+	return err
+}
+
+// ReadRange reads count consecutive slots starting at node into buf
+// (count*slotSize bytes) with a single device access — the sequential
+// scan Boruvka's first phase uses (Lemma 5).
+func (s *Store) ReadRange(node uint32, count int, buf []byte) error {
+	if len(buf) != count*s.slotSize {
+		return fmt.Errorf("diskstore: range buffer is %d bytes, want %d", len(buf), count*s.slotSize)
+	}
+	off, err := s.offset(node)
+	if err != nil {
+		return err
+	}
+	_, err = s.dev.ReadAt(buf, off)
+	return err
+}
+
+// Stats returns the device's I/O statistics.
+func (s *Store) Stats() iomodel.Stats { return s.dev.Stats() }

@@ -1,0 +1,89 @@
+package diskstore
+
+import (
+	"bytes"
+	"testing"
+
+	"graphzeppelin/internal/iomodel"
+)
+
+func TestRoundTrip(t *testing.T) {
+	s, err := New(iomodel.NewMem(64), 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := make([]byte, 100)
+	for i := range blob {
+		blob[i] = byte(i)
+	}
+	if err := s.Write(3, blob); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 100)
+	if err := s.Read(3, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatal("round trip mismatch")
+	}
+	// Neighbouring slots unaffected.
+	if err := s.Read(2, got); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("slot 2 dirtied by write to slot 3")
+		}
+	}
+}
+
+func TestReadRange(t *testing.T) {
+	s, err := New(iomodel.NewMem(64), 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for node := uint32(0); node < 8; node++ {
+		blob := bytes.Repeat([]byte{byte(node + 1)}, 16)
+		if err := s.Write(node, blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 3*16)
+	if err := s.ReadRange(2, 3, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if buf[i*16] != byte(2+i+1) {
+			t.Fatalf("slot %d content wrong", 2+i)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	s, err := New(iomodel.NewMem(64), 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(4, make([]byte, 8)); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if err := s.Write(0, make([]byte, 7)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	if err := s.Read(0, make([]byte, 9)); err == nil {
+		t.Fatal("long buffer accepted")
+	}
+	if err := s.ReadRange(0, 2, make([]byte, 15)); err == nil {
+		t.Fatal("bad range buffer accepted")
+	}
+	if _, err := New(iomodel.NewMem(64), 4, 0); err == nil {
+		t.Fatal("zero slot size accepted")
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	s, _ := New(iomodel.NewMem(64), 100, 32)
+	if s.SlotSize() != 32 || s.NumNodes() != 100 || s.TotalBytes() != 3200 {
+		t.Fatal("geometry accessors wrong")
+	}
+}

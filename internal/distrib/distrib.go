@@ -1,0 +1,216 @@
+// Package distrib realizes the distributed-ingestion direction of the
+// paper's conclusion: "since GraphZeppelin's sketches can be updated
+// independently, we believe that they can be partitioned throughout a
+// distributed cluster without sacrificing stream ingestion rate."
+//
+// A Cluster fans the update stream out to independent shard engines (here
+// goroutines with channels standing in for cluster workers; each shard is
+// a complete engine over the full node universe). Because sketches are
+// linear, any partition of the stream works — at query time the shards'
+// sketch states are XOR-merged into an aggregator engine that answers for
+// the whole stream. The merge is exactly the checkpoint-merge path, so
+// shards could equally live on other machines and ship checkpoints.
+package distrib
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	"graphzeppelin/internal/core"
+	"graphzeppelin/internal/stream"
+)
+
+// Config parameterizes a Cluster.
+type Config struct {
+	// NumNodes is the node-universe size (required).
+	NumNodes uint32
+	// Shards is the number of shard engines (default 2).
+	Shards int
+	// Seed drives all sketch hashing. Every shard must share it so the
+	// sketches merge; each shard's engine is created with this seed.
+	Seed uint64
+	// Engine carries per-shard engine settings (workers, buffering);
+	// NumNodes and Seed within it are overwritten.
+	Engine core.Config
+	// QueueDepth is the per-shard update channel depth (default 1024).
+	QueueDepth int
+}
+
+// Cluster is a set of shard engines ingesting one logical stream.
+type Cluster struct {
+	cfg    Config
+	shards []*shard
+	next   int // round-robin cursor
+	closed bool
+}
+
+// shardMsg is either a stream update or a barrier: the query path sends a
+// barrier and waits on it to know the shard has applied everything before
+// it (the distributed analogue of the paper's cleanup()).
+type shardMsg struct {
+	update  stream.Update
+	barrier chan struct{}
+}
+
+type shard struct {
+	eng *core.Engine
+	ch  chan shardMsg
+	wg  sync.WaitGroup
+	err error
+	mu  sync.Mutex
+}
+
+// New creates a cluster per cfg.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.NumNodes < 2 {
+		return nil, errors.New("distrib: NumNodes must be at least 2")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	c := &Cluster{cfg: cfg}
+	for i := 0; i < cfg.Shards; i++ {
+		ec := cfg.Engine
+		ec.NumNodes = cfg.NumNodes
+		ec.Seed = cfg.Seed
+		eng, err := core.NewEngine(ec)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		s := &shard{eng: eng, ch: make(chan shardMsg, cfg.QueueDepth)}
+		s.wg.Add(1)
+		go s.run()
+		c.shards = append(c.shards, s)
+	}
+	return c, nil
+}
+
+func (s *shard) run() {
+	defer s.wg.Done()
+	for m := range s.ch {
+		if m.barrier != nil {
+			close(m.barrier)
+			continue
+		}
+		if err := s.eng.Update(m.update); err != nil {
+			s.mu.Lock()
+			if s.err == nil {
+				s.err = err
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Update routes one stream update to a shard (round-robin; any routing
+// policy is correct by linearity).
+func (c *Cluster) Update(u stream.Update) error {
+	s := c.shards[c.next]
+	c.next = (c.next + 1) % len(c.shards)
+	s.ch <- shardMsg{update: u}
+	s.mu.Lock()
+	err := s.err
+	s.mu.Unlock()
+	return err
+}
+
+// drainShards waits for every shard to finish its queued updates.
+func (c *Cluster) drainShards() error {
+	for i, s := range c.shards {
+		barrier := make(chan struct{})
+		s.ch <- shardMsg{barrier: barrier}
+		<-barrier
+		if err := s.eng.Drain(); err != nil {
+			return fmt.Errorf("distrib: shard %d: %w", i, err)
+		}
+		s.mu.Lock()
+		err := s.err
+		s.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("distrib: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// SpanningForest merges all shards into an aggregator and answers for the
+// whole stream. Shards keep their state and continue ingesting afterwards.
+func (c *Cluster) SpanningForest() ([]stream.Edge, error) {
+	agg, err := c.aggregate()
+	if err != nil {
+		return nil, err
+	}
+	defer agg.Close()
+	return agg.SpanningForest()
+}
+
+// ConnectedComponents merges all shards and returns the global partition.
+func (c *Cluster) ConnectedComponents() ([]uint32, int, error) {
+	agg, err := c.aggregate()
+	if err != nil {
+		return nil, 0, err
+	}
+	defer agg.Close()
+	return agg.ConnectedComponents()
+}
+
+// aggregate builds a fresh engine holding the XOR of all shards' sketches
+// by shipping each shard's checkpoint — the cross-machine merge path.
+func (c *Cluster) aggregate() (*core.Engine, error) {
+	if err := c.drainShards(); err != nil {
+		return nil, err
+	}
+	ec := c.cfg.Engine
+	ec.NumNodes = c.cfg.NumNodes
+	ec.Seed = c.cfg.Seed
+	ec.SketchesOnDisk = false
+	ec.Dir = ""
+	agg, err := core.NewEngine(ec)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range c.shards {
+		var buf bytes.Buffer
+		if err := s.eng.WriteCheckpoint(&buf); err != nil {
+			agg.Close()
+			return nil, fmt.Errorf("distrib: checkpointing shard %d: %w", i, err)
+		}
+		if err := agg.MergeCheckpoint(&buf); err != nil {
+			agg.Close()
+			return nil, fmt.Errorf("distrib: merging shard %d: %w", i, err)
+		}
+	}
+	return agg, nil
+}
+
+// Stats returns per-shard engine statistics.
+func (c *Cluster) Stats() []core.Stats {
+	out := make([]core.Stats, len(c.shards))
+	for i, s := range c.shards {
+		out[i] = s.eng.Stats()
+	}
+	return out
+}
+
+// Close stops the shard workers and releases their engines.
+func (c *Cluster) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	var first error
+	for _, s := range c.shards {
+		close(s.ch)
+		s.wg.Wait()
+		if err := s.eng.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,148 @@
+package distrib
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"graphzeppelin/internal/dsu"
+	"graphzeppelin/internal/kron"
+	"graphzeppelin/internal/stream"
+)
+
+func TestClusterMatchesExact(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		c, err := New(Config{NumNodes: 64, Shards: shards, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(uint64(shards), 2))
+		exact := dsu.New(64)
+		seen := map[stream.Edge]bool{}
+		for i := 0; i < 1200; i++ {
+			e := stream.Edge{U: uint32(rng.Uint64N(64)), V: uint32(rng.Uint64N(64))}.Normalize()
+			if e.U == e.V || seen[e] {
+				continue
+			}
+			seen[e] = true
+			if err := c.Update(stream.Update{Edge: e, Type: stream.Insert}); err != nil {
+				t.Fatal(err)
+			}
+			exact.Union(e.U, e.V)
+		}
+		_, count, err := c.ConnectedComponents()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != exact.Count() {
+			t.Fatalf("shards=%d: count = %d, want %d", shards, count, exact.Count())
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestClusterHandlesDeletions(t *testing.T) {
+	c, err := New(Config{NumNodes: 16, Shards: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Insert a path, then cut it in the middle; the insert and the delete
+	// of the cut edge land on different shards (round robin), exercising
+	// cross-shard cancellation.
+	for u := uint32(0); u < 15; u++ {
+		if err := c.Update(stream.Update{Edge: stream.Edge{U: u, V: u + 1}, Type: stream.Insert}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Update(stream.Update{Edge: stream.Edge{U: 7, V: 8}, Type: stream.Delete}); err != nil {
+		t.Fatal(err)
+	}
+	rep, count, err := c.ConnectedComponents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+	if rep[0] != rep[7] || rep[8] != rep[15] || rep[7] == rep[8] {
+		t.Fatal("partition wrong after cross-shard deletion")
+	}
+}
+
+func TestClusterQueriesInterleave(t *testing.T) {
+	c, err := New(Config{NumNodes: 32, Shards: 2, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	exact := dsu.New(32)
+	rng := rand.New(rand.NewPCG(7, 8))
+	seen := map[stream.Edge]bool{}
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 40; i++ {
+			e := stream.Edge{U: uint32(rng.Uint64N(32)), V: uint32(rng.Uint64N(32))}.Normalize()
+			if e.U == e.V || seen[e] {
+				continue
+			}
+			seen[e] = true
+			if err := c.Update(stream.Update{Edge: e, Type: stream.Insert}); err != nil {
+				t.Fatal(err)
+			}
+			exact.Union(e.U, e.V)
+		}
+		_, count, err := c.ConnectedComponents()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != exact.Count() {
+			t.Fatalf("round %d: count = %d, want %d", round, count, exact.Count())
+		}
+	}
+}
+
+func TestClusterKronStream(t *testing.T) {
+	edges := kron.DenseKronecker(6, 31)
+	res := kron.ToStream(edges, 1<<6, kron.StreamOptions{}, 32)
+	c, err := New(Config{NumNodes: res.NumNodes, Shards: 4, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, u := range res.Updates {
+		if err := c.Update(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exact := dsu.New(int(res.NumNodes))
+	for _, e := range res.FinalEdges {
+		exact.Union(e.U, e.V)
+	}
+	_, count, err := c.ConnectedComponents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != exact.Count() {
+		t.Fatalf("count = %d, want %d", count, exact.Count())
+	}
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	if _, err := New(Config{NumNodes: 1}); err == nil {
+		t.Fatal("1-node cluster accepted")
+	}
+}
+
+func TestClusterCloseIdempotent(t *testing.T) {
+	c, err := New(Config{NumNodes: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package dsu
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	d := New(5)
+	if d.Count() != 5 {
+		t.Fatalf("fresh Count = %d, want 5", d.Count())
+	}
+	if _, merged := d.Union(0, 1); !merged {
+		t.Fatal("first union reported no merge")
+	}
+	if _, merged := d.Union(1, 0); merged {
+		t.Fatal("repeat union reported a merge")
+	}
+	if !d.Same(0, 1) || d.Same(0, 2) {
+		t.Fatal("Same is wrong after one union")
+	}
+	if d.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", d.Count())
+	}
+}
+
+func TestComponents(t *testing.T) {
+	d := New(6)
+	d.Union(0, 1)
+	d.Union(2, 3)
+	d.Union(3, 4)
+	rep, roots := d.Components()
+	if len(roots) != 3 || d.Count() != 3 {
+		t.Fatalf("roots = %v, Count = %d; want 3 components", roots, d.Count())
+	}
+	if rep[0] != rep[1] || rep[2] != rep[3] || rep[3] != rep[4] {
+		t.Fatal("members of the same set got different representatives")
+	}
+	if rep[0] == rep[2] || rep[0] == rep[5] || rep[2] == rep[5] {
+		t.Fatal("different sets share a representative")
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New(4)
+	d.Union(0, 1)
+	d.Union(2, 3)
+	d.Reset()
+	if d.Count() != 4 || d.Same(0, 1) {
+		t.Fatal("Reset did not restore singletons")
+	}
+}
+
+// TestMatchesNaive compares against a brute-force labels-array reference
+// over random union sequences.
+func TestMatchesNaive(t *testing.T) {
+	f := func(pairs []uint16, nRaw uint8) bool {
+		n := int(nRaw)%64 + 2
+		d := New(n)
+		label := make([]int, n)
+		for i := range label {
+			label[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range label {
+				if label[i] == from {
+					label[i] = to
+				}
+			}
+		}
+		for _, p := range pairs {
+			x := uint32(p) % uint32(n)
+			y := uint32(p>>8) % uint32(n)
+			d.Union(x, y)
+			if label[x] != label[y] {
+				relabel(label[x], label[y])
+			}
+		}
+		distinct := map[int]bool{}
+		for i := 0; i < n; i++ {
+			distinct[label[i]] = true
+			for j := 0; j < n; j++ {
+				if (label[i] == label[j]) != d.Same(uint32(i), uint32(j)) {
+					return false
+				}
+			}
+		}
+		return d.Count() == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindIsIdempotentAndCanonical(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	d := New(1000)
+	for i := 0; i < 3000; i++ {
+		d.Union(uint32(rng.Uint64N(1000)), uint32(rng.Uint64N(1000)))
+	}
+	for i := uint32(0); i < 1000; i++ {
+		r := d.Find(i)
+		if d.Find(r) != r {
+			t.Fatalf("representative %d is not its own root", r)
+		}
+		if d.Find(i) != r {
+			t.Fatal("Find is not stable")
+		}
+	}
+}

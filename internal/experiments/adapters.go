@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"graphzeppelin/internal/baseline/aspenlike"
+	"graphzeppelin/internal/baseline/terracelike"
+	"graphzeppelin/internal/stream"
+)
+
+// The baselines expose value-returning Apply methods with identical
+// shapes; these adapters unify them behind the interface Fig16 needs.
+
+type aspenAdapter struct{ g *aspenlike.Graph }
+
+func newAspenAdapter(n uint32) *aspenAdapter { return &aspenAdapter{g: aspenlike.New(n)} }
+
+func (a *aspenAdapter) Apply(u stream.Update) { a.g.Apply(u) }
+func (a *aspenAdapter) ConnectedComponents() ([]uint32, int) {
+	return a.g.ConnectedComponents()
+}
+
+type terraceAdapter struct{ g *terracelike.Graph }
+
+func newTerraceAdapter(n uint32) *terraceAdapter { return &terraceAdapter{g: terracelike.New(n)} }
+
+func (a *terraceAdapter) Apply(u stream.Update) { a.g.Apply(u) }
+func (a *terraceAdapter) ConnectedComponents() ([]uint32, int) {
+	return a.g.ConnectedComponents()
+}

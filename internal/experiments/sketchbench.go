@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"graphzeppelin/internal/cubesketch"
+	"graphzeppelin/internal/l0"
+)
+
+// Fig4Lengths are the vector lengths of Figures 4 and 5 (10^3 … 10^12).
+// Neither sampler materializes the vector, so the full sweep runs on any
+// machine; the standard sampler's 128-bit cliff sits between 10^9 and
+// 10^10 exactly as in the paper.
+var Fig4Lengths = []uint64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12}
+
+// SketchRates measures single-threaded update throughput of both samplers
+// at one vector length. updatesStd may be smaller than updatesCube because
+// the standard sampler can be four orders of magnitude slower.
+func SketchRates(n uint64, updatesCube, updatesStd int, seed uint64) (cubePerSec, stdPerSec float64) {
+	rng := rand.New(rand.NewPCG(seed, n))
+	idxs := make([]uint64, updatesCube)
+	for i := range idxs {
+		idxs[i] = rng.Uint64N(n)
+	}
+
+	cs := cubesketch.New(n, 0, seed)
+	start := time.Now()
+	for _, idx := range idxs {
+		cs.Update(idx)
+	}
+	cubePerSec = float64(updatesCube) / time.Since(start).Seconds()
+
+	std := l0.New(n, 0, seed)
+	start = time.Now()
+	for i := 0; i < updatesStd; i++ {
+		std.Update(idxs[i%len(idxs)], 1)
+	}
+	stdPerSec = float64(updatesStd) / time.Since(start).Seconds()
+	return cubePerSec, stdPerSec
+}
+
+// Fig4 regenerates Figure 4: ingestion rates of the standard l0-sampler
+// and CubeSketch across vector lengths, plus the speedup column.
+func Fig4(o Options) *Table {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "fig4",
+		Title:  "CubeSketch vs standard l0 ingestion rate (updates/second)",
+		Header: []string{"vector length", "standard l0", "CubeSketch", "speedup"},
+		Notes: []string{
+			"expected shape: CubeSketch faster everywhere, gap grows with length,",
+			"standard l0 collapses at 1e10 when it crosses into 128-bit arithmetic",
+		},
+	}
+	for _, n := range Fig4Lengths {
+		updatesStd := 20000
+		if n >= 1e10 {
+			updatesStd = 2000 // the 128-bit path is dramatically slower
+		}
+		cube, std := SketchRates(n, 200000, updatesStd, o.Seed)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0e", float64(n)),
+			fmt.Sprintf("%.0f", std),
+			fmt.Sprintf("%.0f", cube),
+			fmt.Sprintf("%.1fx", cube/std),
+		})
+		o.logf("fig4: n=%.0e std=%.0f cube=%.0f", float64(n), std, cube)
+	}
+	return t
+}
+
+// Fig5 regenerates Figure 5: sketch sizes across vector lengths.
+func Fig5(o Options) *Table {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "fig5",
+		Title:  "CubeSketch vs standard l0 sketch size",
+		Header: []string{"vector length", "standard l0", "CubeSketch", "reduction"},
+		Notes: []string{
+			"expected shape: ~2x smaller below the 128-bit threshold, ~4x above",
+		},
+	}
+	for _, n := range Fig4Lengths {
+		std := l0.New(n, 0, o.Seed).Bytes()
+		cube := cubesketch.New(n, 0, o.Seed).Bytes()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0e", float64(n)),
+			fmt.Sprintf("%.2fKiB", float64(std)/1024),
+			fmt.Sprintf("%.2fKiB", float64(cube)/1024),
+			fmt.Sprintf("%.1fx", float64(std)/float64(cube)),
+		})
+	}
+	return t
+}

@@ -1,0 +1,53 @@
+package gutter
+
+import (
+	"testing"
+
+	"graphzeppelin/internal/iomodel"
+)
+
+func BenchmarkLeafGuttersInsert(b *testing.B) {
+	g := NewLeafGutters(1024, 512, func(Batch) {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.InsertEdge(uint32(i)&1023, uint32(i*7)&1023)
+	}
+}
+
+func BenchmarkTreeInsert(b *testing.B) {
+	tree, err := NewTree(1024, TreeConfig{Fanout: 8, BufferRecords: 4096, LeafRecords: 1024},
+		iomodel.NewMem(16*1024), func(Batch) {})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tree.InsertEdge(uint32(i)&1023, uint32(i*7)&1023); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := tree.Stats()
+	b.ReportMetric(float64(st.TotalBlocks())/float64(b.N), "blockIO/update")
+}
+
+func BenchmarkQueuePushPop(b *testing.B) {
+	q := NewQueue(64)
+	done := make(chan struct{})
+	go func() {
+		for {
+			if _, ok := q.Pop(); !ok {
+				close(done)
+				return
+			}
+		}
+	}()
+	batch := Batch{Node: 1, Others: []uint32{2}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(batch)
+	}
+	b.StopTimer()
+	q.Close()
+	<-done
+}

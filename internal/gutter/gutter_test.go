@@ -1,0 +1,293 @@
+package gutter
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"graphzeppelin/internal/iomodel"
+)
+
+// recorder is a Sink that tallies delivered updates per node.
+type recorder struct {
+	mu      sync.Mutex
+	byNode  map[uint32][]uint32
+	batches int
+}
+
+func newRecorder() *recorder { return &recorder{byNode: map[uint32][]uint32{}} }
+
+func (r *recorder) sink(b Batch) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.byNode[b.Node] = append(r.byNode[b.Node], b.Others...)
+	r.batches++
+}
+
+// checkDelivery verifies no loss and no duplication against a model of
+// per-node multisets.
+func checkDelivery(t *testing.T, r *recorder, want map[uint32][]uint32) {
+	t.Helper()
+	if len(r.byNode) != len(want) {
+		t.Fatalf("delivered to %d nodes, want %d", len(r.byNode), len(want))
+	}
+	for node, wantVals := range want {
+		got := append([]uint32(nil), r.byNode[node]...)
+		if len(got) != len(wantVals) {
+			t.Fatalf("node %d: delivered %d updates, want %d", node, len(got), len(wantVals))
+		}
+		gm := map[uint32]int{}
+		for _, v := range got {
+			gm[v]++
+		}
+		for _, v := range wantVals {
+			gm[v]--
+			if gm[v] < 0 {
+				t.Fatalf("node %d: value %d under-delivered", node, v)
+			}
+		}
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue(4)
+	for i := uint32(0); i < 4; i++ {
+		if !q.Push(Batch{Node: i}) {
+			t.Fatal("push failed")
+		}
+	}
+	if q.Len() != 4 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := uint32(0); i < 4; i++ {
+		b, ok := q.Pop()
+		if !ok || b.Node != i {
+			t.Fatalf("pop %d: got (%v, %v)", i, b.Node, ok)
+		}
+	}
+}
+
+func TestQueueBlockingAndClose(t *testing.T) {
+	q := NewQueue(1)
+	q.Push(Batch{Node: 1})
+	done := make(chan bool)
+	go func() {
+		done <- q.Push(Batch{Node: 2}) // blocks until a pop frees a slot
+	}()
+	if b, ok := q.Pop(); !ok || b.Node != 1 {
+		t.Fatal("pop 1 failed")
+	}
+	if !<-done {
+		t.Fatal("blocked push should have succeeded after pop")
+	}
+	q.Close()
+	if q.Push(Batch{Node: 3}) {
+		t.Fatal("push after close succeeded")
+	}
+	// Drain remaining, then closed-empty.
+	if b, ok := q.Pop(); !ok || b.Node != 2 {
+		t.Fatal("drain after close failed")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop on closed empty queue returned ok")
+	}
+}
+
+func TestQueueConcurrentProducersConsumers(t *testing.T) {
+	q := NewQueue(8)
+	const producers, perProducer = 4, 500
+	var got sync.Map
+	var wg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				b, ok := q.Pop()
+				if !ok {
+					return
+				}
+				if _, dup := got.LoadOrStore(b.Node, true); dup {
+					t.Error("duplicate delivery")
+					return
+				}
+			}
+		}()
+	}
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Push(Batch{Node: uint32(p*perProducer + i)})
+			}
+		}(p)
+	}
+	pwg.Wait()
+	q.Close()
+	wg.Wait()
+	count := 0
+	got.Range(func(_, _ any) bool { count++; return true })
+	if count != producers*perProducer {
+		t.Fatalf("delivered %d batches, want %d", count, producers*perProducer)
+	}
+}
+
+func TestLeafGuttersFlushOnFull(t *testing.T) {
+	r := newRecorder()
+	g := NewLeafGutters(4, 3, r.sink)
+	g.Insert(1, 10)
+	g.Insert(1, 11)
+	if r.batches != 0 {
+		t.Fatal("premature flush")
+	}
+	g.Insert(1, 12) // fills the gutter
+	if r.batches != 1 {
+		t.Fatalf("batches = %d, want 1", r.batches)
+	}
+	g.Insert(1, 13)
+	g.Flush()
+	checkDelivery(t, r, map[uint32][]uint32{1: {10, 11, 12, 13}})
+}
+
+func TestLeafGuttersNoLossNoDuplication(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	r := newRecorder()
+	const n = 64
+	g := NewLeafGutters(n, 7, r.sink)
+	want := map[uint32][]uint32{}
+	for i := 0; i < 5000; i++ {
+		u := uint32(rng.Uint64N(n))
+		v := uint32(rng.Uint64N(n))
+		if u == v {
+			continue
+		}
+		g.InsertEdge(u, v)
+		want[u] = append(want[u], v)
+		want[v] = append(want[v], u)
+	}
+	g.Flush()
+	checkDelivery(t, r, want)
+	if g.Buffered() == 0 || g.Flushes() == 0 {
+		t.Fatal("counters not advancing")
+	}
+}
+
+func TestTreeNoLossNoDuplication(t *testing.T) {
+	configs := []TreeConfig{
+		{}, // defaults
+		{Fanout: 2, BufferRecords: 16, LeafRecords: 8},
+		{Fanout: 4, BufferRecords: 64, LeafRecords: 32, NodesPerLeaf: 4},
+		{Fanout: 16, BufferRecords: 1024, LeafRecords: 64},
+	}
+	for ci, cfg := range configs {
+		t.Run(fmt.Sprintf("cfg%d", ci), func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(uint64(ci), 3))
+			r := newRecorder()
+			dev := iomodel.NewMem(512)
+			const n = 100
+			tree, err := NewTree(n, cfg, dev, r.sink)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := map[uint32][]uint32{}
+			for i := 0; i < 20000; i++ {
+				u := uint32(rng.Uint64N(n))
+				v := uint32(rng.Uint64N(n))
+				if u == v {
+					continue
+				}
+				if err := tree.InsertEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+				want[u] = append(want[u], v)
+				want[v] = append(want[v], u)
+			}
+			if err := tree.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			checkDelivery(t, r, want)
+			if tree.Stats().WriteOps == 0 {
+				t.Fatal("tree never touched the device")
+			}
+		})
+	}
+}
+
+func TestTreeSkewedDestination(t *testing.T) {
+	// All updates bound for one node: leaves must flush repeatedly
+	// without losing anything.
+	r := newRecorder()
+	tree, err := NewTree(16, TreeConfig{Fanout: 4, BufferRecords: 32, LeafRecords: 8}, iomodel.NewMem(512), r.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint32][]uint32{}
+	for i := 0; i < 3000; i++ {
+		v := uint32(i % 15)
+		if v == 7 {
+			v = 8
+		}
+		if err := tree.Insert(7, v); err != nil {
+			t.Fatal(err)
+		}
+		want[7] = append(want[7], v)
+	}
+	if err := tree.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	checkDelivery(t, r, want)
+}
+
+func TestTreeFlushEmpty(t *testing.T) {
+	r := newRecorder()
+	tree, err := NewTree(8, TreeConfig{}, iomodel.NewMem(512), r.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if r.batches != 0 {
+		t.Fatal("empty tree emitted batches")
+	}
+}
+
+func TestTreeSingleNodeUniverseRejected(t *testing.T) {
+	if _, err := NewTree(0, TreeConfig{}, iomodel.NewMem(512), func(Batch) {}); err == nil {
+		t.Fatal("zero-node tree accepted")
+	}
+}
+
+func TestTreeAmortizesIO(t *testing.T) {
+	// The point of the tree (Lemma 4): block I/Os should be far fewer
+	// than updates. With 512-byte blocks and 8-byte records, one block
+	// holds 64 records; sort(N) I/Os ≪ N.
+	r := newRecorder()
+	dev := iomodel.NewMem(512)
+	tree, err := NewTree(256, TreeConfig{Fanout: 8, BufferRecords: 2048, LeafRecords: 256}, dev, r.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(9, 9))
+	const updates = 100000
+	for i := 0; i < updates; i++ {
+		u := uint32(rng.Uint64N(256))
+		v := uint32(rng.Uint64N(256))
+		if u == v {
+			continue
+		}
+		if err := tree.Insert(u, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := tree.Stats()
+	if st.TotalBlocks() >= updates {
+		t.Fatalf("tree used %d block I/Os for %d updates; no amortization", st.TotalBlocks(), updates)
+	}
+}

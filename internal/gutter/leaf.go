@@ -1,0 +1,80 @@
+package gutter
+
+// Sink receives a full batch of buffered updates for one node. The engine
+// wires this to the work queue; tests wire it to a recorder.
+type Sink func(Batch)
+
+// LeafGutters is the leaf-only buffering structure of Section 5.1: one
+// in-RAM gutter per graph node, each flushed to the sink as a batch when
+// it fills. The paper sizes each gutter at a factor f of the node-sketch
+// size (default f = 1/2); here the caller passes the resulting capacity in
+// updates directly.
+//
+// LeafGutters is not safe for concurrent use; the ingestion path is a
+// single producer, as in the paper's design.
+type LeafGutters struct {
+	bufs     [][]uint32
+	capacity int
+	sink     Sink
+	buffered uint64
+	flushes  uint64
+}
+
+// NewLeafGutters returns per-node gutters holding capacity updates each.
+func NewLeafGutters(numNodes uint32, capacity int, sink Sink) *LeafGutters {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LeafGutters{
+		bufs:     make([][]uint32, numNodes),
+		capacity: capacity,
+		sink:     sink,
+	}
+}
+
+// Capacity returns the per-gutter capacity in updates.
+func (g *LeafGutters) Capacity() int { return g.capacity }
+
+// Insert buffers the update (u, v) in u's gutter, flushing it as a batch
+// if it becomes full. Callers buffer each edge update under both
+// endpoints, mirroring the paper's edge_update.
+func (g *LeafGutters) Insert(u, v uint32) {
+	buf := g.bufs[u]
+	if buf == nil {
+		buf = make([]uint32, 0, g.capacity)
+	}
+	buf = append(buf, v)
+	g.buffered++
+	if len(buf) >= g.capacity {
+		g.sink(Batch{Node: u, Others: buf})
+		g.flushes++
+		buf = make([]uint32, 0, g.capacity)
+	}
+	g.bufs[u] = buf
+}
+
+// InsertEdge buffers the edge update under both endpoints.
+func (g *LeafGutters) InsertEdge(u, v uint32) {
+	g.Insert(u, v)
+	g.Insert(v, u)
+}
+
+// Flush force-flushes every nonempty gutter (the cleanup step before a
+// connectivity query).
+func (g *LeafGutters) Flush() {
+	for node, buf := range g.bufs {
+		if len(buf) == 0 {
+			continue
+		}
+		g.sink(Batch{Node: uint32(node), Others: buf})
+		g.flushes++
+		g.bufs[node] = nil
+	}
+}
+
+// Buffered returns the total updates ever inserted; Flushes the number of
+// batches emitted. Diagnostics for the buffering experiments.
+func (g *LeafGutters) Buffered() uint64 { return g.buffered }
+
+// Flushes returns the number of batches emitted so far.
+func (g *LeafGutters) Flushes() uint64 { return g.flushes }

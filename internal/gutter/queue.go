@@ -1,0 +1,95 @@
+// Package gutter implements GraphZeppelin's buffering substrate
+// (Sections 4 and 5.1): the work queue between the buffering system and
+// the Graph Workers, the in-RAM leaf-only gutters, and the disk-backed
+// gutter tree. All three deal in node-keyed batches: because CubeSketch
+// operates over Z_2, an insertion and a deletion of the same edge are the
+// identical toggle, so a buffered update is just "the other endpoint".
+package gutter
+
+import "sync"
+
+// Batch is a group of buffered updates bound for one node's sketch: for
+// node Node, each element of Others is the far endpoint of one edge update.
+type Batch struct {
+	Node   uint32
+	Others []uint32
+}
+
+// Queue is the bounded producer/consumer work queue of Section 5.1: the
+// buffering system pushes batches, Graph Workers pop them. Pushes block
+// while the queue is full and pops block while it is empty, bounding the
+// memory between the two stages.
+type Queue struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	items    []Batch
+	head     int
+	count    int
+	closed   bool
+}
+
+// NewQueue returns a queue holding at most capacity batches. The paper
+// sizes this at 8× the number of Graph Workers.
+func NewQueue(capacity int) *Queue {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	q := &Queue{items: make([]Batch, capacity)}
+	q.notFull = sync.NewCond(&q.mu)
+	q.notEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues b, blocking while the queue is full. It returns false if
+// the queue has been closed.
+func (q *Queue) Push(b Batch) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.count == len(q.items) && !q.closed {
+		q.notFull.Wait()
+	}
+	if q.closed {
+		return false
+	}
+	q.items[(q.head+q.count)%len(q.items)] = b
+	q.count++
+	q.notEmpty.Signal()
+	return true
+}
+
+// Pop dequeues a batch, blocking while the queue is empty. ok is false
+// once the queue is closed and drained.
+func (q *Queue) Pop() (b Batch, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.count == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if q.count == 0 {
+		return Batch{}, false
+	}
+	b = q.items[q.head]
+	q.items[q.head] = Batch{}
+	q.head = (q.head + 1) % len(q.items)
+	q.count--
+	q.notFull.Signal()
+	return b, true
+}
+
+// Close wakes all blocked producers and consumers; subsequent pushes fail
+// and pops drain remaining items then report !ok.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.notFull.Broadcast()
+	q.notEmpty.Broadcast()
+}
+
+// Len returns the number of queued batches.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.count
+}

@@ -1,0 +1,47 @@
+package hashing
+
+import "testing"
+
+func BenchmarkUint64(b *testing.B) {
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= Uint64(7, uint64(i))
+	}
+	sinkU64 = acc
+}
+
+func BenchmarkXXH64Sizes(b *testing.B) {
+	for _, n := range []int{8, 64, 1024} {
+		buf := make([]byte, n)
+		b.Run(byteSize(n), func(b *testing.B) {
+			b.SetBytes(int64(n))
+			var acc uint64
+			for i := 0; i < b.N; i++ {
+				acc ^= XXH64(uint64(i), buf)
+			}
+			sinkU64 = acc
+		})
+	}
+}
+
+func BenchmarkTwoWise(b *testing.B) {
+	tw := NewTwoWise(1)
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= tw.Hash(uint64(i))
+	}
+	sinkU64 = acc
+}
+
+var sinkU64 uint64
+
+func byteSize(n int) string {
+	switch n {
+	case 8:
+		return "8B"
+	case 64:
+		return "64B"
+	default:
+		return "1KiB"
+	}
+}

@@ -1,0 +1,55 @@
+package iomodel
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInjected is the error FaultDevice returns once armed.
+var ErrInjected = errors.New("iomodel: injected fault")
+
+// FaultDevice wraps a Device and starts failing after a configured number
+// of operations — the failure-injection hook the robustness tests use to
+// verify that disk errors surface through the engine instead of silently
+// corrupting sketches.
+type FaultDevice struct {
+	Inner Device
+	// FailAfter is the number of successful operations (reads+writes)
+	// before every subsequent operation fails.
+	failAfter int64
+	ops       atomic.Int64
+}
+
+// NewFault wraps inner, allowing failAfter successful operations.
+func NewFault(inner Device, failAfter int64) *FaultDevice {
+	return &FaultDevice{Inner: inner, failAfter: failAfter}
+}
+
+func (d *FaultDevice) broken() bool {
+	return d.ops.Add(1) > d.failAfter
+}
+
+// ReadAt implements Device.
+func (d *FaultDevice) ReadAt(p []byte, off int64) (int, error) {
+	if d.broken() {
+		return 0, ErrInjected
+	}
+	return d.Inner.ReadAt(p, off)
+}
+
+// WriteAt implements Device.
+func (d *FaultDevice) WriteAt(p []byte, off int64) (int, error) {
+	if d.broken() {
+		return 0, ErrInjected
+	}
+	return d.Inner.WriteAt(p, off)
+}
+
+// Stats implements Device.
+func (d *FaultDevice) Stats() Stats { return d.Inner.Stats() }
+
+// BlockSize implements Device.
+func (d *FaultDevice) BlockSize() int { return d.Inner.BlockSize() }
+
+// Close implements Device.
+func (d *FaultDevice) Close() error { return d.Inner.Close() }

@@ -1,0 +1,179 @@
+// Package iomodel provides the block-device abstraction of the hybrid
+// streaming model (Section 2.1): storage accessed in B-word blocks, with
+// every read and write counted. Out-of-core runs use a real file through
+// this layer, so the experiments report both wall-clock time and the I/O
+// complexity quantities the paper's Lemmas 4 and 5 bound.
+package iomodel
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// DefaultBlockSize matches the paper's 16 KB SSD write granularity (§5.1).
+const DefaultBlockSize = 16 * 1024
+
+// Stats counts I/O operations. Block counts are computed at the device's
+// block size: an access of n bytes costs ceil(n/B) block I/Os, the cost
+// model of the external-memory literature.
+type Stats struct {
+	ReadOps, WriteOps       uint64 // calls
+	ReadBlocks, WriteBlocks uint64 // block-granularity I/Os
+	BytesRead, BytesWritten uint64
+}
+
+// Add returns the elementwise sum of two Stats.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		ReadOps:      s.ReadOps + o.ReadOps,
+		WriteOps:     s.WriteOps + o.WriteOps,
+		ReadBlocks:   s.ReadBlocks + o.ReadBlocks,
+		WriteBlocks:  s.WriteBlocks + o.WriteBlocks,
+		BytesRead:    s.BytesRead + o.BytesRead,
+		BytesWritten: s.BytesWritten + o.BytesWritten,
+	}
+}
+
+// TotalBlocks returns read+write block I/Os.
+func (s Stats) TotalBlocks() uint64 { return s.ReadBlocks + s.WriteBlocks }
+
+// Device is positioned block storage with I/O accounting.
+type Device interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Stats() Stats
+	BlockSize() int
+	Close() error
+}
+
+type counters struct {
+	readOps, writeOps       atomic.Uint64
+	readBlocks, writeBlocks atomic.Uint64
+	bytesRead, bytesWritten atomic.Uint64
+}
+
+func (c *counters) record(write bool, n, block int) {
+	blocks := uint64((n + block - 1) / block)
+	if write {
+		c.writeOps.Add(1)
+		c.writeBlocks.Add(blocks)
+		c.bytesWritten.Add(uint64(n))
+	} else {
+		c.readOps.Add(1)
+		c.readBlocks.Add(blocks)
+		c.bytesRead.Add(uint64(n))
+	}
+}
+
+func (c *counters) stats() Stats {
+	return Stats{
+		ReadOps:      c.readOps.Load(),
+		WriteOps:     c.writeOps.Load(),
+		ReadBlocks:   c.readBlocks.Load(),
+		WriteBlocks:  c.writeBlocks.Load(),
+		BytesRead:    c.bytesRead.Load(),
+		BytesWritten: c.bytesWritten.Load(),
+	}
+}
+
+// FileDevice is a Device backed by a real file (pread/pwrite).
+type FileDevice struct {
+	f     *os.File
+	block int
+	counters
+}
+
+// OpenFile creates (or truncates) a file-backed device at path.
+func OpenFile(path string, blockSize int) (*FileDevice, error) {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("iomodel: open %s: %w", path, err)
+	}
+	return &FileDevice{f: f, block: blockSize}, nil
+}
+
+// ReadAt implements Device.
+func (d *FileDevice) ReadAt(p []byte, off int64) (int, error) {
+	n, err := d.f.ReadAt(p, off)
+	d.record(false, n, d.block)
+	return n, err
+}
+
+// WriteAt implements Device.
+func (d *FileDevice) WriteAt(p []byte, off int64) (int, error) {
+	n, err := d.f.WriteAt(p, off)
+	d.record(true, n, d.block)
+	return n, err
+}
+
+// Stats implements Device.
+func (d *FileDevice) Stats() Stats { return d.counters.stats() }
+
+// BlockSize implements Device.
+func (d *FileDevice) BlockSize() int { return d.block }
+
+// Close closes and removes nothing; callers own the path's lifecycle.
+func (d *FileDevice) Close() error { return d.f.Close() }
+
+// MemDevice is an in-memory Device used in tests and for "RAM mode" runs
+// that still want I/O accounting (e.g. to verify the I/O-complexity bounds
+// without touching a filesystem).
+type MemDevice struct {
+	buf   []byte
+	block int
+	counters
+}
+
+// NewMem returns an in-memory device.
+func NewMem(blockSize int) *MemDevice {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	return &MemDevice{block: blockSize}
+}
+
+func (d *MemDevice) grow(end int64) {
+	if int64(len(d.buf)) >= end {
+		return
+	}
+	if int64(cap(d.buf)) >= end {
+		d.buf = d.buf[:end]
+		return
+	}
+	newCap := int64(cap(d.buf)) * 2
+	if newCap < end {
+		newCap = end
+	}
+	nb := make([]byte, end, newCap)
+	copy(nb, d.buf)
+	d.buf = nb
+}
+
+// ReadAt implements Device; reads of never-written regions return zeros.
+func (d *MemDevice) ReadAt(p []byte, off int64) (int, error) {
+	d.grow(off + int64(len(p)))
+	n := copy(p, d.buf[off:])
+	d.record(false, n, d.block)
+	return n, nil
+}
+
+// WriteAt implements Device.
+func (d *MemDevice) WriteAt(p []byte, off int64) (int, error) {
+	d.grow(off + int64(len(p)))
+	n := copy(d.buf[off:], p)
+	d.record(true, n, d.block)
+	return n, nil
+}
+
+// Stats implements Device.
+func (d *MemDevice) Stats() Stats { return d.counters.stats() }
+
+// BlockSize implements Device.
+func (d *MemDevice) BlockSize() int { return d.block }
+
+// Close implements Device.
+func (d *MemDevice) Close() error { return nil }

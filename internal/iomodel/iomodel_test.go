@@ -1,0 +1,75 @@
+package iomodel
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func testDeviceRW(t *testing.T, d Device) {
+	t.Helper()
+	data := []byte("hello, block device")
+	if _, err := d.WriteAt(data, 100); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if _, err := d.ReadAt(got, 100); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("read back %q", got)
+	}
+	st := d.Stats()
+	if st.ReadOps != 1 || st.WriteOps != 1 {
+		t.Fatalf("ops = %+v", st)
+	}
+	if st.BytesRead != uint64(len(data)) || st.BytesWritten != uint64(len(data)) {
+		t.Fatalf("bytes = %+v", st)
+	}
+	// 19 bytes at 16-byte blocks = 2 block I/Os each way.
+	if d.BlockSize() == 16 && (st.ReadBlocks != 2 || st.WriteBlocks != 2) {
+		t.Fatalf("blocks = %+v, want 2/2", st)
+	}
+}
+
+func TestMemDevice(t *testing.T) {
+	testDeviceRW(t, NewMem(16))
+}
+
+func TestFileDevice(t *testing.T) {
+	d, err := OpenFile(filepath.Join(t.TempDir(), "dev"), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	testDeviceRW(t, d)
+}
+
+func TestMemDeviceZeroFill(t *testing.T) {
+	d := NewMem(8)
+	buf := []byte{1, 2, 3, 4}
+	if _, err := d.ReadAt(buf, 1000); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("unwritten region not zero")
+		}
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{ReadOps: 1, WriteOps: 2, ReadBlocks: 3, WriteBlocks: 4, BytesRead: 5, BytesWritten: 6}
+	b := a.Add(a)
+	if b.ReadOps != 2 || b.WriteBlocks != 8 || b.BytesWritten != 12 {
+		t.Fatalf("Add = %+v", b)
+	}
+	if b.TotalBlocks() != 14 {
+		t.Fatalf("TotalBlocks = %d", b.TotalBlocks())
+	}
+}
+
+func TestDefaultBlockSize(t *testing.T) {
+	if NewMem(0).BlockSize() != DefaultBlockSize {
+		t.Fatal("default block size not applied")
+	}
+}

@@ -1,0 +1,200 @@
+package kron
+
+import (
+	"testing"
+
+	"graphzeppelin/internal/dsu"
+	"graphzeppelin/internal/stream"
+)
+
+func TestKroneckerIsSimpleAndSized(t *testing.T) {
+	const scale = 8
+	n := uint64(1) << scale
+	target := stream.VectorLen(n) / 2
+	edges := Kronecker(scale, target, Graph500Params, 1)
+	if uint64(len(edges)) != target {
+		t.Fatalf("got %d edges, want %d", len(edges), target)
+	}
+	seen := make(map[stream.Edge]bool, len(edges))
+	for _, e := range edges {
+		if e.U == e.V {
+			t.Fatalf("self loop %v", e)
+		}
+		if e.U > e.V {
+			t.Fatalf("unnormalized edge %v", e)
+		}
+		if uint64(e.V) >= n {
+			t.Fatalf("endpoint out of range: %v", e)
+		}
+		if seen[e] {
+			t.Fatalf("duplicate edge %v", e)
+		}
+		seen[e] = true
+	}
+}
+
+func TestKroneckerDeterministic(t *testing.T) {
+	a := Kronecker(7, 500, Graph500Params, 99)
+	b := Kronecker(7, 500, Graph500Params, 99)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic edge count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic edges")
+		}
+	}
+	c := Kronecker(7, 500, Graph500Params, 100)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seed has no effect")
+	}
+}
+
+func TestKroneckerTargetClamped(t *testing.T) {
+	n := uint64(1) << 4
+	edges := Kronecker(4, 1<<30, Graph500Params, 1)
+	if uint64(len(edges)) != stream.VectorLen(n) {
+		t.Fatalf("clamped target: got %d, want complete graph %d", len(edges), stream.VectorLen(n))
+	}
+}
+
+// TestToStreamGuarantees verifies the four §6.1 stream guarantees by
+// replaying the stream through the validator (which enforces (i) and the
+// per-edge alternation of (ii)) and comparing the end state to FinalEdges
+// (which is (iv)); (iii) is checked structurally.
+func TestToStreamGuarantees(t *testing.T) {
+	edges := DenseKronecker(7, 3)
+	res := ToStream(edges, 1<<7, StreamOptions{ChurnFraction: 0.1}, 4)
+
+	if len(res.Disconnected) == 0 {
+		t.Fatal("no nodes were disconnected (guarantee iii)")
+	}
+
+	var v stream.Validator
+	lastType := make(map[stream.Edge]stream.UpdateType)
+	for i, u := range res.Updates {
+		e := u.Edge.Normalize()
+		if prev, ok := lastType[e]; ok && prev == u.Type {
+			t.Fatalf("update %d: consecutive %v of %v (guarantee ii)", i, u.Type, e)
+		}
+		lastType[e] = u.Type
+		if err := v.Apply(u); err != nil {
+			t.Fatalf("update %d: %v (guarantee i)", i, err)
+		}
+	}
+
+	want := make(map[stream.Edge]bool, len(res.FinalEdges))
+	for _, e := range res.FinalEdges {
+		want[e] = true
+	}
+	got := v.Edges()
+	if len(got) != len(want) {
+		t.Fatalf("stream ends with %d edges, FinalEdges has %d (guarantee iv)", len(got), len(want))
+	}
+	for _, e := range got {
+		if !want[e] {
+			t.Fatalf("stream ends with unexpected edge %v", e)
+		}
+	}
+
+	// Guarantee (iii) structurally: no final edge crosses the cut.
+	cut := make(map[uint32]bool)
+	for _, n := range res.Disconnected {
+		cut[n] = true
+	}
+	for _, e := range res.FinalEdges {
+		if cut[e.U] != cut[e.V] {
+			t.Fatalf("final edge %v crosses the disconnect cut", e)
+		}
+	}
+	// And the final graph has more than one component.
+	d := dsu.New(1 << 7)
+	for _, e := range res.FinalEdges {
+		d.Union(e.U, e.V)
+	}
+	if d.Count() < 2 {
+		t.Fatal("disconnection produced no extra components")
+	}
+}
+
+func TestToStreamChurnLengthensStream(t *testing.T) {
+	edges := DenseKronecker(6, 5)
+	low := ToStream(edges, 1<<6, StreamOptions{ChurnFraction: 0.001}, 6)
+	high := ToStream(edges, 1<<6, StreamOptions{ChurnFraction: 0.4}, 6)
+	if len(high.Updates) <= len(low.Updates) {
+		t.Fatalf("churn 0.4 gave %d updates, churn 0.001 gave %d", len(high.Updates), len(low.Updates))
+	}
+	if len(low.Updates) < len(low.FinalEdges) {
+		t.Fatal("stream shorter than its final edge set")
+	}
+}
+
+func TestToStreamDisableDisconnect(t *testing.T) {
+	edges := GnutellaLike(100, 300, 1)
+	res := ToStream(edges, 100, StreamOptions{DisconnectNodes: -1}, 2)
+	if len(res.Disconnected) != 0 {
+		t.Fatal("DisconnectNodes < 0 should disable the cut")
+	}
+	if len(res.FinalEdges) != len(edges) {
+		t.Fatalf("no cut, but %d of %d edges survived", len(res.FinalEdges), len(edges))
+	}
+}
+
+func TestStandInsShape(t *testing.T) {
+	checkSimple := func(name string, n uint32, edges []stream.Edge) {
+		t.Helper()
+		if len(edges) == 0 {
+			t.Fatalf("%s: empty", name)
+		}
+		seen := make(map[stream.Edge]bool, len(edges))
+		for _, e := range edges {
+			if e.U >= e.V || e.V >= n {
+				t.Fatalf("%s: bad edge %v", name, e)
+			}
+			if seen[e] {
+				t.Fatalf("%s: duplicate %v", name, e)
+			}
+			seen[e] = true
+		}
+	}
+	checkSimple("gnutella", 1000, GnutellaLike(1000, 2500, 1))
+	checkSimple("amazon", 1000, AmazonLike(1000, 2))
+	checkSimple("gplus", 1000, GooglePlusLike(1000, 8, 3))
+	checkSimple("webuk", 1000, WebUKLike(1000, 10, 0.2, 0.5, 4))
+
+	// The google-plus stand-in must be heavy-tailed: max degree far above
+	// the mean.
+	edges := GooglePlusLike(2000, 8, 5)
+	deg := make(map[uint32]int)
+	for _, e := range edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	maxDeg, sum := 0, 0
+	for _, d := range deg {
+		sum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := float64(sum) / float64(len(deg))
+	if float64(maxDeg) < 5*mean {
+		t.Fatalf("max degree %d not heavy-tailed vs mean %.1f", maxDeg, mean)
+	}
+}
+
+func TestGnutellaEdgeCount(t *testing.T) {
+	edges := GnutellaLike(500, 1200, 7)
+	if len(edges) != 1200 {
+		t.Fatalf("got %d edges, want 1200", len(edges))
+	}
+}

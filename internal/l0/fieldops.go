@@ -1,0 +1,147 @@
+package l0
+
+import (
+	"math/bits"
+
+	"graphzeppelin/internal/hashing"
+	"graphzeppelin/internal/u128"
+)
+
+// This file holds the field arithmetic of the standard sampler. The
+// reductions are deliberately division-based rather than Mersenne
+// shift-folds: the reference algorithm (Figure 3 of the paper) works over
+// an arbitrary large prime field, and its measured update cost is
+// dominated by division/modulo instructions — single-word `div` below the
+// 128-bit threshold, multi-word long division (the __umodti3 class of
+// library call) above it. Using the clever fold here would make the
+// baseline unrealistically fast and distort the Figure 4 comparison; the
+// linear-algebra-friendly folds live in internal/u128 for library users.
+
+// --- 64-bit field ---
+
+func mod61(x uint64) uint64 { return x % hashing.MersennePrime61 }
+
+// mulMod61 computes x*y mod p with a 128-by-64 hardware division, the
+// operation profile of the reference sampler.
+func mulMod61(x, y uint64) uint64 {
+	hi, lo := bits.Mul64(x, y)
+	// x, y < 2^61 so hi < 2^58 < p: Div64's precondition holds.
+	_, r := bits.Div64(hi, lo, hashing.MersennePrime61)
+	return r
+}
+
+// powMod61 is the modular exponentiation in the bucket checksum: the
+// O(log n) multiply+divide chain the paper identifies as the standard
+// sampler's dominant update cost.
+func powMod61(base, exp uint64) uint64 {
+	result := uint64(1)
+	b := mod61(base)
+	for exp != 0 {
+		if exp&1 == 1 {
+			result = mulMod61(result, b)
+		}
+		b = mulMod61(b, b)
+		exp >>= 1
+	}
+	return result
+}
+
+func addMod61(x, y uint64) uint64 {
+	s := x + y
+	if s >= hashing.MersennePrime61 {
+		s -= hashing.MersennePrime61
+	}
+	return s
+}
+
+func subMod61(x, y uint64) uint64 {
+	if x >= y {
+		return x - y
+	}
+	return x + hashing.MersennePrime61 - y
+}
+
+// --- 128-bit field (p = 2^89 - 1) ---
+
+// mod89Div reduces u modulo the 89-bit prime by shift-subtract long
+// division, the work a compiler's 128-bit modulo performs. The quotient
+// has at most 39 bits, so at most 40 compare/subtract steps run.
+func mod89Div(u u128.Uint128) u128.Uint128 {
+	p := u128.Mersenne89
+	if u.Cmp(p) < 0 {
+		return u
+	}
+	// Align the divisor under the dividend's leading bit.
+	shift := leadingBit(u) - 89
+	if shift < 0 {
+		shift = 0
+	}
+	d := p.Lsh(uint(shift))
+	for shift >= 0 {
+		if u.Cmp(d) >= 0 {
+			u = u.Sub(d)
+		}
+		d = d.Rsh(1)
+		shift--
+	}
+	return u
+}
+
+func leadingBit(u u128.Uint128) int {
+	if u.Hi != 0 {
+		return 63 + bits.Len64(u.Hi)
+	}
+	return bits.Len64(u.Lo) - 1
+}
+
+func addMod89(x, y u128.Uint128) u128.Uint128 {
+	return mod89Div(x.Add(y))
+}
+
+func subMod89(x, y u128.Uint128) u128.Uint128 {
+	if x.Cmp(y) >= 0 {
+		return x.Sub(y)
+	}
+	return x.Add(u128.Mersenne89).Sub(y)
+}
+
+// mulMod89 multiplies two reduced field elements by limb splitting (the
+// 178-bit product cannot be held directly) with division-based reduction
+// of every partial term.
+func mulMod89(a, b u128.Uint128) u128.Uint128 {
+	// a = aHi*2^45 + aLo, b = bHi*2^45 + bLo; aHi,bHi < 2^44.
+	aHi := a.Rsh(45).Lo
+	aLo := a.Lo & ((1 << 45) - 1)
+	bHi := b.Rsh(45).Lo
+	bLo := b.Lo & ((1 << 45) - 1)
+
+	mul := func(x, y uint64) u128.Uint128 {
+		hi, lo := bits.Mul64(x, y)
+		return u128.Uint128{Hi: hi, Lo: lo}
+	}
+	// a*b = aHi*bHi*2^90 + (aHi*bLo + aLo*bHi)*2^45 + aLo*bLo,
+	// with 2^90 ≡ 2 and 2^89 ≡ 1 (mod 2^89-1).
+	res := mod89Div(mul(aHi, bHi).Lsh(1))
+	mid := mod89Div(mul(aHi, bLo).Add(mul(aLo, bHi)))
+	midHi := mid.Rsh(44)
+	midLo := u128.Uint128{Lo: mid.Lo & ((1 << 44) - 1)}
+	res = mod89Div(res.Add(midHi))
+	res = mod89Div(res.Add(midLo.Lsh(45)))
+	res = mod89Div(res.Add(mod89Div(mul(aLo, bLo))))
+	return res
+}
+
+// powMod89 is the 128-bit modular exponentiation of the bucket checksum —
+// the per-update cost cliff of Figure 4's 1e10+ rows.
+func powMod89(base, exp u128.Uint128) u128.Uint128 {
+	result := u128.From64(1)
+	b := mod89Div(base)
+	for !exp.IsZero() {
+		if exp.Lo&1 == 1 {
+			result = mulMod89(result, b)
+		}
+		b = mulMod89(b, b)
+		exp = exp.Rsh(1)
+	}
+	return result
+}

@@ -1,0 +1,63 @@
+package l0
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"graphzeppelin/internal/hashing"
+	"graphzeppelin/internal/u128"
+)
+
+// The division-based field ops used by the baseline must agree with the
+// independently verified fold-based ops in internal/u128 (which are tested
+// against math/big), cross-validating both implementations.
+
+func TestMod89DivMatchesFold(t *testing.T) {
+	f := func(hi, lo uint64) bool {
+		u := u128.Uint128{Hi: hi, Lo: lo}
+		return mod89Div(u) == u128.Mod89(u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !mod89Div(u128.Mersenne89).IsZero() {
+		t.Fatal("mod89Div(p) != 0")
+	}
+}
+
+func TestMulMod89DivMatchesFold(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 1000; i++ {
+		a := mod89Div(u128.Uint128{Hi: rng.Uint64() & ((1 << 25) - 1), Lo: rng.Uint64()})
+		b := mod89Div(u128.Uint128{Hi: rng.Uint64() & ((1 << 25) - 1), Lo: rng.Uint64()})
+		if got, want := mulMod89(a, b), u128.MulMod89(a, b); got != want {
+			t.Fatalf("mulMod89(%v,%v) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestPowMod89DivMatchesFold(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 50; i++ {
+		base := mod89Div(u128.Uint128{Hi: rng.Uint64() & ((1 << 25) - 1), Lo: rng.Uint64()})
+		exp := u128.From64(rng.Uint64() % (1 << 30))
+		if got, want := powMod89(base, exp), u128.PowMod89(base, exp); got != want {
+			t.Fatalf("powMod89 mismatch at trial %d", i)
+		}
+	}
+}
+
+func TestMulMod61Properties(t *testing.T) {
+	p := uint64(hashing.MersennePrime61)
+	f := func(xr, yr uint64) bool {
+		x, y := xr%p, yr%p
+		got := mulMod61(x, y)
+		// Cross-check with the TwoWise fold arithmetic route: (x*y+0) mod p
+		tw := hashing.TwoWise{A: x, B: 0}
+		return got == tw.Hash(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,287 @@
+// Package l0 implements the standard general-purpose l0-sampling algorithm
+// (Cormode–Firmani style; the paper's Figure 3) as the baseline CubeSketch
+// is compared against in Figures 4 and 5.
+//
+// Buckets hold three field elements (a, b, c): a accumulates index·Δ, b
+// accumulates Δ, and c accumulates Δ·r^index mod p — a polynomial identity
+// checksum whose evaluation requires modular exponentiation on every
+// update. That exponentiation costs O(log n) multiplications per column,
+// and once the field no longer fits in a machine word the multiplications
+// themselves become multi-word: the two effects the paper identifies as the
+// reason the standard sampler is three orders of magnitude slower than
+// CubeSketch on graph workloads.
+//
+// Two arithmetic paths are provided, mirroring the paper's 64-bit/128-bit
+// cliff: vectors up to 2^32 positions use the Mersenne field 2^61-1 with
+// single-word arithmetic; longer vectors (the paper's lengths 10^10 and up)
+// must switch to the 128-bit field 2^89-1.
+package l0
+
+import (
+	"errors"
+	"math/bits"
+
+	"graphzeppelin/internal/hashing"
+	"graphzeppelin/internal/u128"
+)
+
+// DefaultColumns matches the paper's log(1/δ)=7 columns.
+const DefaultColumns = 7
+
+// Wide64Threshold is the vector length above which 64-bit field arithmetic
+// is no longer sound and the sampler switches to 128-bit arithmetic. With
+// p = 2^61-1 the checksum collision bound degrades once n approaches p, so
+// the cutoff is set at 2^32 positions, placing the paper's 10^10-length
+// vectors on the 128-bit path and 10^9 on the 64-bit path, matching the
+// cliff in Figure 4.
+const Wide64Threshold = 1 << 32
+
+// Errors returned by Query.
+var (
+	// ErrEmpty means the sketched vector is (apparently) zero.
+	ErrEmpty = errors.New("l0: sketch is empty (zero vector)")
+	// ErrFailed means no bucket isolated a single nonzero entry.
+	ErrFailed = errors.New("l0: no good bucket (sampling failure)")
+)
+
+// Sampler is a δ-l0-sampler over integer vectors updated by (index, ±1)
+// increments. Both arithmetic paths implement it.
+type Sampler interface {
+	// Update adds delta (±1) to vector position idx.
+	Update(idx uint64, delta int)
+	// Query returns a nonzero position and its value, or ErrEmpty/ErrFailed.
+	Query() (idx uint64, value int, err error)
+	// Bytes returns the size of the bucket arrays in bytes (Figure 5).
+	Bytes() int
+	// N returns the vector length.
+	N() uint64
+}
+
+// New returns a standard l0-sampler for vectors of length n, choosing the
+// arithmetic width the way a correct implementation must: 64-bit words
+// while the field fits, 128-bit words beyond Wide64Threshold.
+func New(n uint64, cols int, seed uint64) Sampler {
+	if cols <= 0 {
+		cols = DefaultColumns
+	}
+	if n < Wide64Threshold {
+		return new64(n, cols, seed)
+	}
+	return new128(n, cols, seed)
+}
+
+const membershipSalt = 0x9e3779b97f4a7c15
+
+func numRows(n uint64) int {
+	if n <= 1 {
+		return 3
+	}
+	return bits.Len64(n-1) + 2
+}
+
+// depth returns the deepest cascade row an index reaches in a column, using
+// the same geometric membership rule as CubeSketch so the two samplers
+// differ only in bucket contents, not in bucket membership.
+func depth(seed uint64, col int, idx uint64, rows int) int {
+	h := hashing.Uint64(seed+uint64(col)*membershipSalt, idx)
+	d := bits.TrailingZeros64(h)
+	if d >= rows {
+		d = rows - 1
+	}
+	return d
+}
+
+// --- 64-bit path (field Z_p, p = 2^61-1) ---
+
+type sketch64 struct {
+	n    uint64
+	cols int
+	rows int
+	seed uint64
+	r    []uint64 // per-column checksum generator in [2, p-1]
+	a    []uint64 // Σ f[i]·i  mod p
+	b    []int64  // Σ f[i]
+	c    []uint64 // Σ f[i]·r^i mod p
+}
+
+func new64(n uint64, cols int, seed uint64) *sketch64 {
+	rows := numRows(n)
+	s := &sketch64{
+		n: n, cols: cols, rows: rows, seed: seed,
+		r: make([]uint64, cols),
+		a: make([]uint64, cols*rows),
+		b: make([]int64, cols*rows),
+		c: make([]uint64, cols*rows),
+	}
+	for col := range s.r {
+		s.r[col] = 2 + hashing.Uint64(seed^0x5eed, uint64(col))%(hashing.MersennePrime61-3)
+	}
+	return s
+}
+
+func (s *sketch64) N() uint64 { return s.n }
+func (s *sketch64) Bytes() int {
+	return len(s.a)*8 + len(s.b)*8 + len(s.c)*8
+}
+
+func (s *sketch64) Update(idx uint64, delta int) {
+	if idx >= s.n {
+		panic("l0: index out of range")
+	}
+	im := mod61(idx)
+	for col := 0; col < s.cols; col++ {
+		checksum := powMod61(s.r[col], idx)
+		d := depth(s.seed, col, idx, s.rows)
+		base := col * s.rows
+		for row := 0; row <= d; row++ {
+			i := base + row
+			if delta > 0 {
+				s.a[i] = addMod61(s.a[i], im)
+				s.b[i]++
+				s.c[i] = addMod61(s.c[i], checksum)
+			} else {
+				s.a[i] = subMod61(s.a[i], im)
+				s.b[i]--
+				s.c[i] = subMod61(s.c[i], checksum)
+			}
+		}
+	}
+}
+
+func (s *sketch64) Query() (uint64, int, error) {
+	empty := true
+	for col := 0; col < s.cols; col++ {
+		base := col * s.rows
+		for row := 0; row < s.rows; row++ {
+			i := base + row
+			if s.a[i] == 0 && s.b[i] == 0 && s.c[i] == 0 {
+				continue
+			}
+			empty = false
+			var value uint64
+			switch s.b[i] {
+			case 1:
+				value = s.a[i]
+			case -1:
+				value = subMod61(0, s.a[i])
+			default:
+				continue
+			}
+			if value >= s.n {
+				continue
+			}
+			want := powMod61(s.r[col], value)
+			if s.b[i] == -1 {
+				want = subMod61(0, want)
+			}
+			if want == s.c[i] {
+				return value, int(s.b[i]), nil
+			}
+		}
+	}
+	if empty {
+		return 0, 0, ErrEmpty
+	}
+	return 0, 0, ErrFailed
+}
+
+// --- 128-bit path (field Z_p, p = 2^89-1) ---
+
+type sketch128 struct {
+	n    uint64
+	cols int
+	rows int
+	seed uint64
+	r    []u128.Uint128
+	a    []u128.Uint128
+	b    []int64
+	c    []u128.Uint128
+}
+
+func new128(n uint64, cols int, seed uint64) *sketch128 {
+	rows := numRows(n)
+	s := &sketch128{
+		n: n, cols: cols, rows: rows, seed: seed,
+		r: make([]u128.Uint128, cols),
+		a: make([]u128.Uint128, cols*rows),
+		b: make([]int64, cols*rows),
+		c: make([]u128.Uint128, cols*rows),
+	}
+	for col := range s.r {
+		lo := hashing.Uint64(seed^0x5eed, uint64(col))
+		hi := hashing.Uint64(seed^0x5eed1, uint64(col)) & ((1 << 25) - 1)
+		g := mod89Div(u128.Uint128{Hi: hi, Lo: lo})
+		if g.IsZero() || g.Equal(u128.From64(1)) {
+			g = u128.From64(2)
+		}
+		s.r[col] = g
+	}
+	return s
+}
+
+func (s *sketch128) N() uint64 { return s.n }
+func (s *sketch128) Bytes() int {
+	// Three 128-bit words per bucket: the paper's 48-byte bucket.
+	return len(s.a)*16 + len(s.b)*16 + len(s.c)*16
+}
+
+func (s *sketch128) Update(idx uint64, delta int) {
+	if idx >= s.n {
+		panic("l0: index out of range")
+	}
+	im := u128.From64(idx)
+	for col := 0; col < s.cols; col++ {
+		checksum := powMod89(s.r[col], u128.From64(idx))
+		d := depth(s.seed, col, idx, s.rows)
+		base := col * s.rows
+		for row := 0; row <= d; row++ {
+			i := base + row
+			if delta > 0 {
+				s.a[i] = addMod89(s.a[i], im)
+				s.b[i]++
+				s.c[i] = addMod89(s.c[i], checksum)
+			} else {
+				s.a[i] = subMod89(s.a[i], im)
+				s.b[i]--
+				s.c[i] = subMod89(s.c[i], checksum)
+			}
+		}
+	}
+}
+
+func (s *sketch128) Query() (uint64, int, error) {
+	empty := true
+	for col := 0; col < s.cols; col++ {
+		base := col * s.rows
+		for row := 0; row < s.rows; row++ {
+			i := base + row
+			if s.a[i].IsZero() && s.b[i] == 0 && s.c[i].IsZero() {
+				continue
+			}
+			empty = false
+			var value u128.Uint128
+			switch s.b[i] {
+			case 1:
+				value = s.a[i]
+			case -1:
+				value = subMod89(u128.Uint128{}, s.a[i])
+			default:
+				continue
+			}
+			if value.Hi != 0 || value.Lo >= s.n {
+				continue
+			}
+			want := powMod89(s.r[col], value)
+			if s.b[i] == -1 {
+				want = subMod89(u128.Uint128{}, want)
+			}
+			if want.Equal(s.c[i]) {
+				return value.Lo, int(s.b[i]), nil
+			}
+		}
+	}
+	if empty {
+		return 0, 0, ErrEmpty
+	}
+	return 0, 0, ErrFailed
+}

@@ -1,0 +1,158 @@
+package l0
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+)
+
+// samplers under test: the public constructor picks the width, and the
+// 128-bit path is additionally forced at small n so its logic is testable
+// without gigantic vectors.
+func testSamplers(n uint64, seed uint64) map[string]Sampler {
+	return map[string]Sampler{
+		"auto":   New(n, 0, seed),
+		"wide":   new128(n, DefaultColumns, seed),
+		"narrow": new64(n, DefaultColumns, seed),
+	}
+}
+
+func TestSingleInsertIsRecovered(t *testing.T) {
+	for name, s := range testSamplers(1000, 42) {
+		s.Update(123, +1)
+		idx, val, err := s.Query()
+		if err != nil {
+			t.Fatalf("%s: Query: %v", name, err)
+		}
+		if idx != 123 || val != 1 {
+			t.Fatalf("%s: Query = (%d, %d), want (123, 1)", name, idx, val)
+		}
+	}
+}
+
+func TestInsertDeleteCancels(t *testing.T) {
+	for name, s := range testSamplers(1000, 7) {
+		s.Update(55, +1)
+		s.Update(55, -1)
+		if _, _, err := s.Query(); !errors.Is(err, ErrEmpty) {
+			t.Fatalf("%s: cancelled sketch Query err = %v, want ErrEmpty", name, err)
+		}
+	}
+}
+
+func TestNegativeEntryIsRecovered(t *testing.T) {
+	// Characteristic vectors hold -1 entries too (the f_v side of an
+	// edge); the sampler must recover them with their sign.
+	for name, s := range testSamplers(512, 9) {
+		s.Update(77, -1)
+		idx, val, err := s.Query()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if idx != 77 || val != -1 {
+			t.Fatalf("%s: Query = (%d, %d), want (77, -1)", name, idx, val)
+		}
+	}
+}
+
+func TestEmptyQuery(t *testing.T) {
+	for name, s := range testSamplers(64, 3) {
+		if _, _, err := s.Query(); !errors.Is(err, ErrEmpty) {
+			t.Fatalf("%s: fresh sketch Query err = %v, want ErrEmpty", name, err)
+		}
+	}
+}
+
+func TestQueryReturnsTrueMember(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	const n = 1 << 12
+	for _, width := range []string{"narrow", "wide"} {
+		failures, trials := 0, 0
+		for _, supportSize := range []int{1, 2, 5, 50, 500} {
+			for trial := 0; trial < 10; trial++ {
+				trials++
+				s := testSamplers(n, rng.Uint64())[width]
+				support := make(map[uint64]int, supportSize)
+				for len(support) < supportSize {
+					idx := rng.Uint64N(n)
+					if _, dup := support[idx]; dup {
+						continue
+					}
+					sign := 1
+					if rng.Uint64()%2 == 0 {
+						sign = -1
+					}
+					support[idx] = sign
+					s.Update(idx, sign)
+				}
+				idx, val, err := s.Query()
+				if errors.Is(err, ErrFailed) {
+					failures++
+					continue
+				}
+				if err != nil {
+					t.Fatalf("%s support=%d: %v", width, supportSize, err)
+				}
+				if want, ok := support[idx]; !ok || want != val {
+					t.Fatalf("%s support=%d: Query = (%d,%d) not a true entry", width, supportSize, idx, val)
+				}
+			}
+		}
+		if failures > trials/10 {
+			t.Fatalf("%s: too many failures: %d/%d", width, failures, trials)
+		}
+	}
+}
+
+func TestAutoWidthSelection(t *testing.T) {
+	if _, ok := New(Wide64Threshold-1, 0, 1).(*sketch64); !ok {
+		t.Fatal("below threshold should use the 64-bit path")
+	}
+	if _, ok := New(Wide64Threshold, 0, 1).(*sketch128); !ok {
+		t.Fatal("at threshold should use the 128-bit path")
+	}
+}
+
+func TestBytesRatio(t *testing.T) {
+	// The standard sampler's bucket is 24 bytes narrow and 48 bytes wide,
+	// vs CubeSketch's 12: the 2×/4× gap reported in Figure 5.
+	n := uint64(1 << 20)
+	narrow := new64(n, DefaultColumns, 1)
+	wide := new128(n, DefaultColumns, 1)
+	buckets := narrow.cols * narrow.rows
+	if narrow.Bytes() != buckets*24 {
+		t.Fatalf("narrow Bytes = %d, want %d", narrow.Bytes(), buckets*24)
+	}
+	if wide.Bytes() != buckets*48 {
+		t.Fatalf("wide Bytes = %d, want %d", wide.Bytes(), buckets*48)
+	}
+}
+
+func TestPowMod61(t *testing.T) {
+	// Fermat: a^(p-1) ≡ 1 (mod p) for prime p = 2^61-1 and a not ≡ 0.
+	p := uint64(1<<61 - 1)
+	for _, a := range []uint64{2, 3, 12345, p - 2} {
+		if got := powMod61(a, p-1); got != 1 {
+			t.Fatalf("powMod61(%d, p-1) = %d, want 1", a, got)
+		}
+	}
+	if got := powMod61(7, 0); got != 1 {
+		t.Fatalf("a^0 = %d, want 1", got)
+	}
+	if got := powMod61(7, 3); got != 343 {
+		t.Fatalf("7^3 = %d, want 343", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	for name, s := range testSamplers(10, 1) {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: Update past n did not panic", name)
+				}
+			}()
+			s.Update(10, 1)
+		}()
+	}
+}

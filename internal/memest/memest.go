@@ -1,0 +1,21 @@
+// Package memest provides deep memory-footprint estimation for the data
+// structures compared in the Figure 11 memory-profiling experiment. The
+// paper samples the Linux `top` RSS of each system; offline we account
+// structure sizes directly, which is both more precise and more charitable
+// to the baselines (no allocator overhead is charged).
+package memest
+
+// SliceBytes returns the heap bytes held by a slice backing array of
+// capacity c with elemSize-byte elements, plus the slice header.
+func SliceBytes(c int, elemSize int) int64 {
+	return int64(c)*int64(elemSize) + 24
+}
+
+// MapOverheadPerEntry approximates Go map bookkeeping per entry (bucket
+// slot share, tophash, padding) beyond the key/value payload.
+const MapOverheadPerEntry = 16
+
+// MapBytes estimates a map with n entries of the given key+value payload.
+func MapBytes(n int, payload int) int64 {
+	return int64(n) * int64(payload+MapOverheadPerEntry)
+}

@@ -1,0 +1,24 @@
+package memest
+
+import "testing"
+
+func TestSliceBytes(t *testing.T) {
+	if got := SliceBytes(0, 4); got != 24 {
+		t.Fatalf("empty slice = %d bytes, want header 24", got)
+	}
+	if got := SliceBytes(100, 4); got != 424 {
+		t.Fatalf("100×4B slice = %d, want 424", got)
+	}
+	if got := SliceBytes(10, 8); got != 104 {
+		t.Fatalf("10×8B slice = %d, want 104", got)
+	}
+}
+
+func TestMapBytes(t *testing.T) {
+	if got := MapBytes(0, 12); got != 0 {
+		t.Fatalf("empty map = %d, want 0", got)
+	}
+	if got := MapBytes(10, 12); got != 10*(12+MapOverheadPerEntry) {
+		t.Fatalf("MapBytes = %d", got)
+	}
+}

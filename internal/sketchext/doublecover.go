@@ -1,0 +1,89 @@
+// Package sketchext implements the graph-sketching extensions the paper
+// points at in Section 3.1 — "CubeSketch may be useful for other sketching
+// algorithms for problems such as edge- or vertex-connectivity, testing
+// bipartiteness, and finding minimum spanning trees" — using the engine's
+// linear sketches as the substrate, following Ahn, Guha and McGregor's
+// constructions (the paper's references [2, 3]).
+package sketchext
+
+import (
+	"fmt"
+
+	"graphzeppelin/internal/core"
+	"graphzeppelin/internal/stream"
+)
+
+// Bipartite tests bipartiteness of a dynamic graph stream via the double
+// cover: D(G) has two copies u°, u' of every node and, for each edge
+// (u,v), the edges (u°,v') and (u',v°). G is bipartite iff
+// cc(D(G)) = 2·cc(G): each bipartite component lifts to two disjoint
+// copies, while any odd cycle wires its copies together.
+//
+// The tester maintains one engine over G and one over D(G), so its space
+// is three node-sketch universes — still O(V·log³V).
+type Bipartite struct {
+	n     uint32
+	base  *core.Engine
+	cover *core.Engine
+}
+
+// NewBipartite creates a tester over node ids [0, numNodes).
+func NewBipartite(numNodes uint32, cfg core.Config) (*Bipartite, error) {
+	cfg.NumNodes = numNodes
+	base, err := core.NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	coverCfg := cfg
+	coverCfg.NumNodes = 2 * numNodes
+	coverCfg.Seed = cfg.Seed ^ 0xd0b1ec0
+	cover, err := core.NewEngine(coverCfg)
+	if err != nil {
+		base.Close()
+		return nil, err
+	}
+	return &Bipartite{n: numNodes, base: base, cover: cover}, nil
+}
+
+// Update ingests one stream update into both the graph and its double
+// cover.
+func (b *Bipartite) Update(u stream.Update) error {
+	if err := b.base.Update(u); err != nil {
+		return err
+	}
+	e := u.Edge.Normalize()
+	// (u°, v') and (u', v°): primes live at id+n.
+	if err := b.cover.Update(stream.Update{
+		Edge: stream.Edge{U: e.U, V: e.V + b.n}, Type: u.Type,
+	}); err != nil {
+		return err
+	}
+	return b.cover.Update(stream.Update{
+		Edge: stream.Edge{U: e.U + b.n, V: e.V}, Type: u.Type,
+	})
+}
+
+// IsBipartite reports whether the current graph is bipartite. Isolated
+// nodes are bipartite trivially; the double-cover identity handles them
+// because an isolated node contributes one component to G and two to D(G).
+func (b *Bipartite) IsBipartite() (bool, error) {
+	_, ccG, err := b.base.ConnectedComponents()
+	if err != nil {
+		return false, fmt.Errorf("sketchext: base query: %w", err)
+	}
+	_, ccD, err := b.cover.ConnectedComponents()
+	if err != nil {
+		return false, fmt.Errorf("sketchext: cover query: %w", err)
+	}
+	return ccD == 2*ccG, nil
+}
+
+// Close releases both engines.
+func (b *Bipartite) Close() error {
+	err1 := b.base.Close()
+	err2 := b.cover.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}

@@ -1,0 +1,140 @@
+package sketchext
+
+import (
+	"errors"
+	"fmt"
+
+	"graphzeppelin/internal/core"
+	"graphzeppelin/internal/stream"
+)
+
+// KForests maintains k independent sketch engines over the same stream
+// and, at query time, peels k edge-disjoint spanning forests F1…Fk:
+// F1 spans G, F2 spans G−F1, and so on. Their union is Ahn, Guha and
+// McGregor's k-edge-connectivity certificate: the graph is k-edge-
+// connected iff the certificate is, and cuts of value < k are preserved
+// exactly. Peeling works because sketches are linear: deleting a forest's
+// edges from the next engine is just toggling them.
+type KForests struct {
+	k       int
+	n       uint32
+	engines []*core.Engine
+}
+
+// NewKForests creates a k-forest structure over node ids [0, numNodes).
+// Each layer uses an independently seeded engine (adaptivity between
+// layers is resolved by the peeling order, per AGM).
+func NewKForests(k int, numNodes uint32, cfg core.Config) (*KForests, error) {
+	if k < 1 {
+		return nil, errors.New("sketchext: k must be at least 1")
+	}
+	cfg.NumNodes = numNodes
+	kf := &KForests{k: k, n: numNodes}
+	for i := 0; i < k; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i+1)*0x9e3779b97f4a7c15
+		eng, err := core.NewEngine(c)
+		if err != nil {
+			kf.Close()
+			return nil, err
+		}
+		kf.engines = append(kf.engines, eng)
+	}
+	return kf, nil
+}
+
+// Update ingests one stream update into every layer.
+func (kf *KForests) Update(u stream.Update) error {
+	for i, eng := range kf.engines {
+		if err := eng.Update(u); err != nil {
+			return fmt.Errorf("sketchext: layer %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Forests peels and returns the k edge-disjoint spanning forests. The
+// layers' sketches are consumed progressively by the peeled deletions, so
+// Forests is a terminal query: further Updates after it would summarize
+// G minus the peeled forests on the deeper layers. Peel once, at the end,
+// as the AGM construction does.
+func (kf *KForests) Forests() ([][]stream.Edge, error) {
+	forests := make([][]stream.Edge, kf.k)
+	for i := 0; i < kf.k; i++ {
+		forest, err := kf.engines[i].SpanningForest()
+		if err != nil {
+			return nil, fmt.Errorf("sketchext: peeling layer %d: %w", i, err)
+		}
+		forests[i] = forest
+		// Remove this forest from all deeper layers (linearity: a delete
+		// is the same toggle as an insert).
+		for j := i + 1; j < kf.k; j++ {
+			for _, e := range forest {
+				if err := kf.engines[j].Update(stream.Update{Edge: e, Type: stream.Delete}); err != nil {
+					return nil, fmt.Errorf("sketchext: peeling into layer %d: %w", j, err)
+				}
+			}
+		}
+	}
+	return forests, nil
+}
+
+// Certificate returns the union of the k peeled forests: a sparse
+// (≤ k·(V−1) edge) subgraph preserving all cuts up to value k.
+func (kf *KForests) Certificate() ([]stream.Edge, error) {
+	forests, err := kf.Forests()
+	if err != nil {
+		return nil, err
+	}
+	var cert []stream.Edge
+	for _, f := range forests {
+		cert = append(cert, f...)
+	}
+	return cert, nil
+}
+
+// EdgeConnectivity returns min(k, λ) where λ is the global edge
+// connectivity of the graph restricted to its non-isolated nodes: the
+// peeled certificate's min cut, computed exactly with Stoer–Wagner. A
+// return value of k means "at least k"; smaller values are exact. A graph
+// whose non-isolated nodes are disconnected has connectivity 0. Isolated
+// nodes are ignored because the node universe is an upper bound — nodes
+// that never appeared in the stream should not force the answer to 0.
+// (A node with any incident edge appears in the first peeled forest, so
+// certificate-isolated means stream-isolated w.h.p.)
+func (kf *KForests) EdgeConnectivity() (int, error) {
+	cert, err := kf.Certificate()
+	if err != nil {
+		return 0, err
+	}
+	// Compact the certificate onto its non-isolated nodes.
+	remap := make(map[uint32]uint32)
+	compact := make([]stream.Edge, len(cert))
+	id := func(v uint32) uint32 {
+		if r, ok := remap[v]; ok {
+			return r
+		}
+		r := uint32(len(remap))
+		remap[v] = r
+		return r
+	}
+	for i, e := range cert {
+		compact[i] = stream.Edge{U: id(e.U), V: id(e.V)}
+	}
+	lambda := StoerWagner(uint32(len(remap)), compact)
+	if lambda > kf.k {
+		lambda = kf.k
+	}
+	return lambda, nil
+}
+
+// Close releases every layer.
+func (kf *KForests) Close() error {
+	var first error
+	for _, eng := range kf.engines {
+		if err := eng.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

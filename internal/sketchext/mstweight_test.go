@@ -1,0 +1,165 @@
+package sketchext
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+
+	"graphzeppelin/internal/core"
+	"graphzeppelin/internal/dsu"
+	"graphzeppelin/internal/stream"
+)
+
+// kruskalWeight computes the exact MSF weight.
+func kruskalWeight(n uint32, edges []stream.Edge, weight map[stream.Edge]int) int64 {
+	type we struct {
+		e stream.Edge
+		w int
+	}
+	all := make([]we, 0, len(edges))
+	for _, e := range edges {
+		all = append(all, we{e: e, w: weight[e.Normalize()]})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].w < all[j].w })
+	d := dsu.New(int(n))
+	var total int64
+	for _, x := range all {
+		if _, merged := d.Union(x.e.U, x.e.V); merged {
+			total += int64(x.w)
+		}
+	}
+	return total
+}
+
+func TestMSFWeightSimple(t *testing.T) {
+	m, err := NewMSFWeight(3, 4, core.Config{Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	// Triangle 0-1-2 with weights 1, 2, 3 plus pendant 3 at weight 2:
+	// MSF takes weights 1, 2 and the pendant 2 → 5.
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(m.Insert(0, 1, 1))
+	must(m.Insert(1, 2, 2))
+	must(m.Insert(0, 2, 3))
+	must(m.Insert(2, 3, 2))
+	got, err := m.Weight()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 5 {
+		t.Fatalf("Weight = %d, want 5", got)
+	}
+}
+
+func TestMSFWeightDeletionsShiftTheForest(t *testing.T) {
+	m, err := NewMSFWeight(4, 4, core.Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	// Two parallel paths 0→3: cheap (1+1+1) and pricey (4, direct).
+	if err := m.Insert(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert(2, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert(0, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Weight()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("Weight = %d, want 3 (cheap path)", got)
+	}
+	// Cut the cheap path's middle: forest must fall back to the pricey
+	// edge: weights 1 + 1 + 4.
+	if err := m.Delete(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err = m.Weight()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 6 {
+		t.Fatalf("Weight after deletion = %d, want 6", got)
+	}
+}
+
+func TestMSFWeightRandomAgainstKruskal(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	for trial := 0; trial < 6; trial++ {
+		const n = 20
+		const maxW = 5
+		m, err := NewMSFWeight(maxW, n, core.Config{Seed: uint64(200 + trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		weight := map[stream.Edge]int{}
+		var edges []stream.Edge
+		for i := 0; i < 60; i++ {
+			e := stream.Edge{U: uint32(rng.Uint64N(n)), V: uint32(rng.Uint64N(n))}.Normalize()
+			if e.U == e.V {
+				continue
+			}
+			if _, dup := weight[e]; dup {
+				continue
+			}
+			w := 1 + int(rng.Uint64N(maxW))
+			weight[e] = w
+			edges = append(edges, e)
+			if err := m.Insert(e.U, e.V, w); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := m.Weight()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := kruskalWeight(n, edges, weight); got != want {
+			t.Fatalf("trial %d: Weight = %d, Kruskal = %d", trial, got, want)
+		}
+		m.Close()
+	}
+}
+
+func TestMSFWeightValidation(t *testing.T) {
+	if _, err := NewMSFWeight(0, 4, core.Config{Seed: 1}); err == nil {
+		t.Fatal("maxWeight=0 accepted")
+	}
+	m, err := NewMSFWeight(2, 4, core.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Insert(0, 1, 3); err == nil {
+		t.Fatal("out-of-range weight accepted")
+	}
+	if err := m.Insert(0, 1, 0); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+}
+
+func TestMSFWeightEmptyGraph(t *testing.T) {
+	m, err := NewMSFWeight(3, 8, core.Config{Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	got, err := m.Weight()
+	if err != nil || got != 0 {
+		t.Fatalf("empty graph Weight = %d, %v; want 0", got, err)
+	}
+}

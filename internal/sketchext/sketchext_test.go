@@ -1,0 +1,312 @@
+package sketchext
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"graphzeppelin/internal/core"
+	"graphzeppelin/internal/dsu"
+	"graphzeppelin/internal/stream"
+)
+
+func insert(t *testing.T, target interface {
+	Update(stream.Update) error
+}, u, v uint32) {
+	t.Helper()
+	if err := target.Update(stream.Update{Edge: stream.Edge{U: u, V: v}, Type: stream.Insert}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func remove(t *testing.T, target interface {
+	Update(stream.Update) error
+}, u, v uint32) {
+	t.Helper()
+	if err := target.Update(stream.Update{Edge: stream.Edge{U: u, V: v}, Type: stream.Delete}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBipartiteEvenCycle(t *testing.T) {
+	b, err := NewBipartite(8, core.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	for u := uint32(0); u < 6; u++ {
+		insert(t, b, u, (u+1)%6) // 6-cycle: bipartite
+	}
+	ok, err := b.IsBipartite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("even cycle judged non-bipartite")
+	}
+}
+
+func TestBipartiteOddCycle(t *testing.T) {
+	b, err := NewBipartite(8, core.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	for u := uint32(0); u < 5; u++ {
+		insert(t, b, u, (u+1)%5) // 5-cycle: not bipartite
+	}
+	ok, err := b.IsBipartite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("odd cycle judged bipartite")
+	}
+}
+
+func TestBipartiteDeletionRestores(t *testing.T) {
+	b, err := NewBipartite(8, core.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	// Path 0-1-2-3 plus the chord 0-2 forming a triangle.
+	insert(t, b, 0, 1)
+	insert(t, b, 1, 2)
+	insert(t, b, 2, 3)
+	insert(t, b, 0, 2)
+	if ok, _ := b.IsBipartite(); ok {
+		t.Fatal("triangle judged bipartite")
+	}
+	remove(t, b, 0, 2)
+	if ok, _ := b.IsBipartite(); !ok {
+		t.Fatal("path judged non-bipartite after chord deletion")
+	}
+}
+
+// isBipartiteExact 2-colours via BFS for the randomized comparison.
+func isBipartiteExact(n uint32, edges []stream.Edge) bool {
+	adj := make([][]uint32, n)
+	for _, e := range edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	color := make([]int8, n)
+	for start := uint32(0); start < n; start++ {
+		if color[start] != 0 {
+			continue
+		}
+		color[start] = 1
+		queue := []uint32{start}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range adj[u] {
+				if color[v] == 0 {
+					color[v] = -color[u]
+					queue = append(queue, v)
+				} else if color[v] == color[u] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func TestBipartiteRandomAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 12; trial++ {
+		const n = 24
+		b, err := NewBipartite(n, core.Config{Seed: uint64(100 + trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var edges []stream.Edge
+		seen := map[stream.Edge]bool{}
+		// Half the trials plant a bipartition, half are unconstrained.
+		planted := trial%2 == 0
+		for i := 0; i < 40; i++ {
+			u := uint32(rng.Uint64N(n))
+			v := uint32(rng.Uint64N(n))
+			if planted {
+				u = u &^ 1 // even side
+				v = v | 1  // odd side
+			}
+			e := stream.Edge{U: u, V: v}.Normalize()
+			if e.U == e.V || seen[e] {
+				continue
+			}
+			seen[e] = true
+			edges = append(edges, e)
+			insert(t, b, e.U, e.V)
+		}
+		got, err := b.IsBipartite()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := isBipartiteExact(n, edges); got != want {
+			t.Fatalf("trial %d (planted=%v): IsBipartite = %v, exact = %v", trial, planted, got, want)
+		}
+		b.Close()
+	}
+}
+
+func TestKForestsEdgeDisjointAndSpanning(t *testing.T) {
+	const n = 24
+	kf, err := NewKForests(3, n, core.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kf.Close()
+	// Complete graph on 12 nodes (11-edge-connected), rest isolated.
+	var edges []stream.Edge
+	for u := uint32(0); u < 12; u++ {
+		for v := u + 1; v < 12; v++ {
+			edges = append(edges, stream.Edge{U: u, V: v})
+			insert(t, kf, u, v)
+		}
+	}
+	forests, err := kf.Forests()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forests) != 3 {
+		t.Fatalf("got %d forests", len(forests))
+	}
+	used := map[stream.Edge]bool{}
+	inGraph := map[stream.Edge]bool{}
+	for _, e := range edges {
+		inGraph[e] = true
+	}
+	for fi, f := range forests {
+		d := dsu.New(n)
+		for _, e := range f {
+			if !inGraph[e.Normalize()] {
+				t.Fatalf("forest %d contains non-edge %v", fi, e)
+			}
+			if used[e.Normalize()] {
+				t.Fatalf("edge %v appears in two forests", e)
+			}
+			used[e.Normalize()] = true
+			if _, merged := d.Union(e.U, e.V); !merged {
+				t.Fatalf("forest %d has a cycle", fi)
+			}
+		}
+		// Every forest of K12 minus <=2 earlier forests still spans the
+		// 12-clique: 11 edges each.
+		if len(f) != 11 {
+			t.Fatalf("forest %d has %d edges, want 11", fi, len(f))
+		}
+	}
+}
+
+func TestEdgeConnectivityValues(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (uint32, []stream.Edge)
+		k     int
+		want  int
+	}{
+		{
+			name: "disconnected",
+			build: func() (uint32, []stream.Edge) {
+				return 6, []stream.Edge{{U: 0, V: 1}, {U: 2, V: 3}}
+			},
+			k: 2, want: 0,
+		},
+		{
+			name: "path-is-1-connected",
+			build: func() (uint32, []stream.Edge) {
+				var es []stream.Edge
+				for u := uint32(0); u < 5; u++ {
+					es = append(es, stream.Edge{U: u, V: u + 1})
+				}
+				return 6, es
+			},
+			k: 3, want: 1,
+		},
+		{
+			name: "cycle-is-2-connected",
+			build: func() (uint32, []stream.Edge) {
+				var es []stream.Edge
+				for u := uint32(0); u < 6; u++ {
+					es = append(es, stream.Edge{U: u, V: (u + 1) % 6})
+				}
+				return 6, es
+			},
+			k: 3, want: 2,
+		},
+		{
+			name: "k5-capped-at-k",
+			build: func() (uint32, []stream.Edge) {
+				var es []stream.Edge
+				for u := uint32(0); u < 5; u++ {
+					for v := u + 1; v < 5; v++ {
+						es = append(es, stream.Edge{U: u, V: v})
+					}
+				}
+				return 5, es
+			},
+			k: 3, want: 3, // λ(K5)=4, reported as "at least k"
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			n, edges := c.build()
+			kf, err := NewKForests(c.k, n, core.Config{Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer kf.Close()
+			for _, e := range edges {
+				insert(t, kf, e.U, e.V)
+			}
+			got, err := kf.EdgeConnectivity()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != c.want {
+				t.Fatalf("EdgeConnectivity = %d, want %d", got, c.want)
+			}
+		})
+	}
+}
+
+func TestStoerWagnerExact(t *testing.T) {
+	cases := []struct {
+		name  string
+		n     uint32
+		edges []stream.Edge
+		want  int
+	}{
+		{"empty", 4, nil, 0},
+		{"single-node", 1, nil, 0},
+		{"one-edge", 2, []stream.Edge{{U: 0, V: 1}}, 1},
+		{"triangle", 3, []stream.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}}, 2},
+		{"bridge", 6, []stream.Edge{
+			{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, // triangle A
+			{U: 3, V: 4}, {U: 4, V: 5}, {U: 3, V: 5}, // triangle B
+			{U: 2, V: 3}, // bridge
+		}, 1},
+		{"k4", 4, []stream.Edge{
+			{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3},
+			{U: 1, V: 2}, {U: 1, V: 3}, {U: 2, V: 3},
+		}, 3},
+		{"isolated-node", 4, []stream.Edge{
+			{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2},
+		}, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := StoerWagner(c.n, c.edges); got != c.want {
+				t.Fatalf("StoerWagner = %d, want %d", got, c.want)
+			}
+		})
+	}
+}
+
+func TestKForestsValidatesK(t *testing.T) {
+	if _, err := NewKForests(0, 4, core.Config{Seed: 1}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}

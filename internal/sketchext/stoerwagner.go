@@ -1,0 +1,86 @@
+package sketchext
+
+import "graphzeppelin/internal/stream"
+
+// StoerWagner computes the global minimum cut value of the undirected
+// graph on numNodes nodes with the given edges (the exact verifier for
+// the k-connectivity certificate). A graph on fewer than two nodes, or a
+// disconnected graph (including any isolated node), has cut value 0.
+//
+// Classic O(V³) minimum-cut-phase algorithm; the certificates it verifies
+// have at most k·(V−1) edges, so this is comfortably fast at certificate
+// sizes.
+func StoerWagner(numNodes uint32, edges []stream.Edge) int {
+	n := int(numNodes)
+	if n < 2 {
+		return 0
+	}
+	// Weighted adjacency matrix; parallel edges accumulate.
+	w := make([][]int, n)
+	for i := range w {
+		w[i] = make([]int, n)
+	}
+	for _, e := range edges {
+		eg := e.Normalize()
+		if int(eg.V) >= n || eg.U == eg.V {
+			continue
+		}
+		w[eg.U][eg.V]++
+		w[eg.V][eg.U]++
+	}
+
+	active := make([]int, n) // contracted super-vertices
+	for i := range active {
+		active[i] = i
+	}
+	best := -1
+	for len(active) > 1 {
+		// Minimum cut phase: maximum-adjacency order over active vertices.
+		order := make([]int, 0, len(active))
+		weight := make(map[int]int, len(active))
+		inA := make(map[int]bool, len(active))
+		for len(order) < len(active) {
+			sel, selW := -1, -1
+			for _, v := range active {
+				if inA[v] {
+					continue
+				}
+				if weight[v] > selW {
+					sel, selW = v, weight[v]
+				}
+			}
+			inA[sel] = true
+			order = append(order, sel)
+			for _, v := range active {
+				if !inA[v] {
+					weight[v] += w[sel][v]
+				}
+			}
+		}
+		s := order[len(order)-2]
+		t := order[len(order)-1]
+		cutOfPhase := weight[t]
+		if best < 0 || cutOfPhase < best {
+			best = cutOfPhase
+		}
+		// Contract t into s.
+		for _, v := range active {
+			if v == s || v == t {
+				continue
+			}
+			w[s][v] += w[t][v]
+			w[v][s] = w[s][v]
+		}
+		next := active[:0]
+		for _, v := range active {
+			if v != t {
+				next = append(next, v)
+			}
+		}
+		active = next
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}

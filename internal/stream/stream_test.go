@@ -1,0 +1,135 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorLen(t *testing.T) {
+	cases := []struct {
+		n, want uint64
+	}{{2, 1}, {3, 3}, {4, 6}, {1024, 523776}}
+	for _, c := range cases {
+		if got := VectorLen(c.n); got != c.want {
+			t.Errorf("VectorLen(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestEdgeIndexExhaustiveBijection(t *testing.T) {
+	// For a small universe, every edge must map to a distinct in-range
+	// index and invert exactly.
+	const n = 29
+	seen := make(map[uint64]Edge)
+	for u := uint32(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			e := Edge{U: u, V: v}
+			idx := EdgeIndex(n, e)
+			if idx >= VectorLen(n) {
+				t.Fatalf("EdgeIndex(%v) = %d out of range", e, idx)
+			}
+			if prev, dup := seen[idx]; dup {
+				t.Fatalf("index %d shared by %v and %v", idx, prev, e)
+			}
+			seen[idx] = e
+			back, err := IndexEdge(n, idx)
+			if err != nil || back != e {
+				t.Fatalf("IndexEdge(EdgeIndex(%v)) = %v, %v", e, back, err)
+			}
+		}
+	}
+	if uint64(len(seen)) != VectorLen(n) {
+		t.Fatalf("covered %d indices, want %d", len(seen), VectorLen(n))
+	}
+}
+
+func TestEdgeIndexRoundTripQuick(t *testing.T) {
+	f := func(uRaw, vRaw uint32) bool {
+		const n = 1 << 20
+		u, v := uRaw%n, vRaw%n
+		if u == v {
+			return true
+		}
+		e := Edge{U: u, V: v}.Normalize()
+		back, err := IndexEdge(n, EdgeIndex(n, e))
+		return err == nil && back == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeIndexOrderInsensitive(t *testing.T) {
+	if EdgeIndex(100, Edge{U: 3, V: 7}) != EdgeIndex(100, Edge{U: 7, V: 3}) {
+		t.Fatal("EdgeIndex depends on endpoint order")
+	}
+}
+
+func TestIndexEdgeOutOfRange(t *testing.T) {
+	if _, err := IndexEdge(10, VectorLen(10)); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestEdgeIndexPanicsOnBadEdge(t *testing.T) {
+	for _, e := range []Edge{{U: 5, V: 5}, {U: 0, V: 10}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("EdgeIndex(%v) did not panic", e)
+				}
+			}()
+			EdgeIndex(10, e)
+		}()
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if (Edge{U: 9, V: 2}).Normalize() != (Edge{U: 2, V: 9}) {
+		t.Fatal("Normalize failed")
+	}
+	if (Edge{U: 2, V: 9}).Normalize() != (Edge{U: 2, V: 9}) {
+		t.Fatal("Normalize changed an already-normalized edge")
+	}
+}
+
+func TestUpdateTypeString(t *testing.T) {
+	if Insert.String() != "insert" || Delete.String() != "delete" {
+		t.Fatal("UpdateType.String is wrong")
+	}
+}
+
+func TestValidatorRules(t *testing.T) {
+	var v Validator
+	ins := func(u, w uint32) error {
+		return v.Apply(Update{Edge: Edge{U: u, V: w}, Type: Insert})
+	}
+	del := func(u, w uint32) error {
+		return v.Apply(Update{Edge: Edge{U: u, V: w}, Type: Delete})
+	}
+	if err := ins(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ins(2, 1); !errors.Is(err, ErrInvalidUpdate) {
+		t.Fatalf("duplicate insert (reversed) accepted: %v", err)
+	}
+	if err := del(3, 4); !errors.Is(err, ErrInvalidUpdate) {
+		t.Fatal("delete of absent edge accepted")
+	}
+	if err := del(2, 1); err != nil {
+		t.Fatalf("valid delete rejected: %v", err)
+	}
+	if err := ins(1, 1); !errors.Is(err, ErrInvalidUpdate) {
+		t.Fatal("self loop accepted")
+	}
+	if v.EdgeCount() != 0 {
+		t.Fatalf("EdgeCount = %d, want 0", v.EdgeCount())
+	}
+	if err := ins(1, 2); err != nil {
+		t.Fatal("re-insert after delete rejected")
+	}
+	if got := v.Edges(); len(got) != 1 || got[0] != (Edge{U: 1, V: 2}) {
+		t.Fatalf("Edges = %v", got)
+	}
+}

@@ -1,0 +1,154 @@
+package u128
+
+import (
+	"math/big"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func toBig(u Uint128) *big.Int {
+	b := new(big.Int).SetUint64(u.Hi)
+	b.Lsh(b, 64)
+	return b.Add(b, new(big.Int).SetUint64(u.Lo))
+}
+
+func fromBig(b *big.Int) Uint128 {
+	mask := new(big.Int).SetUint64(^uint64(0))
+	lo := new(big.Int).And(b, mask).Uint64()
+	hi := new(big.Int).Rsh(b, 64).Uint64()
+	return Uint128{Hi: hi, Lo: lo}
+}
+
+var two128 = new(big.Int).Lsh(big.NewInt(1), 128)
+
+func TestAddSubMulAgainstBig(t *testing.T) {
+	f := func(ah, al, bh, bl uint64) bool {
+		a := Uint128{Hi: ah, Lo: al}
+		b := Uint128{Hi: bh, Lo: bl}
+		ba, bb := toBig(a), toBig(b)
+
+		sum := new(big.Int).Add(ba, bb)
+		sum.Mod(sum, two128)
+		if a.Add(b) != fromBig(sum) {
+			return false
+		}
+		diff := new(big.Int).Sub(ba, bb)
+		diff.Mod(diff, two128)
+		if a.Sub(b) != fromBig(diff) {
+			return false
+		}
+		prod := new(big.Int).Mul(ba, bb)
+		prod.Mod(prod, two128)
+		return a.Mul(b) == fromBig(prod)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	f := func(hi, lo uint64, nRaw uint8) bool {
+		n := uint(nRaw) % 128
+		u := Uint128{Hi: hi, Lo: lo}
+		b := toBig(u)
+		l := new(big.Int).Lsh(b, n)
+		l.Mod(l, two128)
+		if u.Lsh(n) != fromBig(l) {
+			return false
+		}
+		r := new(big.Int).Rsh(b, n)
+		return u.Rsh(n) == fromBig(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiv64AgainstBig(t *testing.T) {
+	f := func(hi, lo, d uint64) bool {
+		if d == 0 {
+			d = 1
+		}
+		u := Uint128{Hi: hi, Lo: lo}
+		bq, br := new(big.Int).DivMod(toBig(u), new(big.Int).SetUint64(d), new(big.Int))
+		q, r := u.Div64(d)
+		return q == fromBig(bq) && r == br.Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var bigM89 = new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 89), big.NewInt(1))
+
+func TestMod89AgainstBig(t *testing.T) {
+	f := func(hi, lo uint64) bool {
+		u := Uint128{Hi: hi, Lo: lo}
+		want := new(big.Int).Mod(toBig(u), bigM89)
+		return Mod89(u) == fromBig(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The fold fixed point: exactly the prime reduces to zero.
+	if !Mod89(Mersenne89).IsZero() {
+		t.Fatal("Mod89(p) != 0")
+	}
+}
+
+func TestMulMod89AgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 2000; i++ {
+		a := Mod89(Uint128{Hi: rng.Uint64() & ((1 << 25) - 1), Lo: rng.Uint64()})
+		b := Mod89(Uint128{Hi: rng.Uint64() & ((1 << 25) - 1), Lo: rng.Uint64()})
+		want := new(big.Int).Mul(toBig(a), toBig(b))
+		want.Mod(want, bigM89)
+		if got := MulMod89(a, b); got != fromBig(want) {
+			t.Fatalf("MulMod89(%v, %v) = %v, want %v", a, b, got, fromBig(want))
+		}
+	}
+}
+
+func TestPowMod89AgainstBig(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := 0; i < 200; i++ {
+		base := Mod89(Uint128{Hi: rng.Uint64() & ((1 << 25) - 1), Lo: rng.Uint64()})
+		exp := From64(rng.Uint64() % (1 << 40))
+		want := new(big.Int).Exp(toBig(base), toBig(exp), bigM89)
+		if got := PowMod89(base, exp); got != fromBig(want) {
+			t.Fatalf("PowMod89 mismatch at trial %d", i)
+		}
+	}
+	// Fermat's little theorem for the 128-bit field.
+	pm1 := Mersenne89.Sub(From64(1))
+	if got := PowMod89(From64(3), pm1); !got.Equal(From64(1)) {
+		t.Fatalf("3^(p-1) = %v, want 1", got)
+	}
+}
+
+func TestCmp(t *testing.T) {
+	cases := []struct {
+		a, b Uint128
+		want int
+	}{
+		{Uint128{0, 0}, Uint128{0, 0}, 0},
+		{Uint128{0, 1}, Uint128{0, 2}, -1},
+		{Uint128{1, 0}, Uint128{0, ^uint64(0)}, 1},
+		{Uint128{2, 5}, Uint128{2, 5}, 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Cmp(c.b); got != c.want {
+			t.Errorf("Cmp(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div64 by zero did not panic")
+		}
+	}()
+	From64(5).Div64(0)
+}

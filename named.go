@@ -1,0 +1,128 @@
+package graphzeppelin
+
+import (
+	"fmt"
+)
+
+// NamedGraph wraps a Graph for streams whose nodes are identified by
+// arbitrary strings rather than dense integer ids (Section 2.2 of the
+// paper: only a loose upper bound on the node count is needed; ids are
+// assigned as nodes first appear). The mapping costs O(nodes seen) memory
+// on top of the sketches.
+type NamedGraph struct {
+	g     *Graph
+	ids   map[string]uint32
+	names []string
+}
+
+// NewNamed creates a NamedGraph able to hold up to maxNodes distinct node
+// names.
+func NewNamed(maxNodes uint32, opts ...Option) (*NamedGraph, error) {
+	g, err := New(maxNodes, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &NamedGraph{g: g, ids: make(map[string]uint32)}, nil
+}
+
+// ErrUniverseFull is returned when more distinct names appear than the
+// NamedGraph was created for.
+var ErrUniverseFull = fmt.Errorf("graphzeppelin: node universe exhausted")
+
+func (n *NamedGraph) id(name string) (uint32, error) {
+	if id, ok := n.ids[name]; ok {
+		return id, nil
+	}
+	if uint32(len(n.names)) >= n.g.NumNodes() {
+		return 0, fmt.Errorf("%w (%d nodes)", ErrUniverseFull, n.g.NumNodes())
+	}
+	id := uint32(len(n.names))
+	n.ids[name] = id
+	n.names = append(n.names, name)
+	return id, nil
+}
+
+// Insert ingests the insertion of an edge between two named nodes,
+// assigning ids on first appearance.
+func (n *NamedGraph) Insert(a, b string) error {
+	ia, err := n.id(a)
+	if err != nil {
+		return err
+	}
+	ib, err := n.id(b)
+	if err != nil {
+		return err
+	}
+	return n.g.Insert(ia, ib)
+}
+
+// Delete ingests the deletion of an edge between two named nodes. Deleting
+// an edge between never-seen names is a stream violation; with names it is
+// detectable for free, so it is always an error.
+func (n *NamedGraph) Delete(a, b string) error {
+	ia, ok := n.ids[a]
+	if !ok {
+		return fmt.Errorf("graphzeppelin: delete names unknown node %q", a)
+	}
+	ib, ok := n.ids[b]
+	if !ok {
+		return fmt.Errorf("graphzeppelin: delete names unknown node %q", b)
+	}
+	return n.g.Delete(ia, ib)
+}
+
+// NumSeen returns the number of distinct names observed so far.
+func (n *NamedGraph) NumSeen() int { return len(n.names) }
+
+// Components returns the connected components over seen nodes, as groups
+// of names, plus the number of components among seen nodes.
+func (n *NamedGraph) Components() ([][]string, error) {
+	rep, _, err := n.g.ConnectedComponents()
+	if err != nil {
+		return nil, err
+	}
+	groups := make(map[uint32][]string)
+	var order []uint32
+	for id, name := range n.names {
+		r := rep[id]
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], name)
+	}
+	out := make([][]string, 0, len(order))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	return out, nil
+}
+
+// Connected reports whether two named nodes are in the same component.
+// Unknown names are isolated by definition.
+func (n *NamedGraph) Connected(a, b string) (bool, error) {
+	ia, okA := n.ids[a]
+	ib, okB := n.ids[b]
+	if !okA || !okB {
+		return a == b, nil
+	}
+	return n.g.Connected(ia, ib)
+}
+
+// Forest returns a spanning forest as name pairs.
+func (n *NamedGraph) Forest() ([][2]string, error) {
+	forest, err := n.g.SpanningForest()
+	if err != nil {
+		return nil, err
+	}
+	out := make([][2]string, len(forest))
+	for i, e := range forest {
+		out[i] = [2]string{n.names[e.U], n.names[e.V]}
+	}
+	return out, nil
+}
+
+// Stats returns the underlying Graph's statistics.
+func (n *NamedGraph) Stats() Stats { return n.g.Stats() }
+
+// Close releases the underlying Graph.
+func (n *NamedGraph) Close() error { return n.g.Close() }
