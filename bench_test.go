@@ -265,6 +265,42 @@ func BenchmarkFig16QueryTerraceLike(b *testing.B) {
 	}
 }
 
+// --- Ingest throughput: sharded pipeline vs the seed configuration ---
+
+// BenchmarkIngestThroughput measures steady-state RAM-path ingestion
+// across shard counts, reporting updates/sec and allocs/op. The seed
+// configuration (per-node mutexes + one global mutex-guarded MPMC queue +
+// per-sketch heap slices) is gone from the tree; its measurement on this
+// host is recorded in BENCH_ingest.json alongside the sharded pipeline's,
+// which also benefits from the one-hash-one-bucket CubeSketch update.
+func BenchmarkIngestThroughput(b *testing.B) {
+	res := experiments.KronStream(10, 1)
+	for _, s := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", s), func(b *testing.B) {
+			g, err := graphzeppelin.New(res.NumNodes, graphzeppelin.WithSeed(1), graphzeppelin.WithShards(s))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer g.Close()
+			// Warm the gutters and worker pool before timing.
+			for i := 0; i < len(res.Updates) && i < 1<<14; i++ {
+				if err := g.Apply(res.Updates[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := g.Apply(res.Updates[i%len(res.Updates)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer() // keep the deferred Close's drain out of ns/op
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/s")
+		})
+	}
+}
+
 // --- Ablations (DESIGN.md §5) ---
 
 // BenchmarkAblationColumns sweeps the per-sketch column count log(1/δ):

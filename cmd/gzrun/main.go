@@ -28,6 +28,7 @@ func main() {
 	var (
 		path      = flag.String("stream", "", "GZS1 stream file (required)")
 		workers   = flag.Int("workers", 1, "graph workers")
+		shards    = flag.Int("shards", 0, "ingest shards (0 = one per worker)")
 		buffering = flag.String("buffering", "leaf", "buffering: leaf, tree, none")
 		factor    = flag.Float64("f", 0.5, "gutter size factor")
 		disk      = flag.String("disk", "", "directory for on-disk sketches (empty = RAM)")
@@ -55,6 +56,9 @@ func main() {
 		graphzeppelin.WithSeed(*seed),
 		graphzeppelin.WithWorkers(*workers),
 		graphzeppelin.WithBufferFactor(*factor),
+	}
+	if *shards > 0 {
+		opts = append(opts, graphzeppelin.WithShards(*shards))
 	}
 	switch *buffering {
 	case "leaf":
@@ -115,8 +119,8 @@ func main() {
 	fmt.Printf("ingested %d updates in %.3fs (%.2f M updates/s)\n",
 		ingested, ingestDur.Seconds(), float64(ingested)/ingestDur.Seconds()/1e6)
 	fmt.Printf("final query: %d components in %.3fs\n", count, qDur.Seconds())
-	fmt.Printf("memory %.1f MiB, disk %.1f MiB, %d batches\n",
-		float64(st.MemoryBytes)/(1<<20), float64(st.DiskBytes)/(1<<20), st.Batches)
+	fmt.Printf("memory %.1f MiB, disk %.1f MiB, %d batches across %d shards %v\n",
+		float64(st.MemoryBytes)/(1<<20), float64(st.DiskBytes)/(1<<20), st.Batches, st.Shards, st.ShardBatches)
 	if st.SketchIO.TotalBlocks() > 0 {
 		fmt.Printf("sketch I/O: %d read blocks, %d write blocks\n",
 			st.SketchIO.ReadBlocks, st.SketchIO.WriteBlocks)

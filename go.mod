@@ -1,0 +1,3 @@
+module graphzeppelin
+
+go 1.24

@@ -11,6 +11,13 @@
 // graph), updates are buffered per destination node for locality and I/O
 // efficiency, and queries emulate Boruvka's algorithm over the sketches.
 //
+// Ingestion is sharded: nodes are partitioned by node % shards, every
+// shard's sketches live in one contiguous arena owned exclusively by that
+// shard's Graph Worker goroutine, and buffered batches reach the workers
+// through per-shard lock-free queues. No per-update locking remains — the
+// only mutex left on the ingest side is a buffer-recycling freelist taken
+// once per batch. WithShards (default WithWorkers) sets the parallelism.
+//
 // Basic use:
 //
 //	g, err := graphzeppelin.New(1024)
@@ -72,9 +79,20 @@ func WithSeed(seed uint64) Option {
 }
 
 // WithWorkers sets the number of Graph Worker goroutines applying batched
-// sketch updates (default 1).
+// sketch updates (default 1). The engine runs one worker per ingest
+// shard, so this is shorthand for WithShards(n); an explicit WithShards
+// wins.
 func WithWorkers(n int) Option {
 	return func(c *core.Config) { c.Workers = n }
+}
+
+// WithShards sets the number of ingest shards (default the WithWorkers
+// value). Nodes are partitioned by node % shards and each shard's
+// sketches are owned by one Graph Worker, so shards bound both the
+// ingest parallelism and the per-shard arena size. Values above the node
+// count are clamped.
+func WithShards(n int) Option {
+	return func(c *core.Config) { c.Shards = n }
 }
 
 // WithBuffering selects the buffering structure (default LeafGutters).

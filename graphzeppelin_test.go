@@ -199,6 +199,84 @@ func TestQueriesInterleaveWithIngestion(t *testing.T) {
 	}
 }
 
+// TestOutOfCoreConcurrentIngestMatchesReference drives the full
+// out-of-core configuration — disk-backed sketches, gutter-tree buffering,
+// several shard workers — through a churny random stream with interleaved
+// queries, asserting the recovered partition always matches an in-RAM
+// reference graph and that the sketch store actually saw block I/O.
+func TestOutOfCoreConcurrentIngestMatchesReference(t *testing.T) {
+	const n = 96
+	g, err := graphzeppelin.New(n,
+		graphzeppelin.WithSeed(31),
+		graphzeppelin.WithShards(4),
+		graphzeppelin.WithSketchesOnDisk(t.TempDir()),
+		graphzeppelin.WithBuffering(graphzeppelin.GutterTree),
+		graphzeppelin.WithGutterTreeConfig(4, 128, 32),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	rng := rand.New(rand.NewPCG(17, 23))
+	present := map[stream.Edge]bool{}
+	for step := 0; step < 4; step++ {
+		for i := 0; i < 800; i++ {
+			e := stream.Edge{U: uint32(rng.Uint64N(n)), V: uint32(rng.Uint64N(n))}.Normalize()
+			if e.U == e.V {
+				continue
+			}
+			// Toggle: an insert if absent, a delete if present, so the
+			// stream stays well-formed while churning heavily.
+			present[e] = !present[e]
+			if err := g.Insert(e.U, e.V); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rep, count, err := g.ConnectedComponents()
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		exact := dsu.New(n)
+		for e, on := range present {
+			if on {
+				exact.Union(e.U, e.V)
+			}
+		}
+		if count != exact.Count() {
+			t.Fatalf("step %d: components = %d, want %d", step, count, exact.Count())
+		}
+		wantRep, _ := exact.Components()
+		label := map[uint32]uint32{}
+		for i := range rep {
+			if m, ok := label[wantRep[i]]; ok {
+				if m != rep[i] {
+					t.Fatalf("step %d: partition mismatch at node %d", step, i)
+				}
+			} else {
+				label[wantRep[i]] = rep[i]
+			}
+		}
+	}
+	st := g.Stats()
+	if st.SketchIO.TotalBlocks() == 0 {
+		t.Fatal("out-of-core run reported zero sketch I/O")
+	}
+	if st.BufferIO.TotalBlocks() == 0 {
+		t.Fatal("gutter tree reported zero buffer I/O")
+	}
+	if st.Shards != 4 || len(st.ShardBatches) != 4 {
+		t.Fatalf("shard stats not plumbed: %+v", st)
+	}
+	var shardSum uint64
+	for _, b := range st.ShardBatches {
+		shardSum += b
+	}
+	if shardSum != st.Batches || shardSum == 0 {
+		t.Fatalf("per-shard batches %v do not sum to total %d", st.ShardBatches, st.Batches)
+	}
+}
+
 func TestQueryFailureSurfacesWithTooFewRounds(t *testing.T) {
 	// One Boruvka round cannot finish a long path graph; the engine must
 	// report the failure rather than return a partial forest silently.

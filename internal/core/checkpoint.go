@@ -12,7 +12,9 @@ import (
 
 // Checkpoint format:
 //
-//	magic    [4]byte "GZE1"
+//	magic    [4]byte "GZE2" (bumped from GZE1 when the sketch hash moved
+//	         to Mix64 with one-bucket placement; GZE1 sketch contents are
+//	         not interpretable by this code and are rejected by magic)
 //	numNodes uint32
 //	seed     uint64
 //	columns  uint32
@@ -26,7 +28,7 @@ import (
 // with the same parameters elsewhere (the distributed-partitioning
 // direction of the paper's conclusion; see MergeCheckpoint).
 
-var checkpointMagic = [4]byte{'G', 'Z', 'E', '1'}
+var checkpointMagic = [4]byte{'G', 'Z', 'E', '2'}
 
 // ErrIncompatibleCheckpoint is returned when merging a checkpoint whose
 // parameters (node count, seed, columns, rounds) differ from the engine's.
@@ -64,16 +66,15 @@ func (e *Engine) WriteCheckpoint(w io.Writer) error {
 }
 
 // readSlot fills blob with node's serialized sketches from either store.
+// RAM-mode slots are read straight out of the owning shard's slab; slots
+// are only touched in quiescent phases (after Drain), so no locking is
+// needed.
 func (e *Engine) readSlot(node uint32, blob []byte) error {
 	if e.store != nil {
 		return e.store.Read(node, blob)
 	}
-	e.locks[node].Lock()
-	defer e.locks[node].Unlock()
-	off := 0
-	for _, s := range e.ram[node] {
-		off += s.MarshalInto(blob[off:])
-	}
+	sh, local := e.shardOf(node)
+	sh.slab.MarshalNode(local, blob)
 	return nil
 }
 
@@ -82,14 +83,9 @@ func (e *Engine) writeSlot(node uint32, blob []byte) error {
 	if e.store != nil {
 		return e.store.Write(node, blob)
 	}
-	e.locks[node].Lock()
-	defer e.locks[node].Unlock()
-	off := 0
-	for r := range e.ram[node] {
-		if err := e.ram[node][r].UnmarshalBinary(blob[off : off+e.sketchSize]); err != nil {
-			return fmt.Errorf("core: checkpoint slot of node %d round %d: %w", node, r, err)
-		}
-		off += e.sketchSize
+	sh, local := e.shardOf(node)
+	if err := sh.slab.UnmarshalNode(local, blob); err != nil {
+		return fmt.Errorf("core: checkpoint slot of node %d: %w", node, err)
 	}
 	return nil
 }
@@ -108,7 +104,7 @@ func readCheckpointHeader(br *bufio.Reader) (checkpointHeader, error) {
 		return checkpointHeader{}, fmt.Errorf("core: reading checkpoint magic: %w", err)
 	}
 	if m != checkpointMagic {
-		return checkpointHeader{}, errors.New("core: not a GZE1 checkpoint")
+		return checkpointHeader{}, errors.New("core: not a GZE2 checkpoint")
 	}
 	var hdr [28]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {

@@ -1,8 +1,9 @@
 // Package core implements the GraphZeppelin engine (Section 5): per-node
-// sketches made of one CubeSketch per Boruvka round, the buffered
-// ingestion pipeline (gutters → work queue → Graph Workers), and the
-// query path that recovers a spanning forest by emulating Boruvka's
-// algorithm over the sketches.
+// sketches made of one CubeSketch per Boruvka round, the sharded buffered
+// ingestion pipeline (gutters → per-shard SPSC queues → shard-owning
+// Graph Workers over contiguous sketch arenas), and the query path that
+// recovers a spanning forest by emulating Boruvka's algorithm over the
+// sketches.
 package core
 
 import (
@@ -52,8 +53,15 @@ type Config struct {
 	// Seed drives all sketch hashing. Engines with equal NumNodes,
 	// Columns, Rounds and Seed have mergeable sketches.
 	Seed uint64
-	// Workers is the number of Graph Worker goroutines (default 1).
+	// Workers seeds the default shard count (default 1). The engine runs
+	// one Graph Worker goroutine per shard, so with Shards unset this is
+	// the number of Graph Workers, as in the seed design.
 	Workers int
+	// Shards is the number of ingest shards (default Workers, clamped to
+	// NumNodes). Nodes are partitioned by node % Shards; each shard's
+	// sketches are owned exclusively by one Graph Worker, which is what
+	// lets the ingest path run without any per-node locking.
+	Shards int
 	// Columns is the per-CubeSketch column count (default 7, §5.1).
 	Columns int
 	// Rounds is the number of CubeSketches per node sketch, one per
@@ -75,8 +83,11 @@ type Config struct {
 	Tree gutter.TreeConfig
 	// BlockSize is the device block size in bytes (default 16 KiB).
 	BlockSize int
-	// QueueCapacity bounds the work queue in batches (default
-	// 8 × Workers, §5.1).
+	// QueueCapacity bounds the total work queued between the buffering
+	// stage and the Graph Workers, in batches, spread evenly across the
+	// per-shard queues (default 8 × Shards, §5.1's 8 × Workers). Each
+	// shard keeps a floor of one slot, so values below Shards are
+	// effectively raised to Shards.
 	QueueCapacity int
 	// DeviceFactory overrides block-device creation for the sketch store
 	// and gutter tree. Nil uses files under Dir (or in-memory devices when
@@ -91,6 +102,12 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Workers <= 0 {
 		c.Workers = 1
 	}
+	if c.Shards <= 0 {
+		c.Shards = c.Workers
+	}
+	if uint32(c.Shards) > c.NumNodes {
+		c.Shards = int(c.NumNodes)
+	}
 	if c.Columns <= 0 {
 		c.Columns = cubesketch.DefaultColumns
 	}
@@ -104,7 +121,7 @@ func (c Config) withDefaults() (Config, error) {
 		c.BlockSize = iomodel.DefaultBlockSize
 	}
 	if c.QueueCapacity <= 0 {
-		c.QueueCapacity = 8 * c.Workers
+		c.QueueCapacity = 8 * c.Shards
 	}
 	return c, nil
 }

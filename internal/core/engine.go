@@ -18,12 +18,21 @@ import (
 // every node's round-r sketch shares a seed so supernode merging works.
 const roundSeedSalt = 0x51ed270693a3f
 
+// ErrClosed is returned by Update after the engine has been closed.
+var ErrClosed = errors.New("core: engine is closed")
+
 // Stats reports engine activity.
 type Stats struct {
 	// Updates is the number of stream updates ingested.
 	Updates uint64
-	// Batches is the number of node-keyed batches applied to sketches.
+	// Batches is the number of node-keyed batches applied to sketches,
+	// summed across shards.
 	Batches uint64
+	// Shards is the number of ingest shards (= Graph Workers), and
+	// ShardBatches the per-shard batch counts; a skewed distribution
+	// means the node→shard partition is unbalanced for this stream.
+	Shards       int
+	ShardBatches []uint64
 	// SketchIO and BufferIO are block-device statistics for the sketch
 	// store and the gutter tree (zero when those live in RAM).
 	SketchIO, BufferIO iomodel.Stats
@@ -40,40 +49,74 @@ type Stats struct {
 
 // Engine is a GraphZeppelin instance. Ingestion (Update) must be driven
 // from a single goroutine; sketch application is parallelized internally
-// across the configured Graph Workers. Queries may be interleaved with
+// across shard-owning Graph Workers. Queries may be interleaved with
 // ingestion from that same driving goroutine.
+//
+// Sharded ingest pipeline: updates are buffered per destination node by a
+// gutter.Buffer; emitted batches are routed by node % shards onto one
+// lock-free SPSC queue per shard; and each shard's single Graph Worker
+// owns its shard's sketches outright (an arena-backed cubesketch.Slab in
+// RAM mode, a private decode arena in disk mode). Exclusive ownership
+// replaces the seed design's per-node mutexes: no per-update locking
+// remains (the buffer-recycling freelist takes its mutex once per batch),
+// and quiescent phases (Drain, queries, checkpoints) synchronize through
+// the pending-batch WaitGroup alone.
 type Engine struct {
 	cfg        Config
 	vecLen     uint64
 	sketchSize int // serialized bytes of one CubeSketch
 	slotSize   int // serialized bytes of one node sketch (all rounds)
-	nodeBytes  int // in-RAM bytes of one node sketch's bucket arrays
 
-	locks []sync.Mutex
-	ram   [][]*cubesketch.Sketch // [node][round]; nil in disk mode
+	shards []*shard
 
 	store    *diskstore.Store // non-nil in disk mode
 	storeDev iomodel.Device
 
-	queue   *gutter.Queue
+	buf     gutter.Buffer
 	pending sync.WaitGroup
 	wg      sync.WaitGroup
 
-	leaf    *gutter.LeafGutters
-	tree    *gutter.Tree
+	leaf    *gutter.LeafGutters // non-nil iff Buffering == BufferLeaf
+	tree    *gutter.Tree        // non-nil iff Buffering == BufferTree
 	treeDev iomodel.Device
 
 	updates        atomic.Uint64
-	batches        atomic.Uint64
 	sketchFailures atomic.Uint64
 	lastRounds     int
 
 	workerErr atomic.Pointer[error]
-	closed    bool
+	closed    atomic.Bool
+	closeOnce sync.Once
+	closeErr  error
 }
 
-// NewEngine builds an engine per cfg, allocating sketches (in RAM or on
-// the sketch store), the buffering structure, and the Graph Workers.
+// shard is the state owned exclusively by one Graph Worker: the sketches
+// of every node with node % Shards == id, the SPSC queue feeding it, and
+// its scratch buffers. No other goroutine touches these fields while the
+// worker runs; the driving goroutine reads them only in quiescent phases.
+type shard struct {
+	id    int
+	queue *gutter.SPSC
+
+	slab *cubesketch.Slab // RAM mode: this shard's node sketches
+
+	blob    []byte           // disk mode: slot read/write buffer
+	scratch *cubesketch.Slab // disk mode: single-node decode arena
+
+	indices []uint64 // batch → characteristic-vector index scratch
+
+	batches atomic.Uint64
+}
+
+// shardNodeCount returns how many of numNodes nodes land in shard s under
+// the node % shards partition.
+func shardNodeCount(numNodes uint32, shards, s int) int {
+	return int((int64(numNodes) - int64(s) + int64(shards) - 1) / int64(shards))
+}
+
+// NewEngine builds an engine per cfg, allocating sketches (in shard-owned
+// RAM arenas or on the sketch store), the buffering structure, and one
+// Graph Worker per shard.
 func NewEngine(cfg Config) (*Engine, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -82,12 +125,34 @@ func NewEngine(cfg Config) (*Engine, error) {
 	e := &Engine{
 		cfg:    cfg,
 		vecLen: cfg.VectorLen(),
-		locks:  make([]sync.Mutex, cfg.NumNodes),
+	}
+	seeds := make([]uint64, cfg.Rounds)
+	for r := range seeds {
+		seeds[r] = e.roundSeed(r)
 	}
 	proto := cubesketch.New(e.vecLen, cfg.Columns, cfg.Seed)
 	e.sketchSize = proto.SerializedSize()
 	e.slotSize = e.sketchSize * cfg.Rounds
-	e.nodeBytes = proto.Bytes() * cfg.Rounds
+
+	e.shards = make([]*shard, cfg.Shards)
+	// Floor division keeps the total queued-batch bound at or under the
+	// configured QueueCapacity; each shard needs at least one slot, so
+	// with QueueCapacity < Shards the floor of one slot per shard wins.
+	queueCap := cfg.QueueCapacity / cfg.Shards
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	for s := range e.shards {
+		sh := &shard{id: s, queue: gutter.NewSPSC(queueCap)}
+		if cfg.SketchesOnDisk {
+			sh.blob = make([]byte, e.slotSize)
+			sh.scratch = cubesketch.NewSlab(1, e.vecLen, cfg.Columns, seeds)
+		} else {
+			count := shardNodeCount(cfg.NumNodes, cfg.Shards, s)
+			sh.slab = cubesketch.NewSlab(count, e.vecLen, cfg.Columns, seeds)
+		}
+		e.shards[s] = sh
+	}
 
 	if cfg.SketchesOnDisk {
 		e.storeDev, err = e.openDevice("sketches.gz0")
@@ -101,31 +166,18 @@ func NewEngine(cfg Config) (*Engine, error) {
 		// Initialize every slot with the empty-sketch encoding so reads
 		// before first write decode correctly.
 		empty := make([]byte, e.slotSize)
-		off := 0
-		for r := 0; r < cfg.Rounds; r++ {
-			s := cubesketch.New(e.vecLen, cfg.Columns, e.roundSeed(r))
-			off += s.MarshalInto(empty[off:])
-		}
+		e.shards[0].scratch.MarshalNode(0, empty)
 		for node := uint32(0); node < cfg.NumNodes; node++ {
 			if err := e.store.Write(node, empty); err != nil {
 				return nil, fmt.Errorf("core: initializing sketch store: %w", err)
 			}
 		}
-	} else {
-		e.ram = make([][]*cubesketch.Sketch, cfg.NumNodes)
-		for node := range e.ram {
-			rounds := make([]*cubesketch.Sketch, cfg.Rounds)
-			for r := range rounds {
-				rounds[r] = cubesketch.New(e.vecLen, cfg.Columns, e.roundSeed(r))
-			}
-			e.ram[node] = rounds
-		}
 	}
 
-	e.queue = gutter.NewQueue(cfg.QueueCapacity)
+	numShards := uint32(cfg.Shards)
 	sink := func(b gutter.Batch) {
 		e.pending.Add(1)
-		if !e.queue.Push(b) {
+		if !e.shards[b.Node%numShards].queue.Push(b) {
 			e.pending.Done()
 		}
 	}
@@ -136,6 +188,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 			capUpdates = 1
 		}
 		e.leaf = gutter.NewLeafGutters(cfg.NumNodes, capUpdates, sink)
+		e.buf = e.leaf
 	case BufferTree:
 		e.treeDev, err = e.openDevice("guttertree.gz0")
 		if err != nil {
@@ -150,15 +203,16 @@ func NewEngine(cfg Config) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
+		e.buf = e.tree
 	case BufferNone:
-		// Updates are applied synchronously in Update.
+		e.buf = gutter.NewUnbuffered(sink)
 	default:
 		return nil, fmt.Errorf("core: unknown buffering kind %d", cfg.Buffering)
 	}
 
-	for w := 0; w < cfg.Workers; w++ {
+	for _, sh := range e.shards {
 		e.wg.Add(1)
-		go e.worker()
+		go e.worker(sh)
 	}
 	return e, nil
 }
@@ -180,6 +234,12 @@ func (e *Engine) roundSeed(r int) uint64 {
 // Config returns the engine's effective (defaulted) configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// shardOf returns the shard owning node, and node's index within it.
+func (e *Engine) shardOf(node uint32) (*shard, int) {
+	k := uint32(len(e.shards))
+	return e.shards[node%k], int(node / k)
+}
+
 // Update ingests one stream update. Because CubeSketch works over Z_2,
 // insertions and deletions are the same toggle; stream well-formedness
 // (no duplicate inserts, no deletes of absent edges) is the caller's
@@ -189,17 +249,12 @@ func (e *Engine) Update(up stream.Update) error {
 	if eg.U == eg.V || eg.V >= e.cfg.NumNodes {
 		return fmt.Errorf("core: invalid edge (%d,%d) for %d nodes", up.Edge.U, up.Edge.V, e.cfg.NumNodes)
 	}
+	if e.closed.Load() {
+		return ErrClosed
+	}
 	e.updates.Add(1)
-	switch e.cfg.Buffering {
-	case BufferLeaf:
-		e.leaf.InsertEdge(eg.U, eg.V)
-	case BufferTree:
-		if err := e.tree.InsertEdge(eg.U, eg.V); err != nil {
-			return err
-		}
-	case BufferNone:
-		e.applyBatch(gutter.Batch{Node: eg.U, Others: []uint32{eg.V}}, nil)
-		e.applyBatch(gutter.Batch{Node: eg.V, Others: []uint32{eg.U}}, nil)
+	if err := e.buf.InsertEdge(eg.U, eg.V); err != nil {
+		return err
 	}
 	return e.err()
 }
@@ -214,84 +269,51 @@ func (e *Engine) DeleteEdge(u, v uint32) error {
 	return e.Update(stream.Update{Edge: stream.Edge{U: u, V: v}, Type: stream.Delete})
 }
 
-// worker is a Graph Worker: it pops node-keyed batches and applies them to
-// that node's sketches, with per-worker scratch for the disk path.
-func (e *Engine) worker() {
+// worker is a Graph Worker: it pops node-keyed batches from its shard's
+// queue and applies them to that shard's sketches. It is the only
+// goroutine that ever touches the shard's slab and scratch, so no locking
+// is needed anywhere on the apply path.
+func (e *Engine) worker(sh *shard) {
 	defer e.wg.Done()
-	var scratch *workerScratch
-	if e.store != nil {
-		scratch = e.newScratch()
-	}
 	for {
-		b, ok := e.queue.Pop()
+		b, ok := sh.queue.Pop()
 		if !ok {
 			return
 		}
-		e.applyBatch(b, scratch)
+		e.applyBatch(sh, b)
+		e.buf.Recycle(b.Others)
 		e.pending.Done()
 	}
 }
 
-type workerScratch struct {
-	blob     []byte
-	sketches []*cubesketch.Sketch
-	indices  []uint64
-}
-
-func (e *Engine) newScratch() *workerScratch {
-	return &workerScratch{blob: make([]byte, e.slotSize)}
-}
-
-// applyBatch applies all of a batch's updates to one node's sketches. The
-// per-node lock serializes concurrent batches for the same node, the
-// locking granularity of §5.1.
-func (e *Engine) applyBatch(b gutter.Batch, scratch *workerScratch) {
-	if scratch == nil {
-		scratch = &workerScratch{}
-		if e.store != nil {
-			scratch.blob = make([]byte, e.slotSize)
-		}
-	}
-	// Translate far endpoints into characteristic-vector indices once,
-	// outside the lock; every round's sketch consumes the same indices.
-	scratch.indices = scratch.indices[:0]
+// applyBatch applies all of a batch's updates to one node's sketches.
+func (e *Engine) applyBatch(sh *shard, b gutter.Batch) {
+	// Translate far endpoints into characteristic-vector indices once;
+	// every round's sketch consumes the same indices.
+	sh.indices = sh.indices[:0]
 	for _, other := range b.Others {
 		eg := stream.Edge{U: b.Node, V: other}
-		scratch.indices = append(scratch.indices, stream.EdgeIndex(uint64(e.cfg.NumNodes), eg))
+		sh.indices = append(sh.indices, stream.EdgeIndex(uint64(e.cfg.NumNodes), eg))
 	}
-	e.batches.Add(1)
-
-	e.locks[b.Node].Lock()
-	defer e.locks[b.Node].Unlock()
+	sh.batches.Add(1)
 
 	if e.store == nil {
-		for _, s := range e.ram[b.Node] {
-			s.UpdateBatch(scratch.indices)
-		}
+		_, local := e.shardOf(b.Node)
+		sh.slab.Apply(local, sh.indices)
 		return
 	}
 
-	if err := e.store.Read(b.Node, scratch.blob); err != nil {
+	if err := e.store.Read(b.Node, sh.blob); err != nil {
 		e.setErr(fmt.Errorf("core: reading sketches of node %d: %w", b.Node, err))
 		return
 	}
-	if scratch.sketches == nil {
-		scratch.sketches = make([]*cubesketch.Sketch, e.cfg.Rounds)
-		for r := range scratch.sketches {
-			scratch.sketches[r] = new(cubesketch.Sketch)
-		}
+	if err := sh.scratch.UnmarshalNode(0, sh.blob); err != nil {
+		e.setErr(fmt.Errorf("core: decoding sketches of node %d: %w", b.Node, err))
+		return
 	}
-	off := 0
-	for r := 0; r < e.cfg.Rounds; r++ {
-		if err := scratch.sketches[r].UnmarshalBinary(scratch.blob[off : off+e.sketchSize]); err != nil {
-			e.setErr(fmt.Errorf("core: decoding sketch %d of node %d: %w", r, b.Node, err))
-			return
-		}
-		scratch.sketches[r].UpdateBatch(scratch.indices)
-		scratch.sketches[r].MarshalInto(scratch.blob[off:])
-		off += e.sketchSize
-	}
-	if err := e.store.Write(b.Node, scratch.blob); err != nil {
+	sh.scratch.Apply(0, sh.indices)
+	sh.scratch.MarshalNode(0, sh.blob)
+	if err := e.store.Write(b.Node, sh.blob); err != nil {
 		e.setErr(fmt.Errorf("core: writing sketches of node %d: %w", b.Node, err))
 	}
 }
@@ -309,16 +331,15 @@ func (e *Engine) err() error {
 
 // Drain flushes the buffering structure and waits until every produced
 // batch has been applied to the sketches (the cleanup step of Figure 9).
+// Afterwards the workers are quiescent, so the driving goroutine may read
+// and write shard state directly (queries, checkpoints) until its next
+// Update.
 func (e *Engine) Drain() error {
-	switch e.cfg.Buffering {
-	case BufferLeaf:
-		e.leaf.Flush()
-	case BufferTree:
-		if err := e.tree.Flush(); err != nil {
-			return err
-		}
-	}
+	flushErr := e.buf.Flush()
 	e.pending.Wait()
+	if flushErr != nil {
+		return flushErr
+	}
 	return e.err()
 }
 
@@ -326,15 +347,22 @@ func (e *Engine) Drain() error {
 func (e *Engine) Stats() Stats {
 	st := Stats{
 		Updates:        e.updates.Load(),
-		Batches:        e.batches.Load(),
+		Shards:         len(e.shards),
+		ShardBatches:   make([]uint64, len(e.shards)),
 		QueryRounds:    e.lastRounds,
 		SketchFailures: e.sketchFailures.Load(),
+	}
+	for i, sh := range e.shards {
+		b := sh.batches.Load()
+		st.ShardBatches[i] = b
+		st.Batches += b
+		if sh.slab != nil {
+			st.MemoryBytes += int64(sh.slab.Bytes())
+		}
 	}
 	if e.storeDev != nil {
 		st.SketchIO = e.storeDev.Stats()
 		st.DiskBytes += e.store.TotalBytes()
-	} else {
-		st.MemoryBytes += int64(e.nodeBytes) * int64(e.cfg.NumNodes)
 	}
 	if e.treeDev != nil {
 		st.BufferIO = e.treeDev.Stats()
@@ -345,21 +373,30 @@ func (e *Engine) Stats() Stats {
 	return st
 }
 
-// Close stops the workers and releases devices. The engine must not be
-// used afterwards.
+// Close drains still-buffered updates, stops the workers, and releases
+// devices. It is idempotent (repeated and concurrent Close calls are
+// safe), but like Update it must be issued from the driving goroutine:
+// Close concurrent with in-flight Updates races on the buffering
+// structure. The engine must not be used afterwards (Update returns
+// ErrClosed). The drain means no buffered update is ever silently
+// dropped; a drain failure (e.g. a faulty device) is reported in the
+// returned error.
 func (e *Engine) Close() error {
-	if e.closed {
-		return nil
-	}
-	e.closed = true
-	e.queue.Close()
-	e.wg.Wait()
-	var errs []error
-	if e.storeDev != nil {
-		errs = append(errs, e.storeDev.Close())
-	}
-	if e.treeDev != nil {
-		errs = append(errs, e.treeDev.Close())
-	}
-	return errors.Join(errs...)
+	e.closeOnce.Do(func() {
+		drainErr := e.Drain()
+		e.closed.Store(true)
+		for _, sh := range e.shards {
+			sh.queue.Close()
+		}
+		e.wg.Wait()
+		errs := []error{drainErr, e.buf.Close()}
+		if e.storeDev != nil {
+			errs = append(errs, e.storeDev.Close())
+		}
+		if e.treeDev != nil {
+			errs = append(errs, e.treeDev.Close())
+		}
+		e.closeErr = errors.Join(errs...)
+	})
+	return e.closeErr
 }

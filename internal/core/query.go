@@ -36,18 +36,18 @@ func (e *Engine) SpanningForest() ([]stream.Edge, error) {
 }
 
 // snapshotSketches materializes a queryable copy of every node sketch. In
-// RAM mode it clones; in disk mode it performs the sequential scan of
-// Lemma 5's first phase.
+// RAM mode it clones out of the shard slabs; in disk mode it performs the
+// sequential scan of Lemma 5's first phase. It runs after Drain, when the
+// Graph Workers are quiescent, so shard state is read without locking.
 func (e *Engine) snapshotSketches() ([][]*cubesketch.Sketch, error) {
 	super := make([][]*cubesketch.Sketch, e.cfg.NumNodes)
 	if e.store == nil {
-		for node := range e.ram {
-			e.locks[node].Lock()
+		for node := uint32(0); node < e.cfg.NumNodes; node++ {
+			sh, local := e.shardOf(node)
 			rounds := make([]*cubesketch.Sketch, e.cfg.Rounds)
-			for r, s := range e.ram[node] {
-				rounds[r] = s.Clone()
+			for r := range rounds {
+				rounds[r] = sh.slab.CloneSketch(local, r)
 			}
-			e.locks[node].Unlock()
 			super[node] = rounds
 		}
 		return super, nil

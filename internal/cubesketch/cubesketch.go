@@ -10,14 +10,22 @@
 // component's cut vector.
 //
 // Layout: numColumns independent columns (the log(1/δ) repetitions), each a
-// geometric cascade of numRows buckets. An index idx lands in bucket
-// (col, row) iff the low `row` bits of the column's membership hash of idx
-// are zero, so row r sees each index with probability 2^-r and row 0 sees
-// every index. A bucket holds α (XOR of member indices, stored 1-based so
-// the empty bucket is unambiguous) and a 32-bit checksum γ (XOR of a hash
-// of each member index). A bucket with exactly one member passes the
-// checksum test γ == h2(α) and yields its index; buckets with more members
-// fail the test with high probability.
+// geometric cascade of numRows buckets. An index idx lands in exactly one
+// bucket per column — the one at the trailing-zero depth of the column's
+// hash of idx — so row r sees each index with probability 2^-(r+1) and,
+// for any support size up to n, some row's expected occupancy is Θ(1). A
+// bucket holds α (XOR of member indices, stored 1-based so the empty
+// bucket is unambiguous) and a 32-bit checksum γ (XOR of a hash of each
+// member index). A bucket with exactly one member passes the checksum test
+// γ == h2(α) and yields its index; buckets with more members fail the test
+// with high probability.
+//
+// Everything a column needs for an index — the bucket depth and the
+// checksum — derives from a single 64-bit hash per column: the depth from
+// the trailing zeros, the checksum from the high 32 bits. One hash call
+// and one bucket write per (column, index), with no data-dependent inner
+// loop, keeps Update — the system's hottest path — latency-bound on just
+// two multiplies.
 package cubesketch
 
 import (
@@ -45,21 +53,19 @@ var (
 	ErrFailed = errors.New("cubesketch: no good bucket (sampling failure)")
 )
 
-// seed-derivation constants; arbitrary odd 64-bit values.
-const (
-	membershipSalt = 0x9e3779b97f4a7c15
-	checksumSalt   = 0xc2b2ae3d27d4eb4f
-)
+// seed-derivation constant; an arbitrary odd 64-bit value.
+const membershipSalt = 0x9e3779b97f4a7c15
 
 // Sketch is a CubeSketch of a vector in Z_2^n.
 type Sketch struct {
-	n       uint64 // vector length; valid indices are [0, n)
-	cols    int
-	rows    int
-	seed    uint64
-	alphas  []uint64 // cols*rows, row-major within column
-	gammas  []uint32 // parallel to alphas
-	updates uint64   // total updates applied (diagnostics only)
+	n        uint64 // vector length; valid indices are [0, n)
+	cols     int
+	rows     int
+	seed     uint64
+	colSeeds []uint64 // per-column hash seeds, derived from seed
+	alphas   []uint64 // cols*rows, row-major within column
+	gammas   []uint32 // parallel to alphas
+	updates  uint64   // total updates applied (diagnostics only)
 }
 
 // NumRows returns the bucket-cascade depth used for a vector of length n:
@@ -84,13 +90,27 @@ func New(n uint64, cols int, seed uint64) *Sketch {
 	}
 	rows := NumRows(n)
 	return &Sketch{
-		n:      n,
-		cols:   cols,
-		rows:   rows,
-		seed:   seed,
-		alphas: make([]uint64, cols*rows),
-		gammas: make([]uint32, cols*rows),
+		n:        n,
+		cols:     cols,
+		rows:     rows,
+		seed:     seed,
+		colSeeds: colSeeds(seed, cols),
+		alphas:   make([]uint64, cols*rows),
+		gammas:   make([]uint32, cols*rows),
 	}
+}
+
+// colSeeds derives the per-column hash seeds for a sketch seed. Hoisting
+// the derivation out of Update keeps the hot loop to one hash per column,
+// and avalanching each seed here keeps structured user seeds (small
+// integers, linear combinations of salts) from ever landing on a
+// degenerate Mix64 seed whose first multiply round is zero.
+func colSeeds(seed uint64, cols int) []uint64 {
+	s := make([]uint64, cols)
+	for col := range s {
+		s[col] = hashing.Avalanche64(seed + uint64(col)*membershipSalt)
+	}
+	return s
 }
 
 // N returns the vector length the sketch was built for.
@@ -113,14 +133,6 @@ func (s *Sketch) Updates() uint64 { return s.updates }
 // quantity Figure 5 of the paper reports (12 bytes per bucket).
 func (s *Sketch) Bytes() int { return len(s.alphas)*8 + len(s.gammas)*4 }
 
-func (s *Sketch) membershipSeed(col int) uint64 {
-	return s.seed + uint64(col)*membershipSalt
-}
-
-func (s *Sketch) checksumSeed(col int) uint64 {
-	return s.seed ^ (uint64(col)+1)*checksumSalt
-}
-
 // Update toggles vector index idx (adds 1 mod 2). idx must be < N().
 func (s *Sketch) Update(idx uint64) {
 	if idx >= s.n {
@@ -128,18 +140,18 @@ func (s *Sketch) Update(idx uint64) {
 	}
 	s.updates++
 	stored := idx + 1 // 1-based so the empty bucket (0,0) is unambiguous
-	for col := 0; col < s.cols; col++ {
-		colHash := hashing.Uint64(s.membershipSeed(col), idx)
-		checksum := uint32(hashing.Uint64(s.checksumSeed(col), idx))
-		depth := bits.TrailingZeros64(colHash)
-		if depth >= s.rows {
-			depth = s.rows - 1
+	rows := s.rows
+	base := 0
+	for _, cs := range s.colSeeds {
+		h := hashing.Mix64(cs, idx)
+		checksum := uint32(h >> 32)
+		depth := bits.TrailingZeros64(h)
+		if depth >= rows {
+			depth = rows - 1
 		}
-		base := col * s.rows
-		for row := 0; row <= depth; row++ {
-			s.alphas[base+row] ^= stored
-			s.gammas[base+row] ^= checksum
-		}
+		s.alphas[base+depth] ^= stored
+		s.gammas[base+depth] ^= checksum
+		base += rows
 	}
 }
 
@@ -159,7 +171,7 @@ func (s *Sketch) UpdateBatch(batch []uint64) {
 func (s *Sketch) Query() (uint64, error) {
 	empty := true
 	for col := 0; col < s.cols; col++ {
-		csSeed := s.checksumSeed(col)
+		cs := s.colSeeds[col]
 		base := col * s.rows
 		for row := 0; row < s.rows; row++ {
 			alpha := s.alphas[base+row]
@@ -172,7 +184,7 @@ func (s *Sketch) Query() (uint64, error) {
 				continue // XOR of several indices; cannot be a real entry
 			}
 			idx := alpha - 1
-			if uint32(hashing.Uint64(csSeed, idx)) == gamma {
+			if uint32(hashing.Mix64(cs, idx)>>32) == gamma {
 				return idx, nil
 			}
 		}
@@ -283,6 +295,7 @@ func (s *Sketch) UnmarshalBinary(buf []byte) error {
 		return fmt.Errorf("cubesketch: truncated body: have %d bytes, need %d", len(buf), need)
 	}
 	s.n, s.seed, s.cols, s.rows = n, seed, cols, rows
+	s.colSeeds = colSeeds(seed, cols)
 	s.alphas = make([]uint64, cols*rows)
 	s.gammas = make([]uint32, cols*rows)
 	off := 32

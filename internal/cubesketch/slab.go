@@ -1,0 +1,164 @@
+package cubesketch
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Slab is an arena backing the sketches of a group of nodes: one
+// contiguous pair of bucket arrays holds every (node, round) sketch, laid
+// out node-major so that applying a batch to all rounds of one node is a
+// sequential memory traversal and (de)serializing a node is a
+// bounds-checked copy rather than a per-sketch marshal loop.
+//
+// Every node in a slab shares the same vector length and column count, and
+// every node's round-r sketch shares the round-r seed, so views from two
+// slabs built with identical parameters are mergeable (the supernode
+// summing of Boruvka emulation).
+//
+// A Slab is not safe for concurrent use; the engine gives each ingest
+// shard exclusive ownership of one slab.
+type Slab struct {
+	n        uint64
+	cols     int
+	rows     int
+	rounds   int
+	nodes    int
+	seeds    []uint64   // per-round sketch seeds
+	colSeeds [][]uint64 // per-round per-column hash seeds
+	stride   int        // buckets per sketch = cols*rows
+	alphas   []uint64   // nodes × rounds × stride
+	gammas   []uint32   // parallel to alphas
+}
+
+// NewSlab allocates an arena for nodes node sketches of len(seeds) rounds
+// each, over vectors of length n with the given column count. seeds[r] is
+// the shared seed of every node's round-r sketch. nodes may be zero (a
+// shard that owns no nodes).
+func NewSlab(nodes int, n uint64, cols int, seeds []uint64) *Slab {
+	if n == 0 {
+		panic("cubesketch: vector length must be positive")
+	}
+	if nodes < 0 {
+		panic(fmt.Sprintf("cubesketch: negative slab node count %d", nodes))
+	}
+	if len(seeds) == 0 {
+		panic("cubesketch: slab needs at least one round seed")
+	}
+	if cols <= 0 {
+		cols = DefaultColumns
+	}
+	rows := NumRows(n)
+	sl := &Slab{
+		n:        n,
+		cols:     cols,
+		rows:     rows,
+		rounds:   len(seeds),
+		nodes:    nodes,
+		seeds:    append([]uint64(nil), seeds...),
+		colSeeds: make([][]uint64, len(seeds)),
+		stride:   cols * rows,
+	}
+	for r, seed := range sl.seeds {
+		sl.colSeeds[r] = colSeeds(seed, cols)
+	}
+	sl.alphas = make([]uint64, nodes*sl.rounds*sl.stride)
+	sl.gammas = make([]uint32, nodes*sl.rounds*sl.stride)
+	return sl
+}
+
+// Nodes returns the number of node sketches the slab holds.
+func (sl *Slab) Nodes() int { return sl.nodes }
+
+// Rounds returns the per-node sketch depth.
+func (sl *Slab) Rounds() int { return sl.rounds }
+
+// Bytes returns the in-RAM size of the slab's bucket arrays.
+func (sl *Slab) Bytes() int { return len(sl.alphas)*8 + len(sl.gammas)*4 }
+
+// View points s at the (node, round) sketch without copying: mutations
+// through s write the slab. The view's slices are capacity-clamped so it
+// cannot touch a neighboring sketch.
+func (sl *Slab) View(node, round int, s *Sketch) {
+	off := (node*sl.rounds + round) * sl.stride
+	end := off + sl.stride
+	s.n = sl.n
+	s.cols = sl.cols
+	s.rows = sl.rows
+	s.seed = sl.seeds[round]
+	s.colSeeds = sl.colSeeds[round]
+	s.alphas = sl.alphas[off:end:end]
+	s.gammas = sl.gammas[off:end:end]
+	s.updates = 0
+}
+
+// CloneSketch returns an independent deep copy of the (node, round)
+// sketch, usable after the slab itself is mutated (query snapshots).
+func (sl *Slab) CloneSketch(node, round int) *Sketch {
+	var v Sketch
+	sl.View(node, round, &v)
+	return v.Clone()
+}
+
+// Apply toggles every index in batch in all rounds of node's sketch. The
+// node's rounds are adjacent in the arena, so the traversal is sequential.
+func (sl *Slab) Apply(node int, batch []uint64) {
+	var v Sketch
+	for r := 0; r < sl.rounds; r++ {
+		sl.View(node, r, &v)
+		v.UpdateBatch(batch)
+	}
+}
+
+// SketchSize returns the serialized size of one round's sketch.
+func (sl *Slab) SketchSize() int { return 8*4 + sl.stride*8 + sl.stride*4 }
+
+// NodeSize returns the serialized size of one node's full sketch stack:
+// the slot format of the disk store and the checkpoint codec.
+func (sl *Slab) NodeSize() int { return sl.rounds * sl.SketchSize() }
+
+// MarshalNode serializes all rounds of node into buf, which must be at
+// least NodeSize() bytes, in the same format as Sketch.MarshalInto applied
+// round by round. It returns the number of bytes written and performs no
+// allocation.
+func (sl *Slab) MarshalNode(node int, buf []byte) int {
+	var v Sketch
+	off := 0
+	for r := 0; r < sl.rounds; r++ {
+		sl.View(node, r, &v)
+		off += v.MarshalInto(buf[off:])
+	}
+	return off
+}
+
+// UnmarshalNode replaces all rounds of node with the serialized stack in
+// buf, validating that every round's header matches the slab's parameters.
+// It performs no allocation, making it the zero-garbage decode path for
+// disk-resident sketches.
+func (sl *Slab) UnmarshalNode(node int, buf []byte) error {
+	if len(buf) < sl.NodeSize() {
+		return fmt.Errorf("cubesketch: slab node blob is %d bytes, need %d", len(buf), sl.NodeSize())
+	}
+	off := 0
+	for r := 0; r < sl.rounds; r++ {
+		n := binary.LittleEndian.Uint64(buf[off:])
+		seed := binary.LittleEndian.Uint64(buf[off+8:])
+		cols := int(binary.LittleEndian.Uint64(buf[off+16:]))
+		rows := int(binary.LittleEndian.Uint64(buf[off+24:]))
+		if n != sl.n || seed != sl.seeds[r] || cols != sl.cols || rows != sl.rows {
+			return fmt.Errorf("cubesketch: round %d header (n=%d seed=%#x cols=%d rows=%d) does not match slab (n=%d seed=%#x cols=%d rows=%d)",
+				r, n, seed, cols, rows, sl.n, sl.seeds[r], sl.cols, sl.rows)
+		}
+		off += 32
+		base := (node*sl.rounds + r) * sl.stride
+		for i := 0; i < sl.stride; i++ {
+			sl.alphas[base+i] = binary.LittleEndian.Uint64(buf[off:])
+			off += 8
+		}
+		for i := 0; i < sl.stride; i++ {
+			sl.gammas[base+i] = binary.LittleEndian.Uint32(buf[off:])
+			off += 4
+		}
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package cubesketch
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+)
+
+func slabSeeds(rounds int, base uint64) []uint64 {
+	seeds := make([]uint64, rounds)
+	for r := range seeds {
+		seeds[r] = base + uint64(r)*0x9e37
+	}
+	return seeds
+}
+
+// TestSlabMatchesStandaloneSketches drives identical update sequences
+// through slab views and heap-allocated sketches and requires
+// bucket-identical state, query results, and serialized bytes.
+func TestSlabMatchesStandaloneSketches(t *testing.T) {
+	const n, nodes, rounds = 1 << 12, 5, 4
+	seeds := slabSeeds(rounds, 77)
+	sl := NewSlab(nodes, n, 0, seeds)
+
+	ref := make([][]*Sketch, nodes)
+	for node := range ref {
+		ref[node] = make([]*Sketch, rounds)
+		for r := range ref[node] {
+			ref[node][r] = New(n, 0, seeds[r])
+		}
+	}
+
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 200; i++ {
+		node := int(rng.Uint64N(nodes))
+		batch := make([]uint64, 1+rng.Uint64N(16))
+		for j := range batch {
+			batch[j] = rng.Uint64N(n)
+		}
+		sl.Apply(node, batch)
+		for r := 0; r < rounds; r++ {
+			ref[node][r].UpdateBatch(batch)
+		}
+	}
+
+	var v Sketch
+	for node := 0; node < nodes; node++ {
+		for r := 0; r < rounds; r++ {
+			sl.View(node, r, &v)
+			want, _ := ref[node][r].MarshalBinary()
+			got := make([]byte, v.SerializedSize())
+			v.MarshalInto(got)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("node %d round %d: slab view differs from standalone sketch", node, r)
+			}
+			gi, ge := v.Query()
+			wi, we := ref[node][r].Query()
+			if gi != wi || (ge == nil) != (we == nil) {
+				t.Fatalf("node %d round %d: Query = (%d,%v), want (%d,%v)", node, r, gi, ge, wi, we)
+			}
+		}
+	}
+}
+
+func TestSlabMarshalRoundTrip(t *testing.T) {
+	const n, nodes, rounds = 1 << 10, 3, 5
+	seeds := slabSeeds(rounds, 9)
+	sl := NewSlab(nodes, n, 3, seeds)
+	rng := rand.New(rand.NewPCG(3, 4))
+	for node := 0; node < nodes; node++ {
+		batch := make([]uint64, 50)
+		for j := range batch {
+			batch[j] = rng.Uint64N(n)
+		}
+		sl.Apply(node, batch)
+	}
+
+	blob := make([]byte, sl.NodeSize())
+	for node := 0; node < nodes; node++ {
+		if got := sl.MarshalNode(node, blob); got != sl.NodeSize() {
+			t.Fatalf("MarshalNode wrote %d bytes, want %d", got, sl.NodeSize())
+		}
+		// The blob must decode with the plain Sketch codec round by round.
+		off := 0
+		var v, back Sketch
+		for r := 0; r < rounds; r++ {
+			if err := back.UnmarshalBinary(blob[off : off+sl.SketchSize()]); err != nil {
+				t.Fatalf("node %d round %d: %v", node, r, err)
+			}
+			sl.View(node, r, &v)
+			a, _ := back.MarshalBinary()
+			b := make([]byte, v.SerializedSize())
+			v.MarshalInto(b)
+			if !bytes.Equal(a, b) {
+				t.Fatalf("node %d round %d: codec mismatch", node, r)
+			}
+			off += sl.SketchSize()
+		}
+		// And a second slab must restore identical state from the blob.
+		sl2 := NewSlab(nodes, n, 3, seeds)
+		if err := sl2.UnmarshalNode(node, blob); err != nil {
+			t.Fatal(err)
+		}
+		blob2 := make([]byte, sl2.NodeSize())
+		sl2.MarshalNode(node, blob2)
+		if !bytes.Equal(blob, blob2) {
+			t.Fatalf("node %d: slab round trip changed bytes", node)
+		}
+	}
+}
+
+func TestSlabUnmarshalRejectsMismatch(t *testing.T) {
+	seeds := slabSeeds(3, 5)
+	sl := NewSlab(2, 1024, 0, seeds)
+	blob := make([]byte, sl.NodeSize())
+	sl.MarshalNode(0, blob)
+
+	if err := sl.UnmarshalNode(0, blob[:10]); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+	other := NewSlab(2, 1024, 0, slabSeeds(3, 6)) // different seeds
+	if err := other.UnmarshalNode(0, blob); err == nil {
+		t.Fatal("mismatched seed accepted")
+	}
+}
+
+func TestSlabViewsAreIsolated(t *testing.T) {
+	seeds := slabSeeds(2, 11)
+	sl := NewSlab(3, 512, 0, seeds)
+	sl.Apply(1, []uint64{7})
+	var v Sketch
+	for node := 0; node < 3; node++ {
+		for r := 0; r < 2; r++ {
+			sl.View(node, r, &v)
+			if node == 1 {
+				if v.IsZero() {
+					t.Fatalf("round %d of updated node is zero", r)
+				}
+				if got, err := v.Query(); err != nil || got != 7 {
+					t.Fatalf("Query = (%d, %v), want (7, nil)", got, err)
+				}
+			} else if !v.IsZero() {
+				t.Fatalf("node %d round %d dirtied by neighbor update", node, r)
+			}
+		}
+	}
+	// A clone must survive the slab being reset underneath it.
+	c := sl.CloneSketch(1, 0)
+	sl.Apply(1, []uint64{7}) // cancels in the slab
+	if got, err := c.Query(); err != nil || got != 7 {
+		t.Fatalf("clone Query after slab mutation = (%d, %v), want (7, nil)", got, err)
+	}
+}
+
+func TestSlabViewMergesWithStandalone(t *testing.T) {
+	seeds := slabSeeds(2, 21)
+	sl := NewSlab(2, 256, 0, seeds)
+	sl.Apply(0, []uint64{3})
+	other := New(256, 0, seeds[0])
+	other.Update(9)
+	var v Sketch
+	sl.View(0, 0, &v)
+	if err := v.Merge(other); err != nil {
+		t.Fatal(err)
+	}
+	got, err := v.Query()
+	if err != nil || (got != 3 && got != 9) {
+		t.Fatalf("merged Query = (%d, %v)", got, err)
+	}
+}
+
+func TestSlabZeroNodes(t *testing.T) {
+	sl := NewSlab(0, 128, 0, slabSeeds(3, 1))
+	if sl.Bytes() != 0 || sl.Nodes() != 0 {
+		t.Fatalf("empty slab has Bytes=%d Nodes=%d", sl.Bytes(), sl.Nodes())
+	}
+}

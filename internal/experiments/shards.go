@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"graphzeppelin/internal/core"
+)
+
+// ShardSweep measures ingestion rate and shard balance as the ingest
+// shard count grows. It is the system-level counterpart of Figure 14 for
+// the sharded pipeline: each shard is one Graph Worker owning its nodes'
+// sketches outright, so the sweep shows both the scaling headroom on
+// multi-core hosts and how evenly the node % shards partition spreads this
+// stream's batches.
+func ShardSweep(o Options) (*Table, error) {
+	o = o.withDefaults()
+	scale := o.MaxScale - 1
+	if scale < 8 {
+		scale = 8
+	}
+	res := KronStream(scale, o.Seed)
+	n := len(res.Updates)
+	t := &Table{
+		ID:     "shards",
+		Title:  fmt.Sprintf("Ingestion rate vs shard count (kron%d)", scale),
+		Header: []string{"shards", "rate", "speedup vs 1", "batch skew"},
+		Notes: []string{
+			"one Graph Worker per shard; nodes partitioned by node % shards",
+			"batch skew = max/mean of per-shard applied batches (1.00 = perfectly balanced)",
+		},
+	}
+	var base time.Duration
+	for _, s := range []int{1, 2, 4, 8, 16} {
+		eng, dur, err := runGZ(res, core.Config{Seed: o.Seed, Shards: s})
+		if err != nil {
+			return nil, err
+		}
+		st := eng.Stats()
+		eng.Close()
+		if s == 1 {
+			base = dur
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", s),
+			rate(n, dur),
+			fmt.Sprintf("%.2fx", base.Seconds()/dur.Seconds()),
+			fmt.Sprintf("%.2f", batchSkew(st.ShardBatches)),
+		})
+		o.logf("shards: shards=%d done", s)
+	}
+	return t, nil
+}
+
+// batchSkew returns max/mean of the per-shard batch counts.
+func batchSkew(perShard []uint64) float64 {
+	if len(perShard) == 0 {
+		return 0
+	}
+	var sum, max uint64
+	for _, b := range perShard {
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(perShard))
+	return float64(max) / mean
+}

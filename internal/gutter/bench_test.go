@@ -31,8 +31,8 @@ func BenchmarkTreeInsert(b *testing.B) {
 	b.ReportMetric(float64(st.TotalBlocks())/float64(b.N), "blockIO/update")
 }
 
-func BenchmarkQueuePushPop(b *testing.B) {
-	q := NewQueue(64)
+func BenchmarkSPSCPushPop(b *testing.B) {
+	q := NewSPSC(64)
 	done := make(chan struct{})
 	go func() {
 		for {

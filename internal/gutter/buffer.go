@@ -1,0 +1,99 @@
+package gutter
+
+import "sync"
+
+// Buffer is the ingestion buffering structure the engine drives: edge
+// updates go in, node-keyed batches come out through the Sink the
+// implementation was built with. Implementations are single-producer (the
+// engine's one driving goroutine), matching the paper's design.
+//
+// Implementations: LeafGutters (in-RAM, the default), Tree (disk-backed
+// gutter tree), and Unbuffered (no batching; the f→0 ablation).
+type Buffer interface {
+	// InsertEdge buffers the edge update (u, v) under both endpoints,
+	// emitting batches to the sink as gutters fill.
+	InsertEdge(u, v uint32) error
+	// Flush forces every buffered update out to the sink (the cleanup
+	// step before a connectivity query).
+	Flush() error
+	// Recycle returns a batch's Others slice for reuse once the consumer
+	// is done with it. Safe to call from consumer goroutines.
+	Recycle(buf []uint32)
+	// Close releases the buffer's resources. Buffered updates are NOT
+	// flushed; call Flush first to avoid dropping them.
+	Close() error
+}
+
+// freelist recycles batch buffers between the consuming Graph Workers and
+// the producing buffer, keeping the steady-state ingest path free of
+// allocations. Buffers whose capacity no longer fits are dropped.
+type freelist struct {
+	mu   sync.Mutex
+	bufs [][]uint32
+}
+
+// get returns an empty buffer with at least the given capacity,
+// preferring a recycled one. Undersized entries are kept for later,
+// smaller requests (the gutter tree emits variable-size leaf batches);
+// the list is small and bounded, so the first-fit scan is cheap.
+func (f *freelist) get(capacity int) []uint32 {
+	f.mu.Lock()
+	for i := len(f.bufs) - 1; i >= 0; i-- {
+		if cap(f.bufs[i]) < capacity {
+			continue
+		}
+		buf := f.bufs[i]
+		last := len(f.bufs) - 1
+		f.bufs[i] = f.bufs[last]
+		f.bufs[last] = nil
+		f.bufs = f.bufs[:last]
+		f.mu.Unlock()
+		return buf[:0]
+	}
+	f.mu.Unlock()
+	return make([]uint32, 0, capacity)
+}
+
+// put returns a buffer to the freelist.
+func (f *freelist) put(buf []uint32) {
+	if cap(buf) == 0 {
+		return
+	}
+	f.mu.Lock()
+	if len(f.bufs) < 64 { // bound retained memory
+		f.bufs = append(f.bufs, buf[:0])
+	}
+	f.mu.Unlock()
+}
+
+// Unbuffered is the trivial Buffer: every update is emitted immediately as
+// a one-element batch, the f→0 extreme of Figure 15. Useful for tests and
+// for quantifying what the gutters buy.
+type Unbuffered struct {
+	sink Sink
+	free freelist
+}
+
+// NewUnbuffered returns a Buffer that forwards every update straight to
+// the sink.
+func NewUnbuffered(sink Sink) *Unbuffered {
+	return &Unbuffered{sink: sink}
+}
+
+// InsertEdge emits (u,v) and (v,u) as single-update batches.
+func (u *Unbuffered) InsertEdge(a, b uint32) error {
+	buf := u.free.get(1)
+	u.sink(Batch{Node: a, Others: append(buf, b)})
+	buf = u.free.get(1)
+	u.sink(Batch{Node: b, Others: append(buf, a)})
+	return nil
+}
+
+// Flush is a no-op: nothing is ever held back.
+func (u *Unbuffered) Flush() error { return nil }
+
+// Recycle returns a batch buffer for reuse.
+func (u *Unbuffered) Recycle(buf []uint32) { u.free.put(buf) }
+
+// Close releases nothing; Unbuffered holds no resources.
+func (u *Unbuffered) Close() error { return nil }

@@ -50,8 +50,15 @@ func checkDelivery(t *testing.T, r *recorder, want map[uint32][]uint32) {
 	}
 }
 
-func TestQueueFIFO(t *testing.T) {
-	q := NewQueue(4)
+// Compile-time checks: every buffering structure implements Buffer.
+var (
+	_ Buffer = (*LeafGutters)(nil)
+	_ Buffer = (*Tree)(nil)
+	_ Buffer = (*Unbuffered)(nil)
+)
+
+func TestSPSCFIFO(t *testing.T) {
+	q := NewSPSC(4)
 	for i := uint32(0); i < 4; i++ {
 		if !q.Push(Batch{Node: i}) {
 			t.Fatal("push failed")
@@ -68,12 +75,13 @@ func TestQueueFIFO(t *testing.T) {
 	}
 }
 
-func TestQueueBlockingAndClose(t *testing.T) {
-	q := NewQueue(1)
+func TestSPSCBlockingAndClose(t *testing.T) {
+	q := NewSPSC(2)
 	q.Push(Batch{Node: 1})
+	q.Push(Batch{Node: 2})
 	done := make(chan bool)
 	go func() {
-		done <- q.Push(Batch{Node: 2}) // blocks until a pop frees a slot
+		done <- q.Push(Batch{Node: 3}) // blocks until a pop frees a slot
 	}()
 	if b, ok := q.Pop(); !ok || b.Node != 1 {
 		t.Fatal("pop 1 failed")
@@ -82,11 +90,14 @@ func TestQueueBlockingAndClose(t *testing.T) {
 		t.Fatal("blocked push should have succeeded after pop")
 	}
 	q.Close()
-	if q.Push(Batch{Node: 3}) {
+	if q.Push(Batch{Node: 4}) {
 		t.Fatal("push after close succeeded")
 	}
 	// Drain remaining, then closed-empty.
 	if b, ok := q.Pop(); !ok || b.Node != 2 {
+		t.Fatal("drain after close failed")
+	}
+	if b, ok := q.Pop(); !ok || b.Node != 3 {
 		t.Fatal("drain after close failed")
 	}
 	if _, ok := q.Pop(); ok {
@@ -94,44 +105,76 @@ func TestQueueBlockingAndClose(t *testing.T) {
 	}
 }
 
-func TestQueueConcurrentProducersConsumers(t *testing.T) {
-	q := NewQueue(8)
-	const producers, perProducer = 4, 500
-	var got sync.Map
+// TestSPSCSingleProducerSingleConsumer hammers the queue from one producer
+// and one consumer and checks exactly-once in-order delivery.
+func TestSPSCSingleProducerSingleConsumer(t *testing.T) {
+	q := NewSPSC(8)
+	const total = 20000
 	var wg sync.WaitGroup
-	for c := 0; c < 3; c++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				b, ok := q.Pop()
-				if !ok {
-					return
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		next := uint32(0)
+		for {
+			b, ok := q.Pop()
+			if !ok {
+				if next != total {
+					t.Errorf("consumer saw %d batches, want %d", next, total)
 				}
-				if _, dup := got.LoadOrStore(b.Node, true); dup {
-					t.Error("duplicate delivery")
-					return
-				}
+				return
 			}
-		}()
-	}
-	var pwg sync.WaitGroup
-	for p := 0; p < producers; p++ {
-		pwg.Add(1)
-		go func(p int) {
-			defer pwg.Done()
-			for i := 0; i < perProducer; i++ {
-				q.Push(Batch{Node: uint32(p*perProducer + i)})
+			if b.Node != next {
+				t.Errorf("out of order: got %d, want %d", b.Node, next)
+				return
 			}
-		}(p)
+			next++
+		}
+	}()
+	for i := uint32(0); i < total; i++ {
+		if !q.Push(Batch{Node: i}) {
+			t.Fatal("push failed")
+		}
 	}
-	pwg.Wait()
 	q.Close()
 	wg.Wait()
-	count := 0
-	got.Range(func(_, _ any) bool { count++; return true })
-	if count != producers*perProducer {
-		t.Fatalf("delivered %d batches, want %d", count, producers*perProducer)
+}
+
+func TestUnbufferedEmitsImmediately(t *testing.T) {
+	r := newRecorder()
+	u := NewUnbuffered(r.sink)
+	if err := u.InsertEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if r.batches != 2 {
+		t.Fatalf("batches = %d, want 2", r.batches)
+	}
+	if err := u.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	checkDelivery(t, r, map[uint32][]uint32{1: {2}, 2: {1}})
+	if err := u.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecycleReusesBuffers checks the freelist actually hands buffers back
+// and never corrupts delivered data.
+func TestRecycleReusesBuffers(t *testing.T) {
+	var live [][]uint32
+	g := NewLeafGutters(4, 2, func(b Batch) { live = append(live, b.Others) })
+	g.Insert(0, 1)
+	g.Insert(0, 2) // fills gutter 0
+	if len(live) != 1 || len(live[0]) != 2 {
+		t.Fatalf("unexpected emissions %v", live)
+	}
+	g.Recycle(live[0])
+	g.Insert(0, 3)
+	g.Insert(0, 1) // fills gutter 0 again, should reuse the buffer
+	if len(live) != 2 {
+		t.Fatalf("expected second batch, got %v", live)
+	}
+	if &live[0][0] != &live[1][0] {
+		t.Fatal("recycled buffer was not reused")
 	}
 }
 

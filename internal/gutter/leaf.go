@@ -1,7 +1,9 @@
 package gutter
 
 // Sink receives a full batch of buffered updates for one node. The engine
-// wires this to the work queue; tests wire it to a recorder.
+// wires this to the per-shard work queues; tests wire it to a recorder.
+// The batch's Others slice is owned by the consumer until it hands it back
+// through Buffer.Recycle.
 type Sink func(Batch)
 
 // LeafGutters is the leaf-only buffering structure of Section 5.1: one
@@ -10,12 +12,14 @@ type Sink func(Batch)
 // size (default f = 1/2); here the caller passes the resulting capacity in
 // updates directly.
 //
-// LeafGutters is not safe for concurrent use; the ingestion path is a
-// single producer, as in the paper's design.
+// LeafGutters is not safe for concurrent use by multiple producers; the
+// ingestion path is a single goroutine, as in the paper's design. Recycle
+// may be called concurrently by the consuming workers.
 type LeafGutters struct {
 	bufs     [][]uint32
 	capacity int
 	sink     Sink
+	free     freelist
 	buffered uint64
 	flushes  uint64
 }
@@ -41,27 +45,28 @@ func (g *LeafGutters) Capacity() int { return g.capacity }
 func (g *LeafGutters) Insert(u, v uint32) {
 	buf := g.bufs[u]
 	if buf == nil {
-		buf = make([]uint32, 0, g.capacity)
+		buf = g.free.get(g.capacity)
 	}
 	buf = append(buf, v)
 	g.buffered++
 	if len(buf) >= g.capacity {
 		g.sink(Batch{Node: u, Others: buf})
 		g.flushes++
-		buf = make([]uint32, 0, g.capacity)
+		buf = nil
 	}
 	g.bufs[u] = buf
 }
 
 // InsertEdge buffers the edge update under both endpoints.
-func (g *LeafGutters) InsertEdge(u, v uint32) {
+func (g *LeafGutters) InsertEdge(u, v uint32) error {
 	g.Insert(u, v)
 	g.Insert(v, u)
+	return nil
 }
 
 // Flush force-flushes every nonempty gutter (the cleanup step before a
 // connectivity query).
-func (g *LeafGutters) Flush() {
+func (g *LeafGutters) Flush() error {
 	for node, buf := range g.bufs {
 		if len(buf) == 0 {
 			continue
@@ -70,7 +75,14 @@ func (g *LeafGutters) Flush() {
 		g.flushes++
 		g.bufs[node] = nil
 	}
+	return nil
 }
+
+// Recycle returns a flushed batch buffer to the gutter freelist.
+func (g *LeafGutters) Recycle(buf []uint32) { g.free.put(buf) }
+
+// Close releases nothing; the gutters live entirely in RAM.
+func (g *LeafGutters) Close() error { return nil }
 
 // Buffered returns the total updates ever inserted; Flushes the number of
 // batches emitted. Diagnostics for the buffering experiments.

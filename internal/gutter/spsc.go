@@ -1,0 +1,155 @@
+// Package gutter implements GraphZeppelin's buffering substrate
+// (Sections 4 and 5.1): the Buffer interface with its in-RAM leaf-only
+// gutters, disk-backed gutter tree and unbuffered implementations, and the
+// per-shard single-producer/single-consumer queues between the buffering
+// system and the Graph Workers. All of these deal in node-keyed batches:
+// because CubeSketch operates over Z_2, an insertion and a deletion of the
+// same edge are the identical toggle, so a buffered update is just "the
+// other endpoint".
+package gutter
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Batch is a group of buffered updates bound for one node's sketch: for
+// node Node, each element of Others is the far endpoint of one edge update.
+type Batch struct {
+	Node   uint32
+	Others []uint32
+}
+
+// SPSC is a bounded lock-free single-producer/single-consumer batch queue:
+// the engine's ingest goroutine pushes, exactly one Graph Worker pops. One
+// SPSC per shard replaces the seed design's global mutex-guarded MPMC
+// queue, so batch hand-off on the fast path is two atomic operations with
+// no lock and no cross-shard contention. Pushes block (spinning, then
+// yielding, then briefly sleeping) while the queue is full, bounding the
+// memory between the buffering stage and the workers as in Section 5.1; a
+// consumer that finds the queue empty spins briefly and then parks on a
+// channel, so idle workers cost nothing.
+type SPSC struct {
+	buf      []Batch
+	mask     uint64
+	capacity uint64        // logical bound; may be below len(buf)
+	head     atomic.Uint64 // next slot to pop; advanced only by the consumer
+	tail     atomic.Uint64 // next slot to push; advanced only by the producer
+	closed   atomic.Bool
+	sleeping atomic.Bool   // consumer is parked (or about to park) on wake
+	wake     chan struct{} // capacity 1; producer/Close signal a parked consumer
+}
+
+// NewSPSC returns a queue holding at most capacity batches (minimum 1).
+// The ring is sized to the next power of two, but the logical capacity is
+// exact, so per-shard queues can share a global batch budget precisely.
+func NewSPSC(capacity int) *SPSC {
+	if capacity < 1 {
+		capacity = 1
+	}
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return &SPSC{
+		buf:      make([]Batch, size),
+		mask:     uint64(size - 1),
+		capacity: uint64(capacity),
+		wake:     make(chan struct{}, 1),
+	}
+}
+
+// backoff yields the processor, escalating to short sleeps so that an idle
+// spin never starves the other side on a single-CPU machine.
+func backoff(spins *int) {
+	*spins++
+	switch {
+	case *spins < 64:
+		runtime.Gosched()
+	case *spins < 256:
+		time.Sleep(10 * time.Microsecond)
+	default:
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Push enqueues b, blocking while the queue is full. It returns false if
+// the queue has been closed.
+func (q *SPSC) Push(b Batch) bool {
+	spins := 0
+	for {
+		if q.closed.Load() {
+			return false
+		}
+		t := q.tail.Load()
+		if t-q.head.Load() < q.capacity {
+			q.buf[t&q.mask] = b
+			q.tail.Store(t + 1) // publishes the slot to the consumer
+			if q.sleeping.Load() {
+				q.signal()
+			}
+			return true
+		}
+		backoff(&spins)
+	}
+}
+
+// signal delivers a non-blocking wake-up token to a parked consumer.
+func (q *SPSC) signal() {
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Pop dequeues a batch, blocking while the queue is empty. ok is false
+// once the queue is closed and drained.
+func (q *SPSC) Pop() (b Batch, ok bool) {
+	spins := 0
+	for {
+		h := q.head.Load()
+		if h != q.tail.Load() {
+			b = q.buf[h&q.mask]
+			q.buf[h&q.mask] = Batch{}
+			q.head.Store(h + 1) // frees the slot for the producer
+			return b, true
+		}
+		if q.closed.Load() && h == q.tail.Load() {
+			return Batch{}, false
+		}
+		if spins < 128 {
+			spins++
+			runtime.Gosched()
+			continue
+		}
+		// Park. The sleeping flag is set before the re-check, and the
+		// producer re-reads it after publishing, so a publish between our
+		// re-check and the receive is guaranteed to send a token — no
+		// lost wake-up. A stale token only causes one spurious loop turn.
+		q.sleeping.Store(true)
+		if q.head.Load() != q.tail.Load() || q.closed.Load() {
+			q.sleeping.Store(false)
+			continue
+		}
+		<-q.wake
+		q.sleeping.Store(false)
+		spins = 0
+	}
+}
+
+// Close wakes the blocked producer and consumer; subsequent pushes fail
+// and pops drain remaining items then report !ok.
+func (q *SPSC) Close() {
+	q.closed.Store(true)
+	q.signal()
+}
+
+// Len returns the number of queued batches (approximate under concurrency).
+func (q *SPSC) Len() int {
+	t, h := q.tail.Load(), q.head.Load()
+	if t < h {
+		return 0
+	}
+	return int(t - h)
+}

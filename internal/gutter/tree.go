@@ -69,6 +69,7 @@ type Tree struct {
 	nodes     []treeNode
 	root      []record // the root buffer lives in RAM
 	scratch   []byte
+	free      freelist
 	buffered  uint64
 	flushes   uint64
 }
@@ -253,9 +254,9 @@ func (t *Tree) flushVertex(c int) error {
 // emitLeaf groups a leaf's records by destination node and emits batches.
 func (t *Tree) emitLeaf(recs []record) {
 	if t.cfg.NodesPerLeaf == 1 {
-		others := make([]uint32, len(recs))
-		for i, r := range recs {
-			others[i] = r.other
+		others := t.free.get(len(recs))
+		for _, r := range recs {
+			others = append(others, r.other)
 		}
 		t.sink(Batch{Node: recs[0].node, Others: others})
 		t.flushes++
@@ -270,6 +271,13 @@ func (t *Tree) emitLeaf(recs []record) {
 		t.flushes++
 	}
 }
+
+// Recycle returns a flushed batch buffer for reuse by later leaf flushes.
+func (t *Tree) Recycle(buf []uint32) { t.free.put(buf) }
+
+// Close releases nothing: the device the tree writes to is owned (and
+// closed) by the engine, which also reads its I/O statistics.
+func (t *Tree) Close() error { return nil }
 
 func (t *Tree) writeRegion(n, at int, recs []record) error {
 	node := &t.nodes[n]

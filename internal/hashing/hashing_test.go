@@ -87,6 +87,49 @@ func TestXXH64AvalancheOnSingleBitFlip(t *testing.T) {
 	}
 }
 
+func TestMix64BitUniformity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 9))
+	const trials = 4000
+	var counts [64]int
+	for i := 0; i < trials; i++ {
+		h := Mix64(7, rng.Uint64())
+		for b := 0; b < 64; b++ {
+			if h&(1<<b) != 0 {
+				counts[b]++
+			}
+		}
+	}
+	for b, c := range counts {
+		if c < trials*4/10 || c > trials*6/10 {
+			t.Fatalf("bit %d set %d/%d times; mixer is biased", b, c, trials)
+		}
+	}
+}
+
+func TestMix64AvalancheOnSingleBitFlip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(10, 11))
+	for trial := 0; trial < 200; trial++ {
+		x := rng.Uint64()
+		flip := x ^ (1 << (rng.Uint64() % 64))
+		d := bits.OnesCount64(Mix64(0, x) ^ Mix64(0, flip))
+		if d < 10 || d > 54 {
+			t.Fatalf("single-bit flip changed only %d output bits", d)
+		}
+	}
+}
+
+func TestMix64SeedSensitivity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(12, 13))
+	for trial := 0; trial < 200; trial++ {
+		x := rng.Uint64()
+		s := rng.Uint64()
+		d := bits.OnesCount64(Mix64(s, x) ^ Mix64(s+1, x))
+		if d < 10 || d > 54 {
+			t.Fatalf("seed increment changed only %d output bits", d)
+		}
+	}
+}
+
 func TestTwoWiseMatchesBig(t *testing.T) {
 	p := new(big.Int).SetUint64(MersennePrime61)
 	f := func(seed, x uint64) bool {

@@ -88,6 +88,24 @@ func Uint64Pair(seed, x, y uint64) uint64 {
 	return avalanche64(h)
 }
 
+// Avalanche64 applies xxHash64's finalization avalanche: a cheap
+// bijective mixer used to harden derived seeds (e.g. the per-column
+// sketch seeds) so arithmetically related inputs become unrelated seeds.
+func Avalanche64(h uint64) uint64 { return avalanche64(h) }
+
+// Mix64 hashes a single 64-bit value with the given seed using two
+// 128-bit multiply-mix rounds (the wyhash/rapidhash construction). It is
+// not xxHash: it trades the longer xxHash dependency chain (~6 serial
+// multiplies) for 2, which matters because the sketch update path performs
+// one hash per (column, round, index) and is latency-bound. Statistical
+// quality is validated by the same uniformity/avalanche tests as Uint64
+// and, end to end, by the sketch reliability experiments.
+func Mix64(seed, x uint64) uint64 {
+	hi, lo := bits.Mul64(x^prime64x1, seed^prime64x2)
+	hi, lo = bits.Mul64(lo^prime64x3, hi^seed)
+	return hi ^ lo
+}
+
 func round64(acc, input uint64) uint64 {
 	acc += input * prime64x2
 	acc = bits.RotateLeft64(acc, 31)
