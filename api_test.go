@@ -1,0 +1,528 @@
+package graphzeppelin_test
+
+import (
+	"errors"
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"graphzeppelin"
+	"graphzeppelin/internal/stream"
+)
+
+// toggleStream generates a well-formed churny update stream on n nodes:
+// each step toggles a random edge (insert if absent, delete if present).
+func toggleStream(n uint32, count int, seed uint64) []graphzeppelin.Update {
+	rng := rand.New(rand.NewPCG(seed, seed^0xabcdef))
+	present := map[stream.Edge]bool{}
+	ups := make([]graphzeppelin.Update, 0, count)
+	for len(ups) < count {
+		e := stream.Edge{U: uint32(rng.Uint64N(uint64(n))), V: uint32(rng.Uint64N(uint64(n)))}.Normalize()
+		if e.U == e.V {
+			continue
+		}
+		typ := graphzeppelin.Insert
+		if present[e] {
+			typ = graphzeppelin.Delete
+		}
+		present[e] = !present[e]
+		ups = append(ups, graphzeppelin.Update{Edge: e, Type: typ})
+	}
+	return ups
+}
+
+// repPartition queries g and returns the component representative vector.
+func repPartition(t *testing.T, g *graphzeppelin.Graph) []uint32 {
+	t.Helper()
+	rep, _, err := g.ConnectedComponents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestApplyBatchEquivalence checks that batch ingestion is exactly
+// equivalent to update-at-a-time ingestion — same final sketches, hence
+// the same recovered partition — across all three buffering modes, and
+// that the Updates stat agrees.
+func TestApplyBatchEquivalence(t *testing.T) {
+	const n = 64
+	ups := toggleStream(n, 3000, 99)
+	modes := []struct {
+		name string
+		kind graphzeppelin.Buffering
+	}{
+		{"leaf", graphzeppelin.LeafGutters},
+		{"tree", graphzeppelin.GutterTree},
+		{"none", graphzeppelin.Unbuffered},
+	}
+	for _, mode := range modes {
+		t.Run(mode.name, func(t *testing.T) {
+			open := func() *graphzeppelin.Graph {
+				g, err := graphzeppelin.New(n,
+					graphzeppelin.WithSeed(42),
+					graphzeppelin.WithShards(2),
+					graphzeppelin.WithBuffering(mode.kind),
+				)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return g
+			}
+
+			single := open()
+			defer single.Close()
+			for _, u := range ups {
+				if err := single.Apply(u); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			batched := open()
+			defer batched.Close()
+			for i := 0; i < len(ups); i += 97 {
+				end := i + 97
+				if end > len(ups) {
+					end = len(ups)
+				}
+				if err := batched.ApplyBatch(ups[i:end]); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			sessioned := open()
+			defer sessioned.Close()
+			ing, err := sessioned.NewIngestor()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, u := range ups {
+				if err := ing.Apply(u); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := ing.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			want := repPartition(t, single)
+			for name, g := range map[string]*graphzeppelin.Graph{"batched": batched, "sessioned": sessioned} {
+				if st := g.Stats(); st.Updates != uint64(len(ups)) {
+					t.Fatalf("%s: Updates stat = %d, want %d", name, st.Updates, len(ups))
+				}
+				got := repPartition(t, g)
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("%s: partition diverges at node %d", name, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentIngestors is the concurrency contract test: N producer
+// goroutines × M ingestors each, racing over one Graph, must yield
+// exactly the same sketch state as sequential ingestion of the same
+// update multiset (run under -race in CI). Updates commute over Z_2, so
+// the final partition must match the reference exactly.
+func TestConcurrentIngestors(t *testing.T) {
+	const (
+		n         = 96
+		producers = 4
+		perProd   = 2
+		perIng    = 1500
+	)
+	g, err := graphzeppelin.New(n, graphzeppelin.WithSeed(7), graphzeppelin.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	all := make([][]graphzeppelin.Update, producers*perProd)
+	var wg sync.WaitGroup
+	errs := make([]error, producers)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for m := 0; m < perProd; m++ {
+				ing, err := g.NewIngestor()
+				if err != nil {
+					errs[p] = err
+					return
+				}
+				ups := toggleStream(n, perIng, uint64(1000+p*perProd+m))
+				all[p*perProd+m] = ups
+				// Mix the ingestion styles to cover every session path.
+				if err := ing.ApplyBatch(ups[:perIng/2]); err != nil {
+					errs[p] = err
+					return
+				}
+				for _, u := range ups[perIng/2:] {
+					if err := ing.Apply(u); err != nil {
+						errs[p] = err
+						return
+					}
+				}
+				if err := ing.Close(); err != nil {
+					errs[p] = err
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var total uint64
+	ref, err := graphzeppelin.New(n, graphzeppelin.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	for _, ups := range all {
+		total += uint64(len(ups))
+		if err := ref.ApplyBatch(ups); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := g.Stats(); st.Updates != total {
+		t.Fatalf("Updates stat = %d, want %d", st.Updates, total)
+	}
+	want := repPartition(t, ref)
+	got := repPartition(t, g)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("concurrent partition diverges from sequential reference at node %d", i)
+		}
+	}
+}
+
+// TestConcurrentProducersWithInterleavedQueries races direct ApplyBatch
+// producers against connectivity queries and a checkpoint; the point is
+// the absence of data races and deadlocks (run under -race), plus a sane
+// final answer.
+func TestConcurrentProducersWithInterleavedQueries(t *testing.T) {
+	const n = 64
+	g, err := graphzeppelin.New(n, graphzeppelin.WithSeed(11), graphzeppelin.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	var wg sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			ups := toggleStream(n, 2000, uint64(50+p))
+			for i := 0; i < len(ups); i += 50 {
+				if err := g.ApplyBatch(ups[i : i+50]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for q := 0; q < 5; q++ {
+			if _, _, err := g.ConnectedComponents(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if _, _, err := g.ConnectedComponents(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClosedContract pins the ErrClosed behaviour: every operation on a
+// closed Graph — and on any Ingestor of a closed Graph, and on a closed
+// Ingestor of a live Graph — reports ErrClosed.
+func TestClosedContract(t *testing.T) {
+	g, err := graphzeppelin.New(16, graphzeppelin.WithSeed(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing, err := g.NewIngestor()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A closed ingestor on a live graph.
+	ing2, err := g.NewIngestor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ing2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing2.Insert(0, 1); !errors.Is(err, graphzeppelin.ErrClosed) {
+		t.Fatalf("closed ingestor Insert: %v, want ErrClosed", err)
+	}
+	if err := ing2.Close(); !errors.Is(err, graphzeppelin.ErrClosed) {
+		t.Fatalf("double ingestor Close: %v, want ErrClosed", err)
+	}
+
+	if err := g.Insert(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+
+	if err := g.Apply(graphzeppelin.Update{Edge: graphzeppelin.Edge{U: 0, V: 1}}); !errors.Is(err, graphzeppelin.ErrClosed) {
+		t.Fatalf("Apply after Close: %v, want ErrClosed", err)
+	}
+	if err := g.ApplyBatch(toggleStream(16, 4, 1)); !errors.Is(err, graphzeppelin.ErrClosed) {
+		t.Fatalf("ApplyBatch after Close: %v, want ErrClosed", err)
+	}
+	if _, err := g.SpanningForest(); !errors.Is(err, graphzeppelin.ErrClosed) {
+		t.Fatalf("SpanningForest after Close: %v, want ErrClosed", err)
+	}
+	if _, err := g.Connected(0, 1); !errors.Is(err, graphzeppelin.ErrClosed) {
+		t.Fatalf("Connected after Close: %v, want ErrClosed", err)
+	}
+	if err := g.Flush(); !errors.Is(err, graphzeppelin.ErrClosed) {
+		t.Fatalf("Flush after Close: %v, want ErrClosed", err)
+	}
+
+	// Pre-existing and new ingestors are both dead.
+	if err := ing.Insert(2, 3); !errors.Is(err, graphzeppelin.ErrClosed) {
+		t.Fatalf("ingestor Insert after graph Close: %v, want ErrClosed", err)
+	}
+	if err := ing.Flush(); !errors.Is(err, graphzeppelin.ErrClosed) {
+		t.Fatalf("ingestor Flush after graph Close: %v, want ErrClosed", err)
+	}
+	if _, err := g.NewIngestor(); !errors.Is(err, graphzeppelin.ErrClosed) {
+		t.Fatalf("NewIngestor after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestConnectedRangeCheck pins the satellite fix: out-of-range nodes are
+// rejected up front with ErrNodeOutOfRange (not an anonymous error, and
+// without paying for a full component query).
+func TestConnectedRangeCheck(t *testing.T) {
+	g, err := graphzeppelin.New(8, graphzeppelin.WithSeed(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if _, err := g.Connected(0, 8); !errors.Is(err, graphzeppelin.ErrNodeOutOfRange) {
+		t.Fatalf("Connected(0,8): %v, want ErrNodeOutOfRange", err)
+	}
+	if _, err := g.Connected(99, 1); !errors.Is(err, graphzeppelin.ErrNodeOutOfRange) {
+		t.Fatalf("Connected(99,1): %v, want ErrNodeOutOfRange", err)
+	}
+	// The range check must run before the query: a range error on a graph
+	// with zero queries leaves QueryRounds untouched.
+	if st := g.Stats(); st.QueryRounds != 0 {
+		t.Fatalf("range-checked Connected ran a query (rounds=%d)", st.QueryRounds)
+	}
+}
+
+// TestInvalidUpdatesNotCounted pins the other satellite fix at the public
+// level: updates that error are not counted in Stats().Updates, for both
+// the single and the batch path.
+func TestInvalidUpdatesNotCounted(t *testing.T) {
+	g, err := graphzeppelin.New(8, graphzeppelin.WithSeed(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if err := g.Insert(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Insert(3, 3); err == nil {
+		t.Fatal("self loop accepted")
+	}
+	if err := g.Insert(0, 99); err == nil {
+		t.Fatal("out-of-universe node accepted")
+	}
+	// A batch with one bad update ingests nothing.
+	bad := []graphzeppelin.Update{
+		{Edge: graphzeppelin.Edge{U: 1, V: 2}, Type: graphzeppelin.Insert},
+		{Edge: graphzeppelin.Edge{U: 5, V: 5}, Type: graphzeppelin.Insert},
+	}
+	if err := g.ApplyBatch(bad); err == nil {
+		t.Fatal("batch with a self loop accepted")
+	}
+	if st := g.Stats(); st.Updates != 1 {
+		t.Fatalf("Updates stat = %d, want 1 (only the successful insert)", st.Updates)
+	}
+}
+
+// TestStreamSketchDrivesEveryStructure feeds the same stream to all four
+// public structures through the StreamSketch interface alone, then runs
+// each structure's own query — the "one driver loop for any structure"
+// property the CLIs rely on.
+func TestStreamSketchDrivesEveryStructure(t *testing.T) {
+	const n = 32
+	opts := []graphzeppelin.Option{graphzeppelin.WithSeed(21)}
+	g, err := graphzeppelin.New(n, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bip, err := graphzeppelin.NewBipartiteTester(n, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peeler, err := graphzeppelin.NewForestPeeler(2, n, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msf, err := graphzeppelin.NewMSFWeightSketch(3, n, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// An even cycle over all nodes: connected, bipartite, MSF weight n-1.
+	var ups []graphzeppelin.Update
+	for u := uint32(0); u < n; u++ {
+		ups = append(ups, graphzeppelin.Update{
+			Edge: graphzeppelin.Edge{U: u, V: (u + 1) % n}, Type: graphzeppelin.Insert,
+		})
+	}
+	sketches := []graphzeppelin.StreamSketch{g, bip, peeler, msf}
+	for _, sk := range sketches {
+		if err := sk.ApplyBatch(ups[:n/2]); err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range ups[n/2:] {
+			if err := sk.Apply(u); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sk.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if st := sk.Stats(); st.Updates == 0 {
+			t.Fatalf("%T: Updates stat did not advance", sk)
+		}
+	}
+
+	if _, count, err := g.ConnectedComponents(); err != nil || count != 1 {
+		t.Fatalf("graph: count=%d err=%v, want 1 component", count, err)
+	}
+	if ok, err := bip.IsBipartite(); err != nil || !ok {
+		t.Fatalf("bipartite: %v %v, want true (even cycle)", ok, err)
+	}
+	if lambda, err := peeler.EdgeConnectivity(); err != nil || lambda != 2 {
+		t.Fatalf("kforests: λ=%d err=%v, want 2 (cycle)", lambda, err)
+	}
+	if w, err := msf.Weight(); err != nil || w != int64(n-1) {
+		t.Fatalf("msf: weight=%d err=%v, want %d", w, err, n-1)
+	}
+
+	for _, sk := range sketches {
+		if err := sk.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sk.Apply(ups[0]); !errors.Is(err, graphzeppelin.ErrClosed) {
+			t.Fatalf("%T after Close: %v, want ErrClosed", sk, err)
+		}
+	}
+}
+
+// TestIngestorBatchBypass covers the large-batch fast path: batches at
+// least as large as the session buffer go straight to the Graph while
+// preserving session order.
+func TestIngestorBatchBypass(t *testing.T) {
+	const n = 64
+	g, err := graphzeppelin.New(n, graphzeppelin.WithSeed(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	ref, err := graphzeppelin.New(n, graphzeppelin.WithSeed(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	ups := toggleStream(n, 4*graphzeppelin.IngestorBufferSize, 77)
+	ing, err := g.NewIngestor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A few buffered singles, then a buffer-sized batch (bypass), then an
+	// edge batch.
+	for _, u := range ups[:10] {
+		if err := ing.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ing.ApplyBatch(ups[10 : 10+2*graphzeppelin.IngestorBufferSize]); err != nil {
+		t.Fatal(err)
+	}
+	rest := ups[10+2*graphzeppelin.IngestorBufferSize:]
+	edges := make([]graphzeppelin.Edge, len(rest))
+	for i, u := range rest {
+		edges[i] = u.Edge
+	}
+	if err := ing.InsertBatch(edges); err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := ref.ApplyBatch(ups); err != nil {
+		t.Fatal(err)
+	}
+	want, got := repPartition(t, ref), repPartition(t, g)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("bypass path diverges at node %d", i)
+		}
+	}
+	if st := g.Stats(); st.Updates != uint64(len(ups)) {
+		t.Fatalf("Updates stat = %d, want %d", st.Updates, len(ups))
+	}
+}
+
+// TestCloseRacesProducers closes the Graph while producers are mid-flight
+// and checks the engine shuts down cleanly: every producer either
+// ingested successfully or observed ErrClosed, nothing deadlocks, and the
+// graph is usable as closed afterwards.
+func TestCloseRacesProducers(t *testing.T) {
+	const n = 64
+	g, err := graphzeppelin.New(n, graphzeppelin.WithSeed(29), graphzeppelin.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			ups := toggleStream(n, 5000, uint64(300+p))
+			for i := 0; i < len(ups); i += 100 {
+				if err := g.ApplyBatch(ups[i : i+100]); err != nil {
+					if !errors.Is(err, graphzeppelin.ErrClosed) {
+						t.Errorf("producer %d: %v", p, err)
+					}
+					return
+				}
+			}
+		}(p)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if err := g.Apply(graphzeppelin.Update{Edge: graphzeppelin.Edge{U: 0, V: 1}}); !errors.Is(err, graphzeppelin.ErrClosed) {
+		t.Fatalf("Apply after racing Close: %v, want ErrClosed", err)
+	}
+}

@@ -6,6 +6,7 @@ package graphzeppelin_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"graphzeppelin"
@@ -296,6 +297,107 @@ func BenchmarkIngestThroughput(b *testing.B) {
 				}
 			}
 			b.StopTimer() // keep the deferred Close's drain out of ns/op
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/s")
+		})
+	}
+}
+
+// BenchmarkIngestParallel measures multi-producer ingestion: p goroutines
+// each drive a private Ingestor session over one shared Graph, splitting
+// b.N updates between them. On a multi-core host the producer-side work
+// (gutter inserts, hashing, batching) scales with p until the shard
+// workers saturate; on a single-vCPU host the value of the benchmark is
+// the overhead it does NOT show — the multi-producer machinery (stripe
+// locks, per-shard push mutexes, session buffers) should cost no
+// throughput versus producers=1. Results are recorded in
+// BENCH_ingest.json and smoke-run in CI.
+func BenchmarkIngestParallel(b *testing.B) {
+	res := experiments.KronStream(10, 1)
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("producers=%d", p), func(b *testing.B) {
+			g, err := graphzeppelin.New(res.NumNodes, graphzeppelin.WithSeed(1), graphzeppelin.WithShards(4))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer g.Close()
+			// Warm the gutters and worker pool before timing.
+			for i := 0; i < len(res.Updates) && i < 1<<14; i++ {
+				if err := g.Apply(res.Updates[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			per := b.N / p
+			for i := 0; i < p; i++ {
+				count := per
+				if i == p-1 {
+					count = b.N - per*(p-1)
+				}
+				wg.Add(1)
+				go func(i, count int) {
+					defer wg.Done()
+					ing, err := g.NewIngestor()
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					off := i * (len(res.Updates) / p)
+					for j := 0; j < count; j++ {
+						if err := ing.Apply(res.Updates[(off+j)%len(res.Updates)]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+					if err := ing.Close(); err != nil {
+						b.Error(err)
+					}
+				}(i, count)
+			}
+			wg.Wait()
+			b.StopTimer() // keep the deferred Close's drain out of ns/op
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/s")
+		})
+	}
+}
+
+// BenchmarkIngestBatch measures the ApplyBatch bulk path a single
+// producer gets without an Ingestor: the per-call overhead (engine
+// read-lock, validation pass, stripe grouping) amortized over the batch.
+func BenchmarkIngestBatch(b *testing.B) {
+	res := experiments.KronStream(10, 1)
+	for _, size := range []int{1, 64, 512, 4096} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			g, err := graphzeppelin.New(res.NumNodes, graphzeppelin.WithSeed(1), graphzeppelin.WithShards(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer g.Close()
+			for i := 0; i < len(res.Updates) && i < 1<<14; i++ {
+				if err := g.Apply(res.Updates[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for done := 0; done < b.N; {
+				end := done + size
+				if end > b.N {
+					end = b.N
+				}
+				lo := done % len(res.Updates)
+				hi := lo + (end - done)
+				if hi > len(res.Updates) {
+					hi = len(res.Updates)
+					end = done + (hi - lo)
+				}
+				if err := g.ApplyBatch(res.Updates[lo:hi]); err != nil {
+					b.Fatal(err)
+				}
+				done = end
+			}
+			b.StopTimer()
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/s")
 		})
 	}

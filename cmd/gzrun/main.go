@@ -1,11 +1,18 @@
-// Command gzrun ingests a GZS1 stream file into GraphZeppelin and answers
-// a connectivity query, printing ingestion rate, query latency, memory and
-// I/O statistics — the per-run measurements behind the paper's system
-// tables.
+// Command gzrun ingests a GZS1 stream file into any of the package's
+// sketch structures and answers that structure's query, printing
+// ingestion rate, query latency, memory and I/O statistics — the per-run
+// measurements behind the paper's system tables.
+//
+// Every structure is driven through the shared StreamSketch interface, so
+// one ingest loop serves them all; -producers splits ingestion across
+// concurrent producer goroutines (per-producer Ingestor sessions on a
+// graph, shared ApplyBatch on the extensions).
 //
 // Usage:
 //
 //	gzrun -stream kron12.gzs -workers 4
+//	gzrun -stream kron12.gzs -producers 4 -shards 4
+//	gzrun -stream kron12.gzs -structure bipartite
 //	gzrun -stream kron12.gzs -disk /mnt/ssd -buffering tree
 package main
 
@@ -16,6 +23,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"sync"
 	"time"
 
 	"graphzeppelin"
@@ -27,17 +35,25 @@ func main() {
 	log.SetPrefix("gzrun: ")
 	var (
 		path      = flag.String("stream", "", "GZS1 stream file (required)")
+		structure = flag.String("structure", "graph", "structure: graph, bipartite, kforests, msf")
 		workers   = flag.Int("workers", 1, "graph workers")
 		shards    = flag.Int("shards", 0, "ingest shards (0 = one per worker)")
+		producers = flag.Int("producers", 1, "concurrent producer goroutines")
+		batch     = flag.Int("batch", 4096, "updates per ApplyBatch call (1 = per-update Apply)")
 		buffering = flag.String("buffering", "leaf", "buffering: leaf, tree, none")
 		factor    = flag.Float64("f", 0.5, "gutter size factor")
 		disk      = flag.String("disk", "", "directory for on-disk sketches (empty = RAM)")
 		seed      = flag.Uint64("seed", 1, "sketch seed")
-		queries   = flag.Int("queries", 1, "number of evenly spaced connectivity queries")
+		queries   = flag.Int("queries", 1, "evenly spaced connectivity queries (graph, single producer)")
+		k         = flag.Int("k", 2, "layers for -structure kforests")
+		maxWeight = flag.Int("maxweight", 4, "max edge weight for -structure msf")
 	)
 	flag.Parse()
 	if *path == "" {
 		log.Fatal("-stream is required")
+	}
+	if *producers < 1 || *batch < 1 {
+		log.Fatal("-producers and -batch must be at least 1")
 	}
 
 	f, err := os.Open(*path)
@@ -72,53 +88,98 @@ func main() {
 	if *disk != "" {
 		opts = append(opts, graphzeppelin.WithSketchesOnDisk(*disk), graphzeppelin.WithDir(*disk))
 	}
-	g, err := graphzeppelin.New(hdr.NumNodes, opts...)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer g.Close()
 
-	every := hdr.Count
-	if *queries > 1 {
-		every = hdr.Count / uint64(*queries)
-	}
-	start := time.Now()
-	var ingested uint64
-	for {
-		u, err := r.Read()
-		if errors.Is(err, io.EOF) {
-			break
-		}
+	// Build the selected structure; all of them ingest through the one
+	// StreamSketch code path below. report runs the structure's query.
+	var (
+		sk     graphzeppelin.StreamSketch
+		graph  *graphzeppelin.Graph // non-nil iff -structure graph
+		report func(sk graphzeppelin.StreamSketch) error
+	)
+	switch *structure {
+	case "graph":
+		g, err := graphzeppelin.New(hdr.NumNodes, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := g.Apply(u); err != nil {
-			log.Fatal(err)
-		}
-		ingested++
-		if *queries > 1 && ingested%every == 0 && ingested < hdr.Count {
-			qs := time.Now()
+		graph = g
+		sk = g
+		report = func(graphzeppelin.StreamSketch) error {
 			_, count, err := g.ConnectedComponents()
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Printf("  query @ %3.0f%%: %d components (%.3fs)\n",
-				100*float64(ingested)/float64(hdr.Count), count, time.Since(qs).Seconds())
+			fmt.Printf("final query: %d components", count)
+			return nil
 		}
+	case "bipartite":
+		t, err := graphzeppelin.NewBipartiteTester(hdr.NumNodes, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sk = t
+		report = func(graphzeppelin.StreamSketch) error {
+			bip, err := t.IsBipartite()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("final query: bipartite = %v", bip)
+			return nil
+		}
+	case "kforests":
+		p, err := graphzeppelin.NewForestPeeler(*k, hdr.NumNodes, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sk = p
+		report = func(graphzeppelin.StreamSketch) error {
+			lambda, err := p.EdgeConnectivity()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("final query: edge connectivity min(k=%d, λ) = %d", *k, lambda)
+			return nil
+		}
+	case "msf":
+		m, err := graphzeppelin.NewMSFWeightSketch(*maxWeight, hdr.NumNodes, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sk = m
+		report = func(graphzeppelin.StreamSketch) error {
+			w, err := m.Weight()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("final query: MSF weight = %d (unit weights)", w)
+			return nil
+		}
+	default:
+		log.Fatalf("unknown structure %q", *structure)
+	}
+	defer sk.Close()
+
+	start := time.Now()
+	var ingested uint64
+	if *producers == 1 {
+		ingested, err = ingestSerial(r, sk, graph, hdr.Count, *batch, *queries)
+	} else {
+		ingested, err = ingestParallel(r, sk, graph, *producers, *batch)
+	}
+	if err != nil {
+		log.Fatal(err)
 	}
 	ingestDur := time.Since(start)
 
 	qs := time.Now()
-	_, count, err := g.ConnectedComponents()
-	if err != nil {
+	if err := report(sk); err != nil {
 		log.Fatal(err)
 	}
-	qDur := time.Since(qs)
+	fmt.Printf(" in %.3fs\n", time.Since(qs).Seconds())
 
-	st := g.Stats()
-	fmt.Printf("ingested %d updates in %.3fs (%.2f M updates/s)\n",
-		ingested, ingestDur.Seconds(), float64(ingested)/ingestDur.Seconds()/1e6)
-	fmt.Printf("final query: %d components in %.3fs\n", count, qDur.Seconds())
+	st := sk.Stats()
+	fmt.Printf("ingested %d updates in %.3fs (%.2f M updates/s) with %d producer(s)\n",
+		ingested, ingestDur.Seconds(), float64(ingested)/ingestDur.Seconds()/1e6, *producers)
 	fmt.Printf("memory %.1f MiB, disk %.1f MiB, %d batches across %d shards %v\n",
 		float64(st.MemoryBytes)/(1<<20), float64(st.DiskBytes)/(1<<20), st.Batches, st.Shards, st.ShardBatches)
 	if st.SketchIO.TotalBlocks() > 0 {
@@ -128,5 +189,122 @@ func main() {
 	if st.BufferIO.TotalBlocks() > 0 {
 		fmt.Printf("gutter I/O: %d read blocks, %d write blocks\n",
 			st.BufferIO.ReadBlocks, st.BufferIO.WriteBlocks)
+	}
+}
+
+// ingestSerial drives the whole stream from this goroutine in ApplyBatch
+// chunks, optionally running evenly spaced connectivity queries (graph
+// only). It returns the number of updates actually read, which for a
+// truncated file can be below the header's count.
+func ingestSerial(r *stream.Reader, sk graphzeppelin.StreamSketch, graph *graphzeppelin.Graph, count uint64, batch, queries int) (uint64, error) {
+	every := uint64(0)
+	if queries > 1 && graph != nil {
+		every = count / uint64(queries) // 0 when queries > count: no interleaving
+	}
+	buf := make([]graphzeppelin.Update, 0, batch)
+	var ingested uint64
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		if err := sk.ApplyBatch(buf); err != nil {
+			return err
+		}
+		buf = buf[:0]
+		return nil
+	}
+	for {
+		u, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return ingested, err
+		}
+		buf = append(buf, u)
+		if len(buf) == cap(buf) {
+			if err := flush(); err != nil {
+				return ingested, err
+			}
+		}
+		ingested++
+		if every > 0 && ingested%every == 0 && ingested < count {
+			if err := flush(); err != nil {
+				return ingested, err
+			}
+			qs := time.Now()
+			_, comps, err := graph.ConnectedComponents()
+			if err != nil {
+				return ingested, err
+			}
+			fmt.Printf("  query @ %3.0f%%: %d components (%.3fs)\n",
+				100*float64(ingested)/float64(count), comps, time.Since(qs).Seconds())
+		}
+	}
+	return ingested, flush()
+}
+
+// ingestParallel fans chunks of the stream out to producer goroutines.
+// On a graph each producer ingests through its own Ingestor session; the
+// extensions take ApplyBatch directly (their engines are internally
+// synchronized). It returns the number of updates handed to producers.
+func ingestParallel(r *stream.Reader, sk graphzeppelin.StreamSketch, graph *graphzeppelin.Graph, producers, batch int) (uint64, error) {
+	chunks := make(chan []graphzeppelin.Update, 2*producers)
+	errc := make(chan error, producers+1)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			apply := sk.ApplyBatch
+			if graph != nil {
+				ing, err := graph.NewIngestor()
+				if err != nil {
+					errc <- err
+					return
+				}
+				defer ing.Close()
+				apply = ing.ApplyBatch
+			}
+			failed := false
+			for chunk := range chunks {
+				if failed {
+					continue // keep draining so the feeder never blocks
+				}
+				if err := apply(chunk); err != nil {
+					errc <- err
+					failed = true
+				}
+			}
+		}()
+	}
+	buf := make([]graphzeppelin.Update, 0, batch)
+	var ingested uint64
+	for {
+		u, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			errc <- err
+			break
+		}
+		buf = append(buf, u)
+		ingested++
+		if len(buf) == cap(buf) {
+			chunks <- buf
+			buf = make([]graphzeppelin.Update, 0, batch)
+		}
+	}
+	if len(buf) > 0 {
+		chunks <- buf
+	}
+	close(chunks)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return ingested, err
+	default:
+		return ingested, nil
 	}
 }

@@ -63,8 +63,11 @@ func LoadCheckpoint(path string, opts ...Option) (*Graph, error) {
 
 // BipartiteTester tests bipartiteness of a dynamic graph stream in small
 // space via the double-cover reduction (the Section 3.1 extension
-// direction; see internal/sketchext).
+// direction; see internal/sketchext). It implements StreamSketch —
+// Apply/ApplyBatch/Insert/Delete/Flush/Stats come from the shared handle
+// — plus its own IsBipartite query.
 type BipartiteTester struct {
+	sketchHandle
 	b *sketchext.Bipartite
 }
 
@@ -78,29 +81,21 @@ func NewBipartiteTester(numNodes uint32, opts ...Option) (*BipartiteTester, erro
 	if err != nil {
 		return nil, err
 	}
-	return &BipartiteTester{b: b}, nil
-}
-
-// Insert ingests an edge insertion.
-func (t *BipartiteTester) Insert(u, v uint32) error {
-	return t.b.Update(Update{Edge: Edge{U: u, V: v}, Type: Insert})
-}
-
-// Delete ingests an edge deletion.
-func (t *BipartiteTester) Delete(u, v uint32) error {
-	return t.b.Update(Update{Edge: Edge{U: u, V: v}, Type: Delete})
+	return &BipartiteTester{sketchHandle: sketchHandle{impl: b}, b: b}, nil
 }
 
 // IsBipartite reports whether the current graph is bipartite (w.h.p.).
+// The base graph and its double cover quiesce independently, so call it
+// with no producer mid-Apply (see the StreamSketch consistency note).
 func (t *BipartiteTester) IsBipartite() (bool, error) { return t.b.IsBipartite() }
-
-// Close releases the tester's engines.
-func (t *BipartiteTester) Close() error { return t.b.Close() }
 
 // ForestPeeler maintains k independent sketch layers and peels k
 // edge-disjoint spanning forests — Ahn, Guha and McGregor's
 // k-edge-connectivity certificate (the Section 3.1 extension direction).
+// It implements StreamSketch; every ingested update lands in all k
+// layers.
 type ForestPeeler struct {
+	sketchHandle
 	kf *sketchext.KForests
 }
 
@@ -114,15 +109,7 @@ func NewForestPeeler(k int, numNodes uint32, opts ...Option) (*ForestPeeler, err
 	if err != nil {
 		return nil, err
 	}
-	return &ForestPeeler{kf: kf}, nil
-}
-
-// Apply ingests one stream update into every layer.
-func (p *ForestPeeler) Apply(u Update) error { return p.kf.Update(u) }
-
-// Insert ingests an edge insertion into every layer.
-func (p *ForestPeeler) Insert(u, v uint32) error {
-	return p.kf.Update(Update{Edge: Edge{U: u, V: v}, Type: Insert})
+	return &ForestPeeler{sketchHandle: sketchHandle{impl: kf}, kf: kf}, nil
 }
 
 // Forests peels and returns k edge-disjoint spanning forests. Terminal:
@@ -133,14 +120,14 @@ func (p *ForestPeeler) Forests() ([][]Edge, error) { return p.kf.Forests() }
 // peeled certificate.
 func (p *ForestPeeler) EdgeConnectivity() (int, error) { return p.kf.EdgeConnectivity() }
 
-// Close releases every layer.
-func (p *ForestPeeler) Close() error { return p.kf.Close() }
-
 // MSFWeightSketch computes the exact minimum-spanning-forest weight of a
 // dynamic weighted graph stream with integer weights in [1, maxWeight],
 // via levelled connectivity sketches (the Section 3.1 "minimum spanning
-// trees" extension; see internal/sketchext).
+// trees" extension; see internal/sketchext). It implements StreamSketch
+// with unweighted updates treated as weight 1; the weighted entry points
+// below carry the real weights.
 type MSFWeightSketch struct {
+	sketchHandle
 	m *sketchext.MSFWeight
 }
 
@@ -154,17 +141,17 @@ func NewMSFWeightSketch(maxWeight int, numNodes uint32, opts ...Option) (*MSFWei
 	if err != nil {
 		return nil, err
 	}
-	return &MSFWeightSketch{m: m}, nil
+	return &MSFWeightSketch{sketchHandle: sketchHandle{impl: m}, m: m}, nil
 }
 
-// Insert ingests a weighted edge insertion.
+// Insert ingests a weighted edge insertion. (It shadows the unweighted
+// StreamSketch helper; unweighted Apply treats updates as weight 1.)
 func (s *MSFWeightSketch) Insert(u, v uint32, weight int) error { return s.m.Insert(u, v, weight) }
 
 // Delete ingests a weighted edge deletion (same weight as its insertion).
 func (s *MSFWeightSketch) Delete(u, v uint32, weight int) error { return s.m.Delete(u, v, weight) }
 
-// Weight returns the exact MSF weight; ingestion may continue afterwards.
+// Weight returns the exact MSF weight; ingestion may continue
+// afterwards. The weight levels quiesce independently, so call it with
+// no producer mid-Apply (see the StreamSketch consistency note).
 func (s *MSFWeightSketch) Weight() (int64, error) { return s.m.Weight() }
-
-// Close releases all level engines.
-func (s *MSFWeightSketch) Close() error { return s.m.Close() }

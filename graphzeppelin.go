@@ -11,12 +11,23 @@
 // graph), updates are buffered per destination node for locality and I/O
 // efficiency, and queries emulate Boruvka's algorithm over the sketches.
 //
+// The API is batch-first and multi-producer: any number of goroutines may
+// ingest concurrently through Apply/ApplyBatch/InsertBatch, or — better —
+// through per-producer Ingestor sessions (Graph.NewIngestor), whose
+// private buffers amortize every per-call cost down the whole pipeline.
+// Queries, checkpoints and Close may also be issued from any goroutine;
+// they quiesce ingestion internally and answer over a consistent cut.
+// Graph, BipartiteTester, ForestPeeler and MSFWeightSketch all implement
+// the shared StreamSketch interface, so one driver loop can feed any of
+// them.
+//
 // Ingestion is sharded: nodes are partitioned by node % shards, every
 // shard's sketches live in one contiguous arena owned exclusively by that
 // shard's Graph Worker goroutine, and buffered batches reach the workers
-// through per-shard lock-free queues. No per-update locking remains — the
-// only mutex left on the ingest side is a buffer-recycling freelist taken
-// once per batch. WithShards (default WithWorkers) sets the parallelism.
+// through per-shard lock-free queues whose pushes are serialized by a
+// per-shard mutex taken once per batch. The leaf gutters are lock-striped
+// so concurrent producers rarely contend. WithShards (default
+// WithWorkers) sets the apply-side parallelism.
 //
 // Basic use:
 //
@@ -28,6 +39,14 @@
 //	comps, n, err := g.ConnectedComponents()
 //	g.Close()
 //
+// High-rate use, N producer goroutines:
+//
+//	ing, err := g.NewIngestor()  // one per producer
+//	...
+//	ing.Insert(1, 2)             // buffers; flushes as the buffer fills
+//	ing.ApplyBatch(updates)      // bulk path
+//	ing.Close()                  // flush the tail
+//
 // The answer is correct with high probability (the failure probability is
 // polynomially small in V; Section 6.3 of the paper — and this
 // reproduction's test suite — observed zero failures).
@@ -35,11 +54,17 @@ package graphzeppelin
 
 import (
 	"fmt"
+	"sync"
 
 	"graphzeppelin/internal/core"
 	"graphzeppelin/internal/gutter"
 	"graphzeppelin/internal/stream"
 )
+
+// ErrClosed is returned by every operation on a closed Graph, Ingestor or
+// extension structure. Compare with errors.Is: query errors arrive
+// wrapped.
+var ErrClosed = core.ErrClosed
 
 // Edge is an undirected edge between two node ids.
 type Edge = stream.Edge
@@ -100,6 +125,13 @@ func WithBuffering(k Buffering) Option {
 	return func(c *core.Config) { c.Buffering = k }
 }
 
+// WithGutterStripes sets the number of lock stripes partitioning the leaf
+// gutters across concurrent producers (default max(shards, GOMAXPROCS)).
+// Purely a contention knob — correctness never depends on it.
+func WithGutterStripes(n int) Option {
+	return func(c *core.Config) { c.GutterStripes = n }
+}
+
 // WithBufferFactor sets the paper's gutter-size factor f: each leaf gutter
 // holds f × (node-sketch bytes) of buffered updates (default 0.5).
 func WithBufferFactor(f float64) Option {
@@ -149,11 +181,21 @@ func WithGutterTreeConfig(fanout, bufferRecords, leafRecords int) Option {
 type Stats = core.Stats
 
 // Graph is a dynamic-graph-stream connectivity sketch over a fixed
-// universe of node ids [0, NumNodes). Ingestion must be driven from one
-// goroutine; sketch maintenance is parallel internally.
+// universe of node ids [0, NumNodes). It is safe for fully concurrent
+// use: any number of producer goroutines may ingest at once (ideally each
+// through its own Ingestor), and queries may be interleaved from any
+// goroutine — they see every update that reached the Graph before the
+// query began. An update reaches the Graph when its Apply/ApplyBatch
+// call returns; an Ingestor-buffered update reaches it only once its
+// session flushes (implicitly on fill, explicitly via Ingestor.Flush or
+// Close).
 type Graph struct {
 	engine   *core.Engine
 	numNodes uint32
+
+	// valMu guards the optional stream validator, the one piece of
+	// graph-level state shared by all producers.
+	valMu    sync.Mutex
 	validate *stream.Validator
 }
 
@@ -175,11 +217,29 @@ func (g *Graph) NumNodes() uint32 { return g.numNodes }
 
 // EnableValidation turns on stream well-formedness checking: duplicate
 // inserts and deletes of absent edges are rejected instead of silently
-// corrupting the sketch. Costs O(E) extra memory; intended for debugging.
+// corrupting the sketch. Costs O(E) extra memory and serializes producers
+// through the validator's lock; intended for debugging. Call it before
+// ingestion starts.
 func (g *Graph) EnableValidation() {
 	if g.validate == nil {
 		g.validate = &stream.Validator{}
 	}
+}
+
+// checkUpdates runs the optional stream validator over a batch of
+// updates, serialized across producers.
+func (g *Graph) checkUpdates(ups []Update) error {
+	if g.validate == nil {
+		return nil
+	}
+	g.valMu.Lock()
+	defer g.valMu.Unlock()
+	for _, u := range ups {
+		if err := g.validate.Apply(u); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Insert ingests the insertion of edge (u, v).
@@ -194,15 +254,52 @@ func (g *Graph) Delete(u, v uint32) error {
 	return g.Apply(Update{Edge: Edge{U: u, V: v}, Type: Delete})
 }
 
-// Apply ingests one stream update.
+// Apply ingests one stream update. Safe for concurrent use; per-update
+// calls pay an engine read-lock each, so high-rate producers should
+// prefer ApplyBatch or an Ingestor.
 func (g *Graph) Apply(u Update) error {
 	if g.validate != nil {
-		if err := g.validate.Apply(u); err != nil {
+		g.valMu.Lock()
+		err := g.validate.Apply(u)
+		g.valMu.Unlock()
+		if err != nil {
 			return err
 		}
 	}
 	return g.engine.Update(u)
 }
+
+// ApplyBatch ingests a batch of stream updates through the amortized bulk
+// path: one validation pass, one engine entry, one grouped hand-off to
+// the buffering layer. The batch is validated up front — if any update is
+// invalid, nothing is ingested.
+func (g *Graph) ApplyBatch(ups []Update) error {
+	if err := g.checkUpdates(ups); err != nil {
+		return err
+	}
+	return g.engine.UpdateBatch(ups)
+}
+
+// InsertBatch ingests a batch of edge insertions through the bulk path.
+func (g *Graph) InsertBatch(edges []Edge) error {
+	if g.validate != nil {
+		g.valMu.Lock()
+		for _, e := range edges {
+			if err := g.validate.Apply(Update{Edge: e, Type: Insert}); err != nil {
+				g.valMu.Unlock()
+				return err
+			}
+		}
+		g.valMu.Unlock()
+	}
+	return g.engine.InsertEdges(edges)
+}
+
+// Flush forces every buffered update into the sketches and waits for the
+// Graph Workers to apply them. Queries do this implicitly; explicit
+// flushes mark checkpoint-style cut points. Note this does not flush
+// Ingestor session buffers — each producer flushes (or closes) its own.
+func (g *Graph) Flush() error { return g.engine.Drain() }
 
 // SpanningForest flushes buffered updates and returns the edges of a
 // spanning forest of the current graph. Ingestion may continue afterwards.
@@ -224,14 +321,21 @@ func (g *Graph) ConnectedComponents() (rep []uint32, count int, err error) {
 	return rep, count, nil
 }
 
+// ErrNodeOutOfRange is returned by Connected for node ids at or beyond
+// NumNodes.
+var ErrNodeOutOfRange = fmt.Errorf("graphzeppelin: node out of range")
+
 // Connected reports whether u and v are currently in the same component.
+// Out-of-range nodes are rejected with ErrNodeOutOfRange before the
+// (expensive) component query runs; on a closed Graph the error satisfies
+// errors.Is(err, ErrClosed).
 func (g *Graph) Connected(u, v uint32) (bool, error) {
+	if u >= g.numNodes || v >= g.numNodes {
+		return false, fmt.Errorf("%w: (%d,%d) vs %d nodes", ErrNodeOutOfRange, u, v, g.numNodes)
+	}
 	rep, _, err := g.ConnectedComponents()
 	if err != nil {
 		return false, err
-	}
-	if int(u) >= len(rep) || int(v) >= len(rep) {
-		return false, fmt.Errorf("graphzeppelin: node out of range")
 	}
 	return rep[u] == rep[v], nil
 }
@@ -239,5 +343,7 @@ func (g *Graph) Connected(u, v uint32) (bool, error) {
 // Stats returns activity counters and footprint estimates.
 func (g *Graph) Stats() Stats { return g.engine.Stats() }
 
-// Close stops the worker pool and releases disk resources.
+// Close drains buffered updates, stops the worker pool and releases disk
+// resources. Idempotent and safe to call from any goroutine; afterwards
+// every operation on the Graph or its Ingestors returns ErrClosed.
 func (g *Graph) Close() error { return g.engine.Close() }

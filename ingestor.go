@@ -1,0 +1,147 @@
+package graphzeppelin
+
+// IngestorBufferSize is the capacity, in updates, of an Ingestor's
+// private buffer: large enough that the per-flush costs (the engine's
+// read-lock, gutter stripe locking, scratch recycling) amortize to
+// nothing per update, small enough that a producer's updates reach the
+// shared pipeline promptly.
+const IngestorBufferSize = 512
+
+// Ingestor is a per-producer ingestion session: a handle with a private
+// fixed-size update buffer that flushes into the Graph's multi-producer
+// buffering layer as it fills. Create one Ingestor per producer goroutine
+// with Graph.NewIngestor; any number of ingestors may run concurrently,
+// and the Graph's own Apply/ApplyBatch may be called alongside them.
+//
+// An Ingestor itself is NOT safe for concurrent use — it is owned by one
+// producer, which is exactly what lets its buffer stay unsynchronized
+// (the sessions pattern: share the Graph, not the session). Buffered
+// updates become visible to queries after the next Flush (implicit when
+// the buffer fills, explicit via Flush, final via Close); a query on the
+// Graph only reflects updates from ingestors that have flushed them.
+//
+// After Close — the ingestor's own or the Graph's — every method returns
+// ErrClosed.
+type Ingestor struct {
+	g      *Graph
+	buf    []Update
+	closed bool
+}
+
+// NewIngestor opens an ingestion session on the Graph. Returns ErrClosed
+// if the Graph has been closed.
+func (g *Graph) NewIngestor() (*Ingestor, error) {
+	if g.engine.Closed() {
+		return nil, ErrClosed
+	}
+	return &Ingestor{g: g, buf: make([]Update, 0, IngestorBufferSize)}, nil
+}
+
+// err reports ErrClosed once either the session or its Graph is closed.
+func (i *Ingestor) err() error {
+	if i.closed || i.g.engine.Closed() {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Apply buffers one stream update, flushing the session's buffer into the
+// Graph when it fills. Edge validity is checked immediately (by the same
+// engine rule flushing would apply, so a buffered update can never be
+// rejected later); stream well-formedness checking (EnableValidation)
+// runs when the update reaches the Graph at flush time.
+func (i *Ingestor) Apply(u Update) error {
+	if err := i.err(); err != nil {
+		return err
+	}
+	if err := i.g.engine.CheckEdge(u.Edge); err != nil {
+		return err
+	}
+	i.buf = append(i.buf, u)
+	if len(i.buf) == cap(i.buf) {
+		return i.Flush()
+	}
+	return nil
+}
+
+// Insert buffers the insertion of edge (u, v).
+func (i *Ingestor) Insert(u, v uint32) error {
+	return i.Apply(Update{Edge: Edge{U: u, V: v}, Type: Insert})
+}
+
+// Delete buffers the deletion of edge (u, v). The edge must currently be
+// present (the streaming-model contract).
+func (i *Ingestor) Delete(u, v uint32) error {
+	return i.Apply(Update{Edge: Edge{U: u, V: v}, Type: Delete})
+}
+
+// ApplyBatch ingests a batch of updates. Batches at least as large as the
+// session buffer bypass it (after flushing what is buffered, preserving
+// order within this session) and go straight down the Graph's bulk path.
+func (i *Ingestor) ApplyBatch(ups []Update) error {
+	if err := i.err(); err != nil {
+		return err
+	}
+	if len(ups) >= cap(i.buf) {
+		if err := i.Flush(); err != nil {
+			return err
+		}
+		return i.g.ApplyBatch(ups)
+	}
+	for _, u := range ups {
+		if err := i.Apply(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InsertBatch ingests a batch of edge insertions; like ApplyBatch, large
+// batches bypass the session buffer.
+func (i *Ingestor) InsertBatch(edges []Edge) error {
+	if err := i.err(); err != nil {
+		return err
+	}
+	if len(edges) >= cap(i.buf) {
+		if err := i.Flush(); err != nil {
+			return err
+		}
+		return i.g.InsertBatch(edges)
+	}
+	for _, e := range edges {
+		if err := i.Apply(Update{Edge: e, Type: Insert}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush pushes the session's buffered updates into the Graph's buffering
+// layer (it does not force them all the way into the sketches — that is
+// Graph.Flush). On error the buffered updates are dropped rather than
+// retried, so a later Flush cannot double-ingest them.
+func (i *Ingestor) Flush() error {
+	if err := i.err(); err != nil {
+		return err
+	}
+	if len(i.buf) == 0 {
+		return nil
+	}
+	err := i.g.ApplyBatch(i.buf)
+	i.buf = i.buf[:0]
+	return err
+}
+
+// Buffered returns the number of updates waiting in the session buffer.
+func (i *Ingestor) Buffered() int { return len(i.buf) }
+
+// Close flushes the session's remaining updates and ends it. Afterwards
+// every method, including Close itself, returns ErrClosed.
+func (i *Ingestor) Close() error {
+	if i.closed {
+		return ErrClosed
+	}
+	err := i.Flush()
+	i.closed = true
+	return err
+}

@@ -35,9 +35,15 @@ var checkpointMagic = [4]byte{'G', 'Z', 'E', '2'}
 var ErrIncompatibleCheckpoint = errors.New("core: incompatible checkpoint parameters")
 
 // WriteCheckpoint drains the engine and writes its full sketch state.
-// Ingestion may continue afterwards.
+// Ingestion may continue afterwards; like queries, the checkpoint is a
+// consistent cut taken under the quiesce lock.
 func (e *Engine) WriteCheckpoint(w io.Writer) error {
-	if err := e.Drain(); err != nil {
+	e.quiesce.Lock()
+	defer e.quiesce.Unlock()
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if err := e.drainLocked(); err != nil {
 		return err
 	}
 	bw := bufio.NewWriterSize(w, 1<<16)
@@ -157,7 +163,12 @@ func ReadCheckpoint(r io.Reader, cfg Config) (*Engine, error) {
 // one stream — the distributed-ingestion pattern of the paper's
 // conclusion — the merged engine answers queries for the whole stream.
 func (e *Engine) MergeCheckpoint(r io.Reader) error {
-	if err := e.Drain(); err != nil {
+	e.quiesce.Lock()
+	defer e.quiesce.Unlock()
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if err := e.drainLocked(); err != nil {
 		return err
 	}
 	br := bufio.NewReaderSize(r, 1<<16)

@@ -9,6 +9,7 @@ package core
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 
 	"graphzeppelin/internal/cubesketch"
 	"graphzeppelin/internal/gutter"
@@ -72,6 +73,10 @@ type Config struct {
 	// BufferFactor is the paper's f: each leaf gutter holds
 	// f × (node-sketch bytes) of buffered updates (default 0.5, §5.1).
 	BufferFactor float64
+	// GutterStripes is the number of lock stripes partitioning the leaf
+	// gutters for concurrent producers (default max(Shards, GOMAXPROCS)).
+	// Purely a contention knob: correctness does not depend on it.
+	GutterStripes int
 	// SketchesOnDisk stores node sketches on a block device instead of
 	// RAM (the out-of-core mode of §4.1).
 	SketchesOnDisk bool
@@ -116,6 +121,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.BufferFactor <= 0 {
 		c.BufferFactor = 0.5
+	}
+	if c.GutterStripes <= 0 {
+		c.GutterStripes = c.Shards
+		if p := runtime.GOMAXPROCS(0); p > c.GutterStripes {
+			c.GutterStripes = p
+		}
 	}
 	if c.BlockSize <= 0 {
 		c.BlockSize = iomodel.DefaultBlockSize

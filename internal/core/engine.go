@@ -18,7 +18,8 @@ import (
 // every node's round-r sketch shares a seed so supernode merging works.
 const roundSeedSalt = 0x51ed270693a3f
 
-// ErrClosed is returned by Update after the engine has been closed.
+// ErrClosed is returned by Update, UpdateBatch, queries and checkpoint
+// operations after the engine has been closed.
 var ErrClosed = errors.New("core: engine is closed")
 
 // Stats reports engine activity.
@@ -47,20 +48,24 @@ type Stats struct {
 	MemoryBytes, DiskBytes int64
 }
 
-// Engine is a GraphZeppelin instance. Ingestion (Update) must be driven
-// from a single goroutine; sketch application is parallelized internally
-// across shard-owning Graph Workers. Queries may be interleaved with
-// ingestion from that same driving goroutine.
+// Engine is a GraphZeppelin instance, safe for fully concurrent use: any
+// number of goroutines may ingest (Update, UpdateBatch, InsertEdges)
+// concurrently, and queries, checkpoints and Close may be issued from any
+// goroutine — they quiesce the pipeline internally. Sketch application is
+// parallelized across shard-owning Graph Workers.
 //
 // Sharded ingest pipeline: updates are buffered per destination node by a
-// gutter.Buffer; emitted batches are routed by node % shards onto one
-// lock-free SPSC queue per shard; and each shard's single Graph Worker
-// owns its shard's sketches outright (an arena-backed cubesketch.Slab in
-// RAM mode, a private decode arena in disk mode). Exclusive ownership
-// replaces the seed design's per-node mutexes: no per-update locking
-// remains (the buffer-recycling freelist takes its mutex once per batch),
-// and quiescent phases (Drain, queries, checkpoints) synchronize through
-// the pending-batch WaitGroup alone.
+// multi-producer gutter.Buffer; emitted batches are routed by
+// node % shards onto one SPSC queue per shard (pushes serialized by a
+// per-shard mutex taken once per batch); and each shard's single Graph
+// Worker owns its shard's sketches outright (an arena-backed
+// cubesketch.Slab in RAM mode, a private decode arena in disk mode).
+// Exclusive ownership replaces the seed design's per-node mutexes: the
+// per-update path takes no engine-level lock beyond a read-lock on the
+// quiesce RWMutex (and, batched, that cost is amortized across the whole
+// batch). Quiescent phases (Drain, queries, checkpoints, Close) take the
+// quiesce write lock, flush the buffer, and wait on the pending-batch
+// WaitGroup; producers blocked on the read lock cannot race them.
 type Engine struct {
 	cfg        Config
 	vecLen     uint64
@@ -76,13 +81,23 @@ type Engine struct {
 	pending sync.WaitGroup
 	wg      sync.WaitGroup
 
+	// quiesce separates producers (read side: ingest entry points) from
+	// quiescent phases (write side: drain, queries, checkpoints, close).
+	// Holding the write lock with pending at zero means the workers are
+	// idle and shard state may be read and written freely.
+	quiesce sync.RWMutex
+
 	leaf    *gutter.LeafGutters // non-nil iff Buffering == BufferLeaf
 	tree    *gutter.Tree        // non-nil iff Buffering == BufferTree
 	treeDev iomodel.Device
 
+	// edgeScratch recycles the normalized-edge slices the batch ingest
+	// path builds before handing them to the buffer.
+	edgeScratch sync.Pool
+
 	updates        atomic.Uint64
 	sketchFailures atomic.Uint64
-	lastRounds     int
+	lastRounds     atomic.Int64
 
 	workerErr atomic.Pointer[error]
 	closed    atomic.Bool
@@ -97,6 +112,10 @@ type Engine struct {
 type shard struct {
 	id    int
 	queue *gutter.SPSC
+	// pushMu serializes producers pushing onto this shard's queue,
+	// preserving the SPSC single-producer contract with multiple ingest
+	// goroutines. Taken once per emitted batch, not per update.
+	pushMu sync.Mutex
 
 	slab *cubesketch.Slab // RAM mode: this shard's node sketches
 
@@ -177,7 +196,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 	numShards := uint32(cfg.Shards)
 	sink := func(b gutter.Batch) {
 		e.pending.Add(1)
-		if !e.shards[b.Node%numShards].queue.Push(b) {
+		sh := e.shards[b.Node%numShards]
+		sh.pushMu.Lock()
+		ok := sh.queue.Push(b)
+		sh.pushMu.Unlock()
+		if !ok {
 			e.pending.Done()
 		}
 	}
@@ -187,7 +210,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		if capUpdates < 1 {
 			capUpdates = 1
 		}
-		e.leaf = gutter.NewLeafGutters(cfg.NumNodes, capUpdates, sink)
+		e.leaf = gutter.NewLeafGutters(cfg.NumNodes, capUpdates, cfg.GutterStripes, sink)
 		e.buf = e.leaf
 	case BufferTree:
 		e.treeDev, err = e.openDevice("guttertree.gz0")
@@ -240,23 +263,112 @@ func (e *Engine) shardOf(node uint32) (*shard, int) {
 	return e.shards[node%k], int(node / k)
 }
 
+// checkEdge validates and normalizes one edge against the node universe.
+func (e *Engine) checkEdge(eg stream.Edge) (stream.Edge, error) {
+	n := eg.Normalize()
+	if n.U == n.V || n.V >= e.cfg.NumNodes {
+		return n, fmt.Errorf("core: invalid edge (%d,%d) for %d nodes", eg.U, eg.V, e.cfg.NumNodes)
+	}
+	return n, nil
+}
+
+// CheckEdge reports whether the edge is ingestible (no self loop, both
+// endpoints inside the node universe) without ingesting anything — the
+// same rule every ingest path applies, exposed so session buffers can
+// reject bad updates eagerly instead of at flush time.
+func (e *Engine) CheckEdge(eg stream.Edge) error {
+	_, err := e.checkEdge(eg)
+	return err
+}
+
 // Update ingests one stream update. Because CubeSketch works over Z_2,
 // insertions and deletions are the same toggle; stream well-formedness
 // (no duplicate inserts, no deletes of absent edges) is the caller's
-// contract, checkable with stream.Validator.
+// contract, checkable with stream.Validator. Safe for concurrent use by
+// any number of producers.
 func (e *Engine) Update(up stream.Update) error {
-	eg := up.Edge.Normalize()
-	if eg.U == eg.V || eg.V >= e.cfg.NumNodes {
-		return fmt.Errorf("core: invalid edge (%d,%d) for %d nodes", up.Edge.U, up.Edge.V, e.cfg.NumNodes)
+	eg, err := e.checkEdge(up.Edge)
+	if err != nil {
+		return err
 	}
+	e.quiesce.RLock()
+	defer e.quiesce.RUnlock()
 	if e.closed.Load() {
 		return ErrClosed
 	}
-	e.updates.Add(1)
 	if err := e.buf.InsertEdge(eg.U, eg.V); err != nil {
 		return err
 	}
+	// Count only after the buffer accepted the update, so errored updates
+	// never inflate the Updates stat.
+	e.updates.Add(1)
 	return e.err()
+}
+
+// UpdateBatch ingests a batch of stream updates in one pass: the whole
+// batch is validated up front (an invalid update fails the call before
+// anything is buffered), then handed to the buffering layer in one
+// InsertEdges call, amortizing per-call overhead — the bulk path behind
+// Graph.ApplyBatch and Ingestor flushes. Safe for concurrent use.
+func (e *Engine) UpdateBatch(ups []stream.Update) error {
+	if len(ups) == 0 {
+		return nil
+	}
+	edges := e.getEdgeScratch(len(ups))
+	defer e.putEdgeScratch(edges)
+	for _, up := range ups {
+		eg, err := e.checkEdge(up.Edge)
+		if err != nil {
+			return err
+		}
+		*edges = append(*edges, eg)
+	}
+	return e.ingestEdges(*edges)
+}
+
+// InsertEdges ingests a batch of edge insertions (equivalently, toggles).
+// Like UpdateBatch, validation happens before any buffering.
+func (e *Engine) InsertEdges(edges []stream.Edge) error {
+	if len(edges) == 0 {
+		return nil
+	}
+	scratch := e.getEdgeScratch(len(edges))
+	defer e.putEdgeScratch(scratch)
+	for _, eg := range edges {
+		n, err := e.checkEdge(eg)
+		if err != nil {
+			return err
+		}
+		*scratch = append(*scratch, n)
+	}
+	return e.ingestEdges(*scratch)
+}
+
+// ingestEdges hands validated, normalized edges to the buffering layer.
+func (e *Engine) ingestEdges(edges []stream.Edge) error {
+	e.quiesce.RLock()
+	defer e.quiesce.RUnlock()
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if err := e.buf.InsertEdges(edges); err != nil {
+		return err
+	}
+	e.updates.Add(uint64(len(edges)))
+	return e.err()
+}
+
+func (e *Engine) getEdgeScratch(capacity int) *[]stream.Edge {
+	if p, _ := e.edgeScratch.Get().(*[]stream.Edge); p != nil {
+		return p
+	}
+	s := make([]stream.Edge, 0, capacity)
+	return &s
+}
+
+func (e *Engine) putEdgeScratch(p *[]stream.Edge) {
+	*p = (*p)[:0]
+	e.edgeScratch.Put(p)
 }
 
 // InsertEdge ingests an edge insertion.
@@ -268,6 +380,9 @@ func (e *Engine) InsertEdge(u, v uint32) error {
 func (e *Engine) DeleteEdge(u, v uint32) error {
 	return e.Update(stream.Update{Edge: stream.Edge{U: u, V: v}, Type: stream.Delete})
 }
+
+// Closed reports whether Close has completed or begun.
+func (e *Engine) Closed() bool { return e.closed.Load() }
 
 // worker is a Graph Worker: it pops node-keyed batches from its shard's
 // queue and applies them to that shard's sketches. It is the only
@@ -331,10 +446,22 @@ func (e *Engine) err() error {
 
 // Drain flushes the buffering structure and waits until every produced
 // batch has been applied to the sketches (the cleanup step of Figure 9).
-// Afterwards the workers are quiescent, so the driving goroutine may read
-// and write shard state directly (queries, checkpoints) until its next
-// Update.
+// It excludes producers for the duration, so on return the sketches
+// reflect every update whose ingest call returned before Drain began.
 func (e *Engine) Drain() error {
+	e.quiesce.Lock()
+	defer e.quiesce.Unlock()
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	return e.drainLocked()
+}
+
+// drainLocked is Drain's body; the caller holds the quiesce write lock.
+// Afterwards the workers are quiescent (pending is zero and producers are
+// blocked), so the caller may read and write shard state directly until
+// it releases the lock.
+func (e *Engine) drainLocked() error {
 	flushErr := e.buf.Flush()
 	e.pending.Wait()
 	if flushErr != nil {
@@ -349,7 +476,7 @@ func (e *Engine) Stats() Stats {
 		Updates:        e.updates.Load(),
 		Shards:         len(e.shards),
 		ShardBatches:   make([]uint64, len(e.shards)),
-		QueryRounds:    e.lastRounds,
+		QueryRounds:    int(e.lastRounds.Load()),
 		SketchFailures: e.sketchFailures.Load(),
 	}
 	for i, sh := range e.shards {
@@ -375,15 +502,17 @@ func (e *Engine) Stats() Stats {
 
 // Close drains still-buffered updates, stops the workers, and releases
 // devices. It is idempotent (repeated and concurrent Close calls are
-// safe), but like Update it must be issued from the driving goroutine:
-// Close concurrent with in-flight Updates races on the buffering
-// structure. The engine must not be used afterwards (Update returns
-// ErrClosed). The drain means no buffered update is ever silently
-// dropped; a drain failure (e.g. a faulty device) is reported in the
-// returned error.
+// safe) and may be issued from any goroutine, even with ingest calls in
+// flight: it takes the quiesce write lock, so racing producers either
+// complete before the drain or observe ErrClosed afterwards. The engine
+// must not be used after Close (all operations return ErrClosed). The
+// drain means no buffered update whose ingest call succeeded is ever
+// silently dropped; a drain failure (e.g. a faulty device) is reported in
+// the returned error.
 func (e *Engine) Close() error {
 	e.closeOnce.Do(func() {
-		drainErr := e.Drain()
+		e.quiesce.Lock()
+		drainErr := e.drainLocked()
 		e.closed.Store(true)
 		for _, sh := range e.shards {
 			sh.queue.Close()
@@ -397,6 +526,7 @@ func (e *Engine) Close() error {
 			errs = append(errs, e.treeDev.Close())
 		}
 		e.closeErr = errors.Join(errs...)
+		e.quiesce.Unlock()
 	})
 	return e.closeErr
 }

@@ -97,6 +97,39 @@ func TestGutterTreeFaultSurfaces(t *testing.T) {
 	}
 }
 
+// TestUpdatesStatExcludesErroredUpdates drives a gutter-tree engine into
+// a device fault and checks Stats().Updates counts exactly the Update
+// calls that succeeded — an errored update must never inflate the stat.
+func TestUpdatesStatExcludesErroredUpdates(t *testing.T) {
+	e, err := NewEngine(Config{
+		NumNodes:      32,
+		Seed:          55,
+		Buffering:     BufferTree,
+		DeviceFactory: faultFactory(5),
+	})
+	if err != nil {
+		if errors.Is(err, iomodel.ErrInjected) {
+			return
+		}
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var succeeded uint64
+	for i := 0; i < 100000; i++ {
+		u := uint32(i % 31)
+		if err := e.InsertEdge(u, u+1); err != nil {
+			break
+		}
+		succeeded++
+	}
+	if succeeded == 100000 {
+		t.Fatal("fault never tripped; test needs a smaller op budget")
+	}
+	if got := e.Stats().Updates; got != succeeded {
+		t.Fatalf("Updates stat = %d, want %d (only successful updates)", got, succeeded)
+	}
+}
+
 func TestHealthyFactoryStillWorks(t *testing.T) {
 	e, err := NewEngine(Config{
 		NumNodes:       16,

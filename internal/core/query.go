@@ -23,9 +23,17 @@ var ErrQueryFailed = errors.New("core: connectivity query ran out of sketch roun
 //
 // The engine's live sketches are not consumed: the query operates on a
 // snapshot, so ingestion can continue afterwards (the interleaved
-// query workload of Figure 16).
+// query workload of Figure 16). Safe to call from any goroutine, even
+// with ingestion in flight: the query holds the quiesce write lock, so it
+// answers over a consistent cut containing every update whose ingest call
+// returned before the query began. Returns ErrClosed after Close.
 func (e *Engine) SpanningForest() ([]stream.Edge, error) {
-	if err := e.Drain(); err != nil {
+	e.quiesce.Lock()
+	defer e.quiesce.Unlock()
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := e.drainLocked(); err != nil {
 		return nil, err
 	}
 	super, err := e.snapshotSketches()
@@ -130,7 +138,7 @@ func (e *Engine) boruvka(super [][]*cubesketch.Sketch) ([]stream.Edge, error) {
 			merged = true
 		}
 	}
-	e.lastRounds = round
+	e.lastRounds.Store(int64(round))
 	if merged {
 		// The final round still merged components; without fresh sketches
 		// we cannot certify the forest is complete.

@@ -4,14 +4,36 @@ import (
 	"testing"
 
 	"graphzeppelin/internal/iomodel"
+	"graphzeppelin/internal/stream"
 )
 
 func BenchmarkLeafGuttersInsert(b *testing.B) {
-	g := NewLeafGutters(1024, 512, func(Batch) {})
+	g := NewLeafGutters(1024, 512, 1, func(Batch) {})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.InsertEdge(uint32(i)&1023, uint32(i*7)&1023)
 	}
+}
+
+func BenchmarkLeafGuttersInsertEdges(b *testing.B) {
+	g := NewLeafGutters(1024, 512, 8, func(Batch) {})
+	edges := make([]stream.Edge, 512)
+	for i := range edges {
+		u := uint32(i) & 1023
+		v := uint32(i*7+1) & 1023
+		if u == v {
+			v = (v + 1) & 1023
+		}
+		edges[i] = stream.Edge{U: u, V: v}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.InsertEdges(edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(edges)), "edges/op")
 }
 
 func BenchmarkTreeInsert(b *testing.B) {

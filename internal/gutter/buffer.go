@@ -1,18 +1,36 @@
 package gutter
 
-import "sync"
+import (
+	"sync"
+
+	"graphzeppelin/internal/stream"
+)
 
 // Buffer is the ingestion buffering structure the engine drives: edge
 // updates go in, node-keyed batches come out through the Sink the
-// implementation was built with. Implementations are single-producer (the
-// engine's one driving goroutine), matching the paper's design.
+// implementation was built with.
 //
-// Implementations: LeafGutters (in-RAM, the default), Tree (disk-backed
-// gutter tree), and Unbuffered (no batching; the f→0 ablation).
+// All implementations are multi-producer safe: any number of goroutines
+// may call InsertEdge and InsertEdges concurrently (the engine's Ingestor
+// sessions flush into the buffer from arbitrary producer goroutines).
+// Flush may also run concurrently with inserts, though the usual caller —
+// the engine's quiescent drain — excludes producers first. Sink callbacks
+// are the implementation's to serialize or not; the engine serializes
+// per-shard queue pushes itself.
+//
+// Implementations: LeafGutters (in-RAM, stripe-locked, the default), Tree
+// (disk-backed gutter tree, single-locked — the disk is the bottleneck
+// there anyway), and Unbuffered (no batching; the f→0 ablation).
 type Buffer interface {
 	// InsertEdge buffers the edge update (u, v) under both endpoints,
 	// emitting batches to the sink as gutters fill.
 	InsertEdge(u, v uint32) error
+	// InsertEdges buffers a batch of edge updates, each under both
+	// endpoints. Equivalent to calling InsertEdge per edge but amortizes
+	// internal locking across the batch — the fast path for Ingestor
+	// flushes and ApplyBatch callers. Edges must be normalized (U < V)
+	// and in-range; the engine validates before calling.
+	InsertEdges(edges []stream.Edge) error
 	// Flush forces every buffered update out to the sink (the cleanup
 	// step before a connectivity query).
 	Flush() error
@@ -68,7 +86,9 @@ func (f *freelist) put(buf []uint32) {
 
 // Unbuffered is the trivial Buffer: every update is emitted immediately as
 // a one-element batch, the f→0 extreme of Figure 15. Useful for tests and
-// for quantifying what the gutters buy.
+// for quantifying what the gutters buy. It keeps no per-node state, so
+// concurrent producers need no locking here; the sink sees one call per
+// endpoint update.
 type Unbuffered struct {
 	sink Sink
 	free freelist
@@ -86,6 +106,16 @@ func (u *Unbuffered) InsertEdge(a, b uint32) error {
 	u.sink(Batch{Node: a, Others: append(buf, b)})
 	buf = u.free.get(1)
 	u.sink(Batch{Node: b, Others: append(buf, a)})
+	return nil
+}
+
+// InsertEdges emits every edge as two single-update batches.
+func (u *Unbuffered) InsertEdges(edges []stream.Edge) error {
+	for _, e := range edges {
+		if err := u.InsertEdge(e.U, e.V); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

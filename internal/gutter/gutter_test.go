@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"graphzeppelin/internal/iomodel"
+	"graphzeppelin/internal/stream"
 )
 
 // recorder is a Sink that tallies delivered updates per node.
@@ -161,7 +162,7 @@ func TestUnbufferedEmitsImmediately(t *testing.T) {
 // and never corrupts delivered data.
 func TestRecycleReusesBuffers(t *testing.T) {
 	var live [][]uint32
-	g := NewLeafGutters(4, 2, func(b Batch) { live = append(live, b.Others) })
+	g := NewLeafGutters(4, 2, 1, func(b Batch) { live = append(live, b.Others) })
 	g.Insert(0, 1)
 	g.Insert(0, 2) // fills gutter 0
 	if len(live) != 1 || len(live[0]) != 2 {
@@ -180,7 +181,7 @@ func TestRecycleReusesBuffers(t *testing.T) {
 
 func TestLeafGuttersFlushOnFull(t *testing.T) {
 	r := newRecorder()
-	g := NewLeafGutters(4, 3, r.sink)
+	g := NewLeafGutters(4, 3, 2, r.sink)
 	g.Insert(1, 10)
 	g.Insert(1, 11)
 	if r.batches != 0 {
@@ -199,7 +200,7 @@ func TestLeafGuttersNoLossNoDuplication(t *testing.T) {
 	rng := rand.New(rand.NewPCG(1, 2))
 	r := newRecorder()
 	const n = 64
-	g := NewLeafGutters(n, 7, r.sink)
+	g := NewLeafGutters(n, 7, 4, r.sink)
 	want := map[uint32][]uint32{}
 	for i := 0; i < 5000; i++ {
 		u := uint32(rng.Uint64N(n))
@@ -215,6 +216,111 @@ func TestLeafGuttersNoLossNoDuplication(t *testing.T) {
 	checkDelivery(t, r, want)
 	if g.Buffered() == 0 || g.Flushes() == 0 {
 		t.Fatal("counters not advancing")
+	}
+}
+
+// TestLeafGuttersBatchMatchesSingle checks InsertEdges delivers exactly
+// what the equivalent InsertEdge sequence would.
+func TestLeafGuttersBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	r := newRecorder()
+	const n = 32
+	g := NewLeafGutters(n, 5, 3, r.sink)
+	want := map[uint32][]uint32{}
+	var batch []stream.Edge
+	for i := 0; i < 3000; i++ {
+		u := uint32(rng.Uint64N(n))
+		v := uint32(rng.Uint64N(n))
+		if u == v {
+			continue
+		}
+		batch = append(batch, stream.Edge{U: u, V: v})
+		want[u] = append(want[u], v)
+		want[v] = append(want[v], u)
+		if len(batch) == 64 {
+			if err := g.InsertEdges(batch); err != nil {
+				t.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if err := g.InsertEdges(batch); err != nil {
+		t.Fatal(err)
+	}
+	g.Flush()
+	checkDelivery(t, r, want)
+}
+
+// TestBuffersConcurrentProducers hammers every Buffer implementation from
+// multiple goroutines and checks no update is lost or duplicated. Run
+// with -race this is the core of the multi-producer safety contract.
+func TestBuffersConcurrentProducers(t *testing.T) {
+	const (
+		n         = 64
+		producers = 4
+		perProd   = 4000
+	)
+	builders := []struct {
+		name  string
+		build func(sink Sink) Buffer
+	}{
+		{"leaf", func(sink Sink) Buffer { return NewLeafGutters(n, 7, 4, sink) }},
+		{"tree", func(sink Sink) Buffer {
+			tree, err := NewTree(n, TreeConfig{Fanout: 4, BufferRecords: 128, LeafRecords: 32}, iomodel.NewMem(512), sink)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tree
+		}},
+		{"unbuffered", func(sink Sink) Buffer { return NewUnbuffered(sink) }},
+	}
+	for _, bld := range builders {
+		t.Run(bld.name, func(t *testing.T) {
+			r := newRecorder()
+			buf := bld.build(r.sink)
+			var mu sync.Mutex
+			want := map[uint32][]uint32{}
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewPCG(uint64(p), 11))
+					local := map[uint32][]uint32{}
+					for i := 0; i < perProd; i++ {
+						u := uint32(rng.Uint64N(n))
+						v := uint32(rng.Uint64N(n))
+						if u == v {
+							continue
+						}
+						if i%3 == 0 {
+							if err := buf.InsertEdges([]stream.Edge{{U: u, V: v}}); err != nil {
+								t.Error(err)
+								return
+							}
+						} else if err := buf.InsertEdge(u, v); err != nil {
+							t.Error(err)
+							return
+						}
+						local[u] = append(local[u], v)
+						local[v] = append(local[v], u)
+					}
+					mu.Lock()
+					for node, vals := range local {
+						want[node] = append(want[node], vals...)
+					}
+					mu.Unlock()
+				}(p)
+			}
+			wg.Wait()
+			if err := buf.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			checkDelivery(t, r, want)
+			if err := buf.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 

@@ -1,9 +1,19 @@
 package gutter
 
+import (
+	"sync"
+	"sync/atomic"
+
+	"graphzeppelin/internal/stream"
+)
+
 // Sink receives a full batch of buffered updates for one node. The engine
 // wires this to the per-shard work queues; tests wire it to a recorder.
 // The batch's Others slice is owned by the consumer until it hands it back
-// through Buffer.Recycle.
+// through Buffer.Recycle. With multiple producers the sink may be called
+// concurrently (from different stripes); implementations that need
+// per-destination ordering serialize internally, as the engine's sink does
+// with its per-shard push mutex.
 type Sink func(Batch)
 
 // LeafGutters is the leaf-only buffering structure of Section 5.1: one
@@ -12,26 +22,54 @@ type Sink func(Batch)
 // size (default f = 1/2); here the caller passes the resulting capacity in
 // updates directly.
 //
-// LeafGutters is not safe for concurrent use by multiple producers; the
-// ingestion path is a single goroutine, as in the paper's design. Recycle
-// may be called concurrently by the consuming workers.
+// Gutters are partitioned into stripes by node % stripes, each guarded by
+// its own mutex, so any number of producers may insert concurrently;
+// contention is limited to producers touching the same stripe at the same
+// moment. InsertEdges groups a whole batch by stripe first, so it takes
+// each stripe lock at most once per call. Recycle may be called
+// concurrently by the consuming workers.
 type LeafGutters struct {
 	bufs     [][]uint32
 	capacity int
+	stripes  uint32
+	locks    []sync.Mutex
 	sink     Sink
 	free     freelist
-	buffered uint64
-	flushes  uint64
+	scratch  sync.Pool // *stripePlan
+	buffered atomic.Uint64
+	flushes  atomic.Uint64
 }
 
-// NewLeafGutters returns per-node gutters holding capacity updates each.
-func NewLeafGutters(numNodes uint32, capacity int, sink Sink) *LeafGutters {
+// endpoint is one direction of a buffered edge update: other is appended
+// to node's gutter.
+type endpoint struct {
+	node, other uint32
+}
+
+// stripePlan is the per-InsertEdges scratch that groups a batch's endpoint
+// updates by stripe so each stripe lock is taken once.
+type stripePlan struct {
+	byStripe [][]endpoint
+}
+
+// NewLeafGutters returns per-node gutters holding capacity updates each,
+// lock-striped for stripes concurrent producers (minimum 1, clamped to
+// numNodes).
+func NewLeafGutters(numNodes uint32, capacity, stripes int, sink Sink) *LeafGutters {
 	if capacity < 1 {
 		capacity = 1
+	}
+	if stripes < 1 {
+		stripes = 1
+	}
+	if uint32(stripes) > numNodes && numNodes > 0 {
+		stripes = int(numNodes)
 	}
 	return &LeafGutters{
 		bufs:     make([][]uint32, numNodes),
 		capacity: capacity,
+		stripes:  uint32(stripes),
+		locks:    make([]sync.Mutex, stripes),
 		sink:     sink,
 	}
 }
@@ -39,41 +77,97 @@ func NewLeafGutters(numNodes uint32, capacity int, sink Sink) *LeafGutters {
 // Capacity returns the per-gutter capacity in updates.
 func (g *LeafGutters) Capacity() int { return g.capacity }
 
-// Insert buffers the update (u, v) in u's gutter, flushing it as a batch
-// if it becomes full. Callers buffer each edge update under both
-// endpoints, mirroring the paper's edge_update.
-func (g *LeafGutters) Insert(u, v uint32) {
-	buf := g.bufs[u]
+// Stripes returns the number of lock stripes.
+func (g *LeafGutters) Stripes() int { return len(g.locks) }
+
+// insertLocked buffers other in node's gutter, flushing it as a batch if
+// it becomes full. The caller holds node's stripe lock.
+func (g *LeafGutters) insertLocked(node, other uint32) {
+	buf := g.bufs[node]
 	if buf == nil {
 		buf = g.free.get(g.capacity)
 	}
-	buf = append(buf, v)
-	g.buffered++
+	buf = append(buf, other)
+	g.buffered.Add(1)
 	if len(buf) >= g.capacity {
-		g.sink(Batch{Node: u, Others: buf})
-		g.flushes++
+		g.sink(Batch{Node: node, Others: buf})
+		g.flushes.Add(1)
 		buf = nil
 	}
-	g.bufs[u] = buf
+	g.bufs[node] = buf
+}
+
+// Insert buffers the update (u, v) in u's gutter. Callers buffer each edge
+// update under both endpoints, mirroring the paper's edge_update.
+func (g *LeafGutters) Insert(u, v uint32) {
+	s := u % g.stripes
+	g.locks[s].Lock()
+	g.insertLocked(u, v)
+	g.locks[s].Unlock()
 }
 
 // InsertEdge buffers the edge update under both endpoints.
 func (g *LeafGutters) InsertEdge(u, v uint32) error {
-	g.Insert(u, v)
-	g.Insert(v, u)
+	su, sv := u%g.stripes, v%g.stripes
+	g.locks[su].Lock()
+	g.insertLocked(u, v)
+	if su == sv {
+		g.insertLocked(v, u)
+		g.locks[su].Unlock()
+		return nil
+	}
+	g.locks[su].Unlock()
+	g.locks[sv].Lock()
+	g.insertLocked(v, u)
+	g.locks[sv].Unlock()
+	return nil
+}
+
+// InsertEdges buffers a batch of edge updates, grouping the 2×len(edges)
+// endpoint updates by stripe first so each stripe lock is acquired at most
+// once for the whole batch.
+func (g *LeafGutters) InsertEdges(edges []stream.Edge) error {
+	plan, _ := g.scratch.Get().(*stripePlan)
+	if plan == nil {
+		plan = &stripePlan{byStripe: make([][]endpoint, g.stripes)}
+	}
+	for _, e := range edges {
+		su, sv := e.U%g.stripes, e.V%g.stripes
+		plan.byStripe[su] = append(plan.byStripe[su], endpoint{e.U, e.V})
+		plan.byStripe[sv] = append(plan.byStripe[sv], endpoint{e.V, e.U})
+	}
+	for s := range plan.byStripe {
+		eps := plan.byStripe[s]
+		if len(eps) == 0 {
+			continue
+		}
+		g.locks[s].Lock()
+		for _, ep := range eps {
+			g.insertLocked(ep.node, ep.other)
+		}
+		g.locks[s].Unlock()
+		plan.byStripe[s] = eps[:0]
+	}
+	g.scratch.Put(plan)
 	return nil
 }
 
 // Flush force-flushes every nonempty gutter (the cleanup step before a
-// connectivity query).
+// connectivity query), taking each stripe lock once.
 func (g *LeafGutters) Flush() error {
-	for node, buf := range g.bufs {
-		if len(buf) == 0 {
-			continue
+	n := uint32(len(g.bufs))
+	for s := uint32(0); s < g.stripes; s++ {
+		g.locks[s].Lock()
+		for node := s; node < n; node += g.stripes {
+			buf := g.bufs[node]
+			if len(buf) == 0 {
+				continue
+			}
+			g.sink(Batch{Node: node, Others: buf})
+			g.flushes.Add(1)
+			g.bufs[node] = nil
 		}
-		g.sink(Batch{Node: uint32(node), Others: buf})
-		g.flushes++
-		g.bufs[node] = nil
+		g.locks[s].Unlock()
 	}
 	return nil
 }
@@ -86,7 +180,7 @@ func (g *LeafGutters) Close() error { return nil }
 
 // Buffered returns the total updates ever inserted; Flushes the number of
 // batches emitted. Diagnostics for the buffering experiments.
-func (g *LeafGutters) Buffered() uint64 { return g.buffered }
+func (g *LeafGutters) Buffered() uint64 { return g.buffered.Load() }
 
 // Flushes returns the number of batches emitted so far.
-func (g *LeafGutters) Flushes() uint64 { return g.flushes }
+func (g *LeafGutters) Flushes() uint64 { return g.flushes.Load() }

@@ -1,11 +1,11 @@
 // Package gutter implements GraphZeppelin's buffering substrate
-// (Sections 4 and 5.1): the Buffer interface with its in-RAM leaf-only
-// gutters, disk-backed gutter tree and unbuffered implementations, and the
-// per-shard single-producer/single-consumer queues between the buffering
-// system and the Graph Workers. All of these deal in node-keyed batches:
-// because CubeSketch operates over Z_2, an insertion and a deletion of the
-// same edge are the identical toggle, so a buffered update is just "the
-// other endpoint".
+// (Sections 4 and 5.1): the multi-producer Buffer interface with its
+// in-RAM stripe-locked leaf gutters, disk-backed gutter tree and
+// unbuffered implementations, and the per-shard single-consumer queues
+// between the buffering system and the Graph Workers. All of these deal
+// in node-keyed batches: because CubeSketch operates over Z_2, an
+// insertion and a deletion of the same edge are the identical toggle, so
+// a buffered update is just "the other endpoint".
 package gutter
 
 import (
@@ -22,14 +22,16 @@ type Batch struct {
 }
 
 // SPSC is a bounded lock-free single-producer/single-consumer batch queue:
-// the engine's ingest goroutine pushes, exactly one Graph Worker pops. One
-// SPSC per shard replaces the seed design's global mutex-guarded MPMC
-// queue, so batch hand-off on the fast path is two atomic operations with
-// no lock and no cross-shard contention. Pushes block (spinning, then
-// yielding, then briefly sleeping) while the queue is full, bounding the
-// memory between the buffering stage and the workers as in Section 5.1; a
-// consumer that finds the queue empty spins briefly and then parks on a
-// channel, so idle workers cost nothing.
+// exactly one pusher at a time, exactly one Graph Worker popping. With
+// multiple ingest producers the engine serializes pushes per shard with a
+// mutex taken once per emitted batch (hundreds of updates), which
+// preserves the queue's single-producer contract while keeping the
+// per-update path lock-free; the mutex's release/acquire also provides
+// the happens-before edge between successive pushers. Pushes block
+// (spinning, then yielding, then briefly sleeping) while the queue is
+// full, bounding the memory between the buffering stage and the workers
+// as in Section 5.1; a consumer that finds the queue empty spins briefly
+// and then parks on a channel, so idle workers cost nothing.
 type SPSC struct {
 	buf      []Batch
 	mask     uint64

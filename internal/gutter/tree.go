@@ -3,8 +3,11 @@ package gutter
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"graphzeppelin/internal/iomodel"
+	"graphzeppelin/internal/stream"
 )
 
 // TreeConfig sizes a gutter tree. The zero value gets usable defaults
@@ -59,19 +62,23 @@ type treeNode struct {
 // internal vertices buffer update records on a block device and whose leaf
 // gutters, one per node group, emit node-keyed batches to the sink when
 // they fill. Data never persists in leaves across a flush, so no
-// rebalancing is needed. Not safe for concurrent use (single producer).
+// rebalancing is needed. Concurrent producers are serialized by one tree
+// mutex: the tree's throughput is bounded by its block device, so finer
+// locking would buy nothing, and InsertEdges amortizes the lock over a
+// whole batch.
 type Tree struct {
 	cfg       TreeConfig
 	numNodes  uint32
 	numLeaves int
 	dev       iomodel.Device
 	sink      Sink
+	mu        sync.Mutex // guards nodes/root/scratch and all device traffic
 	nodes     []treeNode
 	root      []record // the root buffer lives in RAM
 	scratch   []byte
 	free      freelist
-	buffered  uint64
-	flushes   uint64
+	buffered  atomic.Uint64
+	flushes   atomic.Uint64
 }
 
 // NewTree builds a gutter tree over numNodes graph nodes on dev. The
@@ -150,9 +157,9 @@ func (t *Tree) build(lo, hi int, isRoot bool) int {
 	return idx
 }
 
-// Insert buffers the update (u, v) keyed by u.
-func (t *Tree) Insert(u, v uint32) error {
-	t.buffered++
+// insertLocked buffers the update (u, v) keyed by u. The caller holds mu.
+func (t *Tree) insertLocked(u, v uint32) error {
+	t.buffered.Add(1)
 	t.root = append(t.root, record{node: u, other: v})
 	if len(t.root) >= t.cfg.BufferRecords {
 		recs := t.root
@@ -162,12 +169,36 @@ func (t *Tree) Insert(u, v uint32) error {
 	return nil
 }
 
+// Insert buffers the update (u, v) keyed by u.
+func (t *Tree) Insert(u, v uint32) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.insertLocked(u, v)
+}
+
 // InsertEdge buffers the edge update under both endpoints.
 func (t *Tree) InsertEdge(u, v uint32) error {
-	if err := t.Insert(u, v); err != nil {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.insertLocked(u, v); err != nil {
 		return err
 	}
-	return t.Insert(v, u)
+	return t.insertLocked(v, u)
+}
+
+// InsertEdges buffers a batch of edge updates under one lock acquisition.
+func (t *Tree) InsertEdges(edges []stream.Edge) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range edges {
+		if err := t.insertLocked(e.U, e.V); err != nil {
+			return err
+		}
+		if err := t.insertLocked(e.V, e.U); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (t *Tree) leafIndex(node uint32) int {
@@ -259,7 +290,7 @@ func (t *Tree) emitLeaf(recs []record) {
 			others = append(others, r.other)
 		}
 		t.sink(Batch{Node: recs[0].node, Others: others})
-		t.flushes++
+		t.flushes.Add(1)
 		return
 	}
 	byNode := make(map[uint32][]uint32)
@@ -268,7 +299,7 @@ func (t *Tree) emitLeaf(recs []record) {
 	}
 	for node, others := range byNode {
 		t.sink(Batch{Node: node, Others: others})
-		t.flushes++
+		t.flushes.Add(1)
 	}
 }
 
@@ -308,6 +339,8 @@ func (t *Tree) readRegion(n, count int) ([]record, error) {
 // before a connectivity query): the root spills, then every vertex is
 // flushed top-down so leaves emit everything.
 func (t *Tree) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if len(t.root) > 0 {
 		recs := t.root
 		t.root = t.root[:0]
@@ -338,10 +371,10 @@ func (t *Tree) Flush() error {
 
 // Buffered returns total updates inserted; Flushes the number of batches
 // emitted to the sink.
-func (t *Tree) Buffered() uint64 { return t.buffered }
+func (t *Tree) Buffered() uint64 { return t.buffered.Load() }
 
 // Flushes returns the number of batches emitted to the sink.
-func (t *Tree) Flushes() uint64 { return t.flushes }
+func (t *Tree) Flushes() uint64 { return t.flushes.Load() }
 
 // Stats returns the underlying device's I/O statistics.
 func (t *Tree) Stats() iomodel.Stats { return t.dev.Stats() }

@@ -22,9 +22,8 @@ import (
 // The tester maintains one engine over G and one over D(G), so its space
 // is three node-sketch universes — still O(V·log³V).
 type Bipartite struct {
-	n     uint32
-	base  *core.Engine
-	cover *core.Engine
+	engineGroup // engines[0] = G, engines[1] = D(G)
+	n           uint32
 }
 
 // NewBipartite creates a tester over node ids [0, numNodes).
@@ -42,48 +41,51 @@ func NewBipartite(numNodes uint32, cfg core.Config) (*Bipartite, error) {
 		base.Close()
 		return nil, err
 	}
-	return &Bipartite{n: numNodes, base: base, cover: cover}, nil
+	return &Bipartite{n: numNodes, engineGroup: engineGroup{engines: []*core.Engine{base, cover}}}, nil
+}
+
+// coverEdges appends the double-cover image of e to dst: (u°, v') and
+// (u', v°), with primed copies living at id+n.
+func (b *Bipartite) coverEdges(dst []stream.Edge, e stream.Edge) []stream.Edge {
+	e = e.Normalize()
+	return append(dst,
+		stream.Edge{U: e.U, V: e.V + b.n},
+		stream.Edge{U: e.U + b.n, V: e.V})
 }
 
 // Update ingests one stream update into both the graph and its double
 // cover.
 func (b *Bipartite) Update(u stream.Update) error {
-	if err := b.base.Update(u); err != nil {
+	if err := b.engines[0].Update(u); err != nil {
 		return err
 	}
-	e := u.Edge.Normalize()
-	// (u°, v') and (u', v°): primes live at id+n.
-	if err := b.cover.Update(stream.Update{
-		Edge: stream.Edge{U: e.U, V: e.V + b.n}, Type: u.Type,
-	}); err != nil {
+	var lifted [2]stream.Edge
+	return b.engines[1].InsertEdges(b.coverEdges(lifted[:0], u.Edge))
+}
+
+// UpdateBatch ingests a batch into the graph and its lifted double cover.
+func (b *Bipartite) UpdateBatch(ups []stream.Update) error {
+	if err := b.engines[0].UpdateBatch(ups); err != nil {
 		return err
 	}
-	return b.cover.Update(stream.Update{
-		Edge: stream.Edge{U: e.U + b.n, V: e.V}, Type: u.Type,
-	})
+	lifted := make([]stream.Edge, 0, 2*len(ups))
+	for _, u := range ups {
+		lifted = b.coverEdges(lifted, u.Edge)
+	}
+	return b.engines[1].InsertEdges(lifted)
 }
 
 // IsBipartite reports whether the current graph is bipartite. Isolated
 // nodes are bipartite trivially; the double-cover identity handles them
 // because an isolated node contributes one component to G and two to D(G).
 func (b *Bipartite) IsBipartite() (bool, error) {
-	_, ccG, err := b.base.ConnectedComponents()
+	_, ccG, err := b.engines[0].ConnectedComponents()
 	if err != nil {
 		return false, fmt.Errorf("sketchext: base query: %w", err)
 	}
-	_, ccD, err := b.cover.ConnectedComponents()
+	_, ccD, err := b.engines[1].ConnectedComponents()
 	if err != nil {
 		return false, fmt.Errorf("sketchext: cover query: %w", err)
 	}
 	return ccD == 2*ccG, nil
-}
-
-// Close releases both engines.
-func (b *Bipartite) Close() error {
-	err1 := b.base.Close()
-	err2 := b.cover.Close()
-	if err1 != nil {
-		return err1
-	}
-	return err2
 }

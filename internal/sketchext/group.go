@@ -1,0 +1,100 @@
+package sketchext
+
+import (
+	"fmt"
+
+	"graphzeppelin/internal/core"
+	"graphzeppelin/internal/stream"
+)
+
+// engineGroup is the shared substrate of every extension structure: a set
+// of connectivity engines fed from one logical stream. It centralizes the
+// fan-out, flush, stats-aggregation and close plumbing the extensions used
+// to copy-paste, so each extension only implements its own update routing
+// (which engines see which updates) and its own query.
+//
+// The embedded methods make every extension batch-first and multi-producer
+// safe for free: the engines themselves are internally synchronized, and
+// the group adds no shared mutable state.
+type engineGroup struct {
+	engines []*core.Engine
+}
+
+// UpdateAll ingests one update into every engine.
+func (g *engineGroup) UpdateAll(u stream.Update) error {
+	for i, eng := range g.engines {
+		if err := eng.Update(u); err != nil {
+			return fmt.Errorf("sketchext: layer %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// UpdateBatch ingests a batch of updates into every engine, using each
+// engine's amortized bulk path.
+func (g *engineGroup) UpdateBatch(ups []stream.Update) error {
+	for i, eng := range g.engines {
+		if err := eng.UpdateBatch(ups); err != nil {
+			return fmt.Errorf("sketchext: layer %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Flush drains every engine's buffered updates into its sketches.
+func (g *engineGroup) Flush() error {
+	for i, eng := range g.engines {
+		if err := eng.Drain(); err != nil {
+			return fmt.Errorf("sketchext: layer %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Stats aggregates the engines' statistics: counters and footprints sum;
+// QueryRounds reports the maximum any engine used. Every engine shares
+// one deployment config, so Shards is reported as the (common) per-engine
+// shard count and ShardBatches as the element-wise sum across engines —
+// partition skew stays observable for the extensions too.
+func (g *engineGroup) Stats() core.Stats {
+	var total core.Stats
+	for _, eng := range g.engines {
+		st := eng.Stats()
+		total.Updates += st.Updates
+		total.Batches += st.Batches
+		total.SketchFailures += st.SketchFailures
+		total.MemoryBytes += st.MemoryBytes
+		total.DiskBytes += st.DiskBytes
+		total.SketchIO = total.SketchIO.Add(st.SketchIO)
+		total.BufferIO = total.BufferIO.Add(st.BufferIO)
+		if st.QueryRounds > total.QueryRounds {
+			total.QueryRounds = st.QueryRounds
+		}
+		if st.Shards > total.Shards {
+			total.Shards = st.Shards
+		}
+		if total.ShardBatches == nil {
+			total.ShardBatches = make([]uint64, len(st.ShardBatches))
+		}
+		for i, b := range st.ShardBatches {
+			if i < len(total.ShardBatches) {
+				total.ShardBatches[i] += b
+			}
+		}
+	}
+	return total
+}
+
+// Close releases every engine, returning the first error.
+func (g *engineGroup) Close() error {
+	var first error
+	for _, eng := range g.engines {
+		if eng == nil {
+			continue
+		}
+		if err := eng.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

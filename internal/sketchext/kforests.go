@@ -16,9 +16,9 @@ import (
 // exactly. Peeling works because sketches are linear: deleting a forest's
 // edges from the next engine is just toggling them.
 type KForests struct {
-	k       int
-	n       uint32
-	engines []*core.Engine
+	engineGroup // one engine per layer
+	k           int
+	n           uint32
 }
 
 // NewKForests creates a k-forest structure over node ids [0, numNodes).
@@ -44,14 +44,7 @@ func NewKForests(k int, numNodes uint32, cfg core.Config) (*KForests, error) {
 }
 
 // Update ingests one stream update into every layer.
-func (kf *KForests) Update(u stream.Update) error {
-	for i, eng := range kf.engines {
-		if err := eng.Update(u); err != nil {
-			return fmt.Errorf("sketchext: layer %d: %w", i, err)
-		}
-	}
-	return nil
-}
+func (kf *KForests) Update(u stream.Update) error { return kf.UpdateAll(u) }
 
 // Forests peels and returns the k edge-disjoint spanning forests. The
 // layers' sketches are consumed progressively by the peeled deletions, so
@@ -126,15 +119,4 @@ func (kf *KForests) EdgeConnectivity() (int, error) {
 		lambda = kf.k
 	}
 	return lambda, nil
-}
-
-// Close releases every layer.
-func (kf *KForests) Close() error {
-	var first error
-	for _, eng := range kf.engines {
-		if err := eng.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
 }

@@ -22,9 +22,9 @@ import (
 // (1+ε)-approximation with O(log W / ε) geometric levels; with small
 // integer weights one level per weight value makes the identity exact.)
 type MSFWeight struct {
-	n       uint32
-	maxW    int
-	engines []*core.Engine // engines[i] summarizes G_{i+1}
+	engineGroup // engines[i] summarizes G_{i+1}
+	n           uint32
+	maxW        int
 }
 
 // NewMSFWeight creates the structure for weights in [1, maxWeight].
@@ -47,10 +47,10 @@ func NewMSFWeight(maxWeight int, numNodes uint32, cfg core.Config) (*MSFWeight, 
 	return m, nil
 }
 
-// Update ingests a weighted edge insertion or deletion. The weight is part
-// of the edge's identity: deleting requires the same weight the insertion
-// used (the weighted-stream contract).
-func (m *MSFWeight) Update(u stream.Update, weight int) error {
+// WeightedUpdate ingests a weighted edge insertion or deletion. The
+// weight is part of the edge's identity: deleting requires the same
+// weight the insertion used (the weighted-stream contract).
+func (m *MSFWeight) WeightedUpdate(u stream.Update, weight int) error {
 	if weight < 1 || weight > m.maxW {
 		return fmt.Errorf("sketchext: weight %d outside [1, %d]", weight, m.maxW)
 	}
@@ -63,15 +63,20 @@ func (m *MSFWeight) Update(u stream.Update, weight int) error {
 	return nil
 }
 
+// Update ingests an unweighted stream update, treated as weight 1 (the
+// lightest level, hence present in every G_i) — this is what makes
+// MSFWeight drivable through the generic StreamSketch interface.
+func (m *MSFWeight) Update(u stream.Update) error { return m.UpdateAll(u) }
+
 // Insert ingests the insertion of edge (u, v) with the given weight.
 func (m *MSFWeight) Insert(u, v uint32, weight int) error {
-	return m.Update(stream.Update{Edge: stream.Edge{U: u, V: v}, Type: stream.Insert}, weight)
+	return m.WeightedUpdate(stream.Update{Edge: stream.Edge{U: u, V: v}, Type: stream.Insert}, weight)
 }
 
 // Delete ingests the deletion of edge (u, v) previously inserted with the
 // given weight.
 func (m *MSFWeight) Delete(u, v uint32, weight int) error {
-	return m.Update(stream.Update{Edge: stream.Edge{U: u, V: v}, Type: stream.Delete}, weight)
+	return m.WeightedUpdate(stream.Update{Edge: stream.Edge{U: u, V: v}, Type: stream.Delete}, weight)
 }
 
 // Weight returns the exact MSF weight of the current graph. Ingestion may
@@ -92,18 +97,4 @@ func (m *MSFWeight) Weight() (int64, error) {
 		total += int64(ccLevels[i] - ccTop)
 	}
 	return total, nil
-}
-
-// Close releases every level engine.
-func (m *MSFWeight) Close() error {
-	var first error
-	for _, eng := range m.engines {
-		if eng == nil {
-			continue
-		}
-		if err := eng.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
 }
