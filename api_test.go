@@ -526,3 +526,100 @@ func TestCloseRacesProducers(t *testing.T) {
 		t.Fatalf("Apply after racing Close: %v, want ErrClosed", err)
 	}
 }
+
+// TestIngestorFlushInvalidatesCache pins the visibility contract of the
+// query cache against session buffers: updates sitting in an Ingestor's
+// private buffer do not invalidate (they have not reached the Graph), the
+// session's Flush does.
+func TestIngestorFlushInvalidatesCache(t *testing.T) {
+	g, err := graphzeppelin.New(32, graphzeppelin.WithSeed(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if err := g.Insert(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.ConnectedComponents(); err != nil {
+		t.Fatal(err)
+	}
+
+	ing, err := g.NewIngestor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ing.Insert(2, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Still buffered in the session: the cached answer stays valid.
+	ok, err := g.Connected(2, 3)
+	if err != nil || ok {
+		t.Fatalf("Connected(2,3) before session flush = %v, %v; want false (cache hit)", ok, err)
+	}
+	if hits := g.Stats().QueryCacheHits; hits != 1 {
+		t.Fatalf("cache hits = %d, want 1", hits)
+	}
+
+	// Flushing the session pushes the update into the Graph: invalidated.
+	if err := ing.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ok, err = g.Connected(2, 3)
+	if err != nil || !ok {
+		t.Fatalf("Connected(2,3) after session flush = %v, %v; want true", ok, err)
+	}
+	if hits := g.Stats().QueryCacheHits; hits != 1 {
+		t.Fatalf("cache hits = %d after invalidation, want 1", hits)
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConnectedManyContract covers the batched point-query API's edge
+// cases: range validation before any query work, ErrClosed, and
+// equivalence with per-pair Connected.
+func TestConnectedManyContract(t *testing.T) {
+	const n = 48
+	g, err := graphzeppelin.New(n, graphzeppelin.WithSeed(43), graphzeppelin.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range toggleStream(n, 800, 77) {
+		if err := g.Apply(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if _, err := g.ConnectedMany([]graphzeppelin.Pair{{U: 1, V: n}}); !errors.Is(err, graphzeppelin.ErrNodeOutOfRange) {
+		t.Fatalf("out-of-range pair: %v, want ErrNodeOutOfRange", err)
+	}
+
+	pairs := []graphzeppelin.Pair{{U: 0, V: 1}, {U: 5, V: 40}, {U: 7, V: 7}, {U: 30, V: 2}}
+	batch, err := g.ConnectedMany(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(pairs) {
+		t.Fatalf("got %d answers for %d pairs", len(batch), len(pairs))
+	}
+	for i, p := range pairs {
+		single, err := g.Connected(p.U, p.V)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single != batch[i] {
+			t.Fatalf("pair (%d,%d): Connected=%v, ConnectedMany=%v", p.U, p.V, single, batch[i])
+		}
+	}
+	if !batch[2] {
+		t.Fatal("a node must be connected to itself")
+	}
+
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.ConnectedMany(pairs); !errors.Is(err, graphzeppelin.ErrClosed) {
+		t.Fatalf("ConnectedMany after Close: %v, want ErrClosed", err)
+	}
+}

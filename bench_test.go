@@ -266,6 +266,99 @@ func BenchmarkFig16QueryTerraceLike(b *testing.B) {
 	}
 }
 
+// --- Query subsystem: epoch cache and lazy per-round scan ---
+
+// BenchmarkConnectedCached measures point queries on a quiet graph: after
+// one warming full query, every Connected call is answered in O(1) from
+// the epoch cache with no sketch work and no allocation. Recorded in
+// BENCH_query.json and smoke-run in CI.
+func BenchmarkConnectedCached(b *testing.B) {
+	res := benchStream()
+	g, err := graphzeppelin.New(res.NumNodes, graphzeppelin.WithSeed(1), graphzeppelin.WithWorkers(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	for _, u := range res.Updates {
+		if err := g.Apply(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := g.Connected(0, 1); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := uint32(i) % res.NumNodes
+		v := uint32(i*7+1) % res.NumNodes
+		if _, err := g.Connected(u, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpanningForest measures cold full queries (an edge toggle
+// before each query invalidates the cache) in RAM and out-of-core modes:
+// the lazy per-round materialization and, on disk, the sequential
+// range-read scan are what this times. Recorded in BENCH_query.json and
+// smoke-run in CI.
+func BenchmarkSpanningForest(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		opts func(b *testing.B) []graphzeppelin.Option
+	}{
+		{"ram", func(*testing.B) []graphzeppelin.Option { return nil }},
+		{"disk", func(b *testing.B) []graphzeppelin.Option {
+			return []graphzeppelin.Option{graphzeppelin.WithSketchesOnDisk(b.TempDir())}
+		}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			res := benchStream()
+			opts := append([]graphzeppelin.Option{
+				graphzeppelin.WithSeed(1), graphzeppelin.WithWorkers(2),
+			}, mode.opts(b)...)
+			g, err := graphzeppelin.New(res.NumNodes, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer g.Close()
+			for _, u := range res.Updates {
+				if err := g.Apply(u); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := g.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			var queryReads uint64
+			b.ResetTimer()
+			b.StopTimer()
+			for i := 0; i < b.N; i++ {
+				// Toggle an edge to force a cold query, flushing outside
+				// the timer (and the I/O delta) so both measure only the
+				// query itself.
+				if err := g.Insert(0, 1); err != nil {
+					b.Fatal(err)
+				}
+				if err := g.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				before := g.Stats().SketchIO.ReadOps
+				b.StartTimer()
+				if _, err := g.SpanningForest(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				queryReads += g.Stats().SketchIO.ReadOps - before
+			}
+			if queryReads > 0 {
+				b.ReportMetric(float64(queryReads)/float64(b.N), "readOps/query")
+			}
+		})
+	}
+}
+
 // --- Ingest throughput: sharded pipeline vs the seed configuration ---
 
 // BenchmarkIngestThroughput measures steady-state RAM-path ingestion

@@ -45,6 +45,7 @@ func main() {
 		disk      = flag.String("disk", "", "directory for on-disk sketches (empty = RAM)")
 		seed      = flag.Uint64("seed", 1, "sketch seed")
 		queries   = flag.Int("queries", 1, "evenly spaced connectivity queries (graph, single producer)")
+		pointQ    = flag.Int("pointqueries", 0, "random point-query pairs served after ingestion via ConnectedMany (graph)")
 		k         = flag.Int("k", 2, "layers for -structure kforests")
 		maxWeight = flag.Int("maxweight", 4, "max edge weight for -structure msf")
 	)
@@ -177,6 +178,12 @@ func main() {
 	}
 	fmt.Printf(" in %.3fs\n", time.Since(qs).Seconds())
 
+	if *pointQ > 0 && graph != nil {
+		if err := servePointQueries(graph, *pointQ, *seed, hdr.NumNodes); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	st := sk.Stats()
 	fmt.Printf("ingested %d updates in %.3fs (%.2f M updates/s) with %d producer(s)\n",
 		ingested, ingestDur.Seconds(), float64(ingested)/ingestDur.Seconds()/1e6, *producers)
@@ -190,6 +197,38 @@ func main() {
 		fmt.Printf("gutter I/O: %d read blocks, %d write blocks\n",
 			st.BufferIO.ReadBlocks, st.BufferIO.WriteBlocks)
 	}
+}
+
+// servePointQueries replays the post-ingestion serving workload: count
+// random pairs answered first as one ConnectedMany batch, then via
+// per-pair Connected calls. The graph is unchanged throughout, so after
+// the first full query everything is served from the epoch cache —
+// compare the two latencies against the final-query line above.
+func servePointQueries(q graphzeppelin.PointQuerier, count int, seed uint64, numNodes uint32) error {
+	pairs := stream.RandomPairs(numNodes, count, seed)
+	start := time.Now()
+	res, err := q.ConnectedMany(pairs)
+	if err != nil {
+		return err
+	}
+	batchDur := time.Since(start)
+	connected := 0
+	for _, ok := range res {
+		if ok {
+			connected++
+		}
+	}
+	start = time.Now()
+	for _, p := range pairs {
+		if _, err := q.Connected(p.U, p.V); err != nil {
+			return err
+		}
+	}
+	singleDur := time.Since(start)
+	fmt.Printf("point queries: %d pairs (%d connected); ConnectedMany %.3fms total, Connected %dns/query\n",
+		count, connected, float64(batchDur.Microseconds())/1000,
+		singleDur.Nanoseconds()/int64(count))
+	return nil
 }
 
 // ingestSerial drives the whole stream from this goroutine in ApplyBatch

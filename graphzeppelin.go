@@ -29,6 +29,14 @@
 // so concurrent producers rarely contend. WithShards (default
 // WithWorkers) sets the apply-side parallelism.
 //
+// Queries are epoch-cached and lazily materialized: the first query after
+// an update runs the Boruvka emulation (materializing each round's
+// supernode sketches on demand, with candidate sampling fanned across the
+// shard worker pool, and — out of core — one sequential scan per round),
+// and every query until the next update is answered from the cached
+// result, making Connected/ConnectedMany point queries O(1) on a quiet
+// graph. See the README's "Query cost model" for the full picture.
+//
 // Basic use:
 //
 //	g, err := graphzeppelin.New(1024)
@@ -66,8 +74,19 @@ import (
 // wrapped.
 var ErrClosed = core.ErrClosed
 
+// ErrQueryFailed is returned (wrapped; compare with errors.Is) when a
+// query exhausts the per-node sketch rounds before every component's
+// spanning tree is certified complete — in practice only when WithRounds
+// is set below the default depth. SpanningForest still returns the
+// partial forest it recovered alongside this error.
+var ErrQueryFailed = core.ErrQueryFailed
+
 // Edge is an undirected edge between two node ids.
 type Edge = stream.Edge
+
+// Pair is a pair of node ids for batched connectivity point queries
+// (Graph.ConnectedMany).
+type Pair = stream.Pair
 
 // Update is one stream element: an edge plus insert/delete.
 type Update = stream.Update
@@ -303,6 +322,15 @@ func (g *Graph) Flush() error { return g.engine.Drain() }
 
 // SpanningForest flushes buffered updates and returns the edges of a
 // spanning forest of the current graph. Ingestion may continue afterwards.
+//
+// If the graph has not changed since the last full query (no Apply /
+// ApplyBatch / Ingestor flush reached the Graph), the forest is served
+// from the query cache without touching the sketches.
+//
+// On a failed query (errors.Is(err, ErrQueryFailed)) the partial forest
+// recovered before the sketch rounds ran out is returned alongside the
+// error: its edges are genuine and acyclic, but some pair of connected
+// nodes may remain in different trees. Partial results are never cached.
 func (g *Graph) SpanningForest() ([]Edge, error) {
 	forest, err := g.engine.SpanningForest()
 	if err != nil {
@@ -312,7 +340,8 @@ func (g *Graph) SpanningForest() ([]Edge, error) {
 }
 
 // ConnectedComponents returns a component representative for every node
-// and the number of components.
+// and the number of components. Served from the query cache (no sketch
+// work) while the graph is unchanged.
 func (g *Graph) ConnectedComponents() (rep []uint32, count int, err error) {
 	rep, count, err = g.engine.ConnectedComponents()
 	if err != nil {
@@ -321,23 +350,47 @@ func (g *Graph) ConnectedComponents() (rep []uint32, count int, err error) {
 	return rep, count, nil
 }
 
-// ErrNodeOutOfRange is returned by Connected for node ids at or beyond
-// NumNodes.
+// ErrNodeOutOfRange is returned by Connected and ConnectedMany for node
+// ids at or beyond NumNodes.
 var ErrNodeOutOfRange = fmt.Errorf("graphzeppelin: node out of range")
 
 // Connected reports whether u and v are currently in the same component.
-// Out-of-range nodes are rejected with ErrNodeOutOfRange before the
-// (expensive) component query runs; on a closed Graph the error satisfies
-// errors.Is(err, ErrClosed).
+// Out-of-range nodes are rejected with ErrNodeOutOfRange before any query
+// work runs; on a closed Graph the error satisfies errors.Is(err,
+// ErrClosed).
+//
+// Point queries are cheap when the graph is quiet: the first query after
+// an update runs the full Boruvka emulation, and every Connected call
+// until the next update answers in O(1) from the cached component
+// representatives (see Stats.QueryCacheHits).
 func (g *Graph) Connected(u, v uint32) (bool, error) {
 	if u >= g.numNodes || v >= g.numNodes {
 		return false, fmt.Errorf("%w: (%d,%d) vs %d nodes", ErrNodeOutOfRange, u, v, g.numNodes)
 	}
-	rep, _, err := g.ConnectedComponents()
+	ok, err := g.engine.Connected(u, v)
 	if err != nil {
-		return false, err
+		return false, fmt.Errorf("graphzeppelin: %w", err)
 	}
-	return rep[u] == rep[v], nil
+	return ok, nil
+}
+
+// ConnectedMany answers a batch of connectivity point queries: out[i]
+// reports whether pairs[i].U and pairs[i].V are currently in the same
+// component. The whole batch is validated up front (ErrNodeOutOfRange
+// before any query work) and costs at most one full query — none when the
+// graph is unchanged since the last one — plus O(1) per pair, so it is
+// the preferred shape for serving heavy point-query traffic.
+func (g *Graph) ConnectedMany(pairs []Pair) ([]bool, error) {
+	for _, p := range pairs {
+		if p.U >= g.numNodes || p.V >= g.numNodes {
+			return nil, fmt.Errorf("%w: (%d,%d) vs %d nodes", ErrNodeOutOfRange, p.U, p.V, g.numNodes)
+		}
+	}
+	out, err := g.engine.ConnectedMany(pairs)
+	if err != nil {
+		return nil, fmt.Errorf("graphzeppelin: %w", err)
+	}
+	return out, nil
 }
 
 // Stats returns activity counters and footprint estimates.

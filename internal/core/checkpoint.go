@@ -212,5 +212,8 @@ func (e *Engine) MergeCheckpoint(r io.Reader) error {
 		}
 	}
 	e.updates.Add(h.updates)
+	// The sketched graph changed without an ingest call; invalidate any
+	// cached query answer.
+	e.epoch.Add(1)
 	return nil
 }

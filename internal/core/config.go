@@ -94,6 +94,12 @@ type Config struct {
 	// shard keeps a floor of one slot, so values below Shards are
 	// effectively raised to Shards.
 	QueueCapacity int
+	// QueryScanBytes is the target size of one sequential ReadRange the
+	// disk-mode query scan issues (default 1 MiB): each Boruvka round
+	// reads the still-live stretch of the sketch store in chunks of this
+	// many bytes instead of one point read per node (Lemma 5's sequential
+	// scan). Larger values mean fewer, bigger reads.
+	QueryScanBytes int
 	// DeviceFactory overrides block-device creation for the sketch store
 	// and gutter tree. Nil uses files under Dir (or in-memory devices when
 	// Dir is empty). Tests use it to inject faulty devices.
@@ -133,6 +139,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.QueueCapacity <= 0 {
 		c.QueueCapacity = 8 * c.Shards
+	}
+	if c.QueryScanBytes <= 0 {
+		c.QueryScanBytes = 1 << 20
 	}
 	return c, nil
 }

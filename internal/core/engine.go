@@ -37,8 +37,14 @@ type Stats struct {
 	// SketchIO and BufferIO are block-device statistics for the sketch
 	// store and the gutter tree (zero when those live in RAM).
 	SketchIO, BufferIO iomodel.Stats
-	// QueryRounds is the Boruvka rounds used by the last query.
+	// QueryRounds is the Boruvka rounds used by the last full query.
 	QueryRounds int
+	// QueryCacheHits counts queries answered from the ingest-epoch cache
+	// without snapshotting or re-running Boruvka: every
+	// Connected/ConnectedMany/ConnectedComponents/SpanningForest call
+	// issued while no new update batch has been applied since the last
+	// full query is a hit.
+	QueryCacheHits uint64
 	// SketchFailures counts CubeSketch sampling failures observed across
 	// all queries (§6.3 observed zero in 5000 trials; so do we, but we
 	// count anyway).
@@ -98,6 +104,14 @@ type Engine struct {
 	updates        atomic.Uint64
 	sketchFailures atomic.Uint64
 	lastRounds     atomic.Int64
+
+	// epoch counts accepted ingest batches (and checkpoint merges): it is
+	// bumped whenever the sketched graph may have changed. The query cache
+	// is keyed on it — a query result tagged with the current epoch can be
+	// served again without touching the sketches.
+	epoch      atomic.Uint64
+	queryCache atomic.Pointer[queryResult]
+	cacheHits  atomic.Uint64
 
 	workerErr atomic.Pointer[error]
 	closed    atomic.Bool
@@ -300,8 +314,10 @@ func (e *Engine) Update(up stream.Update) error {
 		return err
 	}
 	// Count only after the buffer accepted the update, so errored updates
-	// never inflate the Updates stat.
+	// never inflate the Updates stat. The epoch bump invalidates any
+	// cached query answer predating this update.
 	e.updates.Add(1)
+	e.epoch.Add(1)
 	return e.err()
 }
 
@@ -355,6 +371,7 @@ func (e *Engine) ingestEdges(edges []stream.Edge) error {
 		return err
 	}
 	e.updates.Add(uint64(len(edges)))
+	e.epoch.Add(1)
 	return e.err()
 }
 
@@ -477,6 +494,7 @@ func (e *Engine) Stats() Stats {
 		Shards:         len(e.shards),
 		ShardBatches:   make([]uint64, len(e.shards)),
 		QueryRounds:    int(e.lastRounds.Load()),
+		QueryCacheHits: e.cacheHits.Load(),
 		SketchFailures: e.sketchFailures.Load(),
 	}
 	for i, sh := range e.shards {

@@ -58,10 +58,18 @@ func TestDiskFaultSurfacesThroughQuery(t *testing.T) {
 			return // surfaced during ingestion: fine
 		}
 	}
-	// Each query scans every slot, so the op budget runs out within a
-	// bounded number of queries and the scan error must surface.
+	// Each full query scans the live slots, so the op budget runs out
+	// within a bounded number of queries and the scan error must surface.
+	// Toggle an edge between attempts: an unchanged graph is answered
+	// from the epoch cache with no I/O at all.
 	for q := 0; q < 100; q++ {
 		if _, err := e.SpanningForest(); err != nil {
+			if !errors.Is(err, iomodel.ErrInjected) {
+				t.Fatalf("unexpected error kind: %v", err)
+			}
+			return
+		}
+		if err := e.InsertEdge(0, 1); err != nil {
 			if !errors.Is(err, iomodel.ErrInjected) {
 				t.Fatalf("unexpected error kind: %v", err)
 			}

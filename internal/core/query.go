@@ -3,31 +3,76 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"graphzeppelin/internal/cubesketch"
 	"graphzeppelin/internal/dsu"
 	"graphzeppelin/internal/stream"
 )
 
+// This file is the engine's query subsystem. Three design points, all in
+// service of the interleaved-query workload (Figure 16) and the paper's
+// storage-friendly query scan (Lemma 5):
+//
+//  1. Lazy per-round materialization. Boruvka round r needs only the
+//     round-r supernode sketch of each still-live component, so the query
+//     materializes exactly those — one single-round arena per round,
+//     rebuilt from the DSU — instead of cloning all n × Rounds sketches
+//     upfront. Components certified complete (an empty cut sketch) drop
+//     out of every later round.
+//
+//  2. Sequential disk scan. In out-of-core mode each round performs one
+//     coalesced ReadRange pass over the slots of still-live nodes,
+//     QueryScanBytes at a time, rather than one point Read per node: the
+//     I/O per round is O(liveBytes/B) blocks in a handful of ops.
+//
+//  3. Ingest-epoch caching. The engine bumps an epoch counter on every
+//     accepted update batch; a full query stores its result tagged with
+//     the epoch it answered at. While the epoch is unchanged, Connected /
+//     ConnectedMany / ConnectedComponents / SpanningForest are served
+//     from the cached result — point queries cost O(1) between updates.
+
 // ErrQueryFailed is returned when Boruvka emulation exhausts the per-node
-// sketches before the forest stabilizes. The probability of this is
-// polynomially small (and was never observed in the paper's 5000 trials or
-// in our test suite); callers may retry with a different seed.
+// sketch rounds before every component's spanning tree is certified
+// complete. The probability of this is polynomially small for the default
+// depth (the paper's 5000 trials and this test suite observed zero
+// failures); it becomes likely only when WithRounds is set below the
+// default ⌈log2 V⌉+2. The partial forest recovered before the rounds ran
+// out is still returned alongside the error: every edge in it is a
+// genuine edge of the graph and the edges are acyclic, but some pair of
+// connected nodes may remain in different trees. Callers wanting more
+// slack raise WithRounds (depth) or WithColumns (per-round success
+// probability) at construction time — the sketches are built for a fixed
+// depth, so no retry with fresh randomness is possible after the fact.
 var ErrQueryFailed = errors.New("core: connectivity query ran out of sketch rounds")
 
-// SpanningForest flushes all buffered updates and recovers a spanning
-// forest of the current graph by running Boruvka's algorithm over the
-// sketches (Figure 9): in round r, each current component queries its
-// round-r supernode sketch for an edge leaving the component; found edges
-// merge components and the corresponding supernode sketches are summed.
-//
-// The engine's live sketches are not consumed: the query operates on a
-// snapshot, so ingestion can continue afterwards (the interleaved
-// query workload of Figure 16). Safe to call from any goroutine, even
-// with ingestion in flight: the query holds the quiesce write lock, so it
-// answers over a consistent cut containing every update whose ingest call
-// returned before the query began. Returns ErrClosed after Close.
-func (e *Engine) SpanningForest() ([]stream.Edge, error) {
+// queryResult is one full query's answer, tagged with the ingest epoch it
+// was computed at. It is immutable once published: readers share the
+// slices, so the public accessors copy anything they hand to callers that
+// could mutate it.
+type queryResult struct {
+	epoch  uint64
+	forest []stream.Edge
+	rep    []uint32 // node -> component representative
+	count  int      // number of components
+}
+
+// query answers the current connectivity query, from the epoch cache when
+// the graph is unchanged since the last full query, and by running lazy
+// Boruvka over a fresh snapshot otherwise. The returned result is shared
+// and must be treated as read-only. On ErrQueryFailed the partial result
+// is returned alongside the error (and is not cached).
+func (e *Engine) query() (*queryResult, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	// Fast path: no accepted update since the cached answer — serve it
+	// without quiescing the pipeline. A concurrent producer that bumps
+	// the epoch right after the check linearizes after this query.
+	if r := e.queryCache.Load(); r != nil && r.epoch == e.epoch.Load() {
+		e.cacheHits.Add(1)
+		return r, nil
+	}
 	e.quiesce.Lock()
 	defer e.quiesce.Unlock()
 	if e.closed.Load() {
@@ -36,129 +81,398 @@ func (e *Engine) SpanningForest() ([]stream.Edge, error) {
 	if err := e.drainLocked(); err != nil {
 		return nil, err
 	}
-	super, err := e.snapshotSketches()
+	// Producers are excluded here, so the epoch is stable; re-check the
+	// cache in case another query refreshed it while we waited for the
+	// lock.
+	epoch := e.epoch.Load()
+	if r := e.queryCache.Load(); r != nil && r.epoch == epoch {
+		e.cacheHits.Add(1)
+		return r, nil
+	}
+	res, err := e.runBoruvka(epoch)
+	if err != nil {
+		return res, err
+	}
+	e.queryCache.Store(res)
+	return res, nil
+}
+
+// SpanningForest flushes all buffered updates and recovers a spanning
+// forest of the current graph by emulating Boruvka's algorithm over the
+// sketches (Figure 9): in round r, each live component queries its round-r
+// supernode sketch — the XOR of its members' round-r sketches — for an
+// edge leaving the component; found edges merge components. Components
+// whose cut sketch is empty are complete and leave the computation.
+//
+// The engine's live sketches are not consumed: each round materializes its
+// own supernode snapshot, so ingestion can continue afterwards (the
+// interleaved query workload of Figure 16). Safe to call from any
+// goroutine, even with ingestion in flight: a full query holds the quiesce
+// write lock and answers over a consistent cut containing every update
+// whose ingest call returned before the query began; a cached query (no
+// update since the last full one) is served without quiescing at all.
+//
+// On ErrQueryFailed the partial forest recovered so far is returned with
+// the error; see ErrQueryFailed for its exact guarantees. Returns
+// ErrClosed after Close.
+func (e *Engine) SpanningForest() ([]stream.Edge, error) {
+	r, err := e.query()
+	if r == nil {
+		return nil, err
+	}
+	forest := make([]stream.Edge, len(r.forest))
+	copy(forest, r.forest)
+	return forest, err
+}
+
+// ConnectedComponents returns, for every node, a component representative,
+// plus the number of components. Served from the epoch cache (no sketch
+// work) when the graph is unchanged since the last full query.
+func (e *Engine) ConnectedComponents() (rep []uint32, count int, err error) {
+	r, err := e.query()
+	if err != nil {
+		return nil, 0, err
+	}
+	rep = make([]uint32, len(r.rep))
+	copy(rep, r.rep)
+	return rep, r.count, nil
+}
+
+// Connected reports whether nodes u and v are currently in the same
+// component. Between updates it is O(1): the cached representatives of the
+// last full query answer directly. Both ids must be < NumNodes.
+func (e *Engine) Connected(u, v uint32) (bool, error) {
+	if u >= e.cfg.NumNodes || v >= e.cfg.NumNodes {
+		return false, fmt.Errorf("core: nodes (%d,%d) out of range for %d nodes", u, v, e.cfg.NumNodes)
+	}
+	r, err := e.query()
+	if err != nil {
+		return false, err
+	}
+	return r.rep[u] == r.rep[v], nil
+}
+
+// ConnectedMany answers a batch of connectivity point queries in one pass:
+// at most one full query (none if the cache is current), then O(1) per
+// pair off the shared representative vector. out[i] answers pairs[i].
+func (e *Engine) ConnectedMany(pairs []stream.Pair) ([]bool, error) {
+	for _, p := range pairs {
+		if p.U >= e.cfg.NumNodes || p.V >= e.cfg.NumNodes {
+			return nil, fmt.Errorf("core: nodes (%d,%d) out of range for %d nodes", p.U, p.V, e.cfg.NumNodes)
+		}
+	}
+	if len(pairs) == 0 {
+		return nil, nil
+	}
+	r, err := e.query()
 	if err != nil {
 		return nil, err
 	}
-	return e.boruvka(super)
+	out := make([]bool, len(pairs))
+	for i, p := range pairs {
+		out[i] = r.rep[p.U] == r.rep[p.V]
+	}
+	return out, nil
 }
 
-// snapshotSketches materializes a queryable copy of every node sketch. In
-// RAM mode it clones out of the shard slabs; in disk mode it performs the
-// sequential scan of Lemma 5's first phase. It runs after Drain, when the
-// Graph Workers are quiescent, so shard state is read without locking.
-func (e *Engine) snapshotSketches() ([][]*cubesketch.Sketch, error) {
-	super := make([][]*cubesketch.Sketch, e.cfg.NumNodes)
-	if e.store == nil {
-		for node := uint32(0); node < e.cfg.NumNodes; node++ {
-			sh, local := e.shardOf(node)
-			rounds := make([]*cubesketch.Sketch, e.cfg.Rounds)
-			for r := range rounds {
-				rounds[r] = sh.slab.CloneSketch(local, r)
-			}
-			super[node] = rounds
-		}
-		return super, nil
-	}
-	blob := make([]byte, e.slotSize)
-	for node := uint32(0); node < e.cfg.NumNodes; node++ {
-		if err := e.store.Read(node, blob); err != nil {
-			return nil, fmt.Errorf("core: query scan of node %d: %w", node, err)
-		}
-		rounds := make([]*cubesketch.Sketch, e.cfg.Rounds)
-		off := 0
-		for r := range rounds {
-			rounds[r] = new(cubesketch.Sketch)
-			if err := rounds[r].UnmarshalBinary(blob[off : off+e.sketchSize]); err != nil {
-				return nil, fmt.Errorf("core: query decode of node %d round %d: %w", node, r, err)
-			}
-			off += e.sketchSize
-		}
-		super[node] = rounds
-	}
-	return super, nil
+// candidate is one sampled cut edge: the live root it was sampled for and
+// the edge its sketch isolated.
+type candidate struct {
+	root uint32
+	edge stream.Edge
 }
 
-// boruvka runs the merge rounds over supernode sketches, destroying super.
-func (e *Engine) boruvka(super [][]*cubesketch.Sketch) ([]stream.Edge, error) {
+// querySession is the per-query scratch of lazy Boruvka. The caller holds
+// the quiesce write lock with the workers idle, so shard state may be read
+// freely (and concurrently) for the duration.
+type querySession struct {
+	d        *dsu.DSU
+	rep      []uint32 // node -> current root, rebuilt each round
+	finished []bool   // root-indexed: component certified complete
+	slot     []int32  // root -> index into roots this round, -1 otherwise
+	roots    []uint32 // live roots this round, in deterministic order
+	starts   []int    // prefix offsets into order, len(roots)+1
+	order    []uint32 // live nodes grouped by root, ascending within a group
+	scanBuf  []byte   // disk mode: sequential-scan chunk buffer
+}
+
+// prepareRound refreshes rep from the DSU and rebuilds the live-root index
+// (roots, slot, and the order/starts member grouping). It returns the
+// number of live (unfinished) components. Single-threaded: DSU path
+// compression is not safe for concurrent Finds.
+func (q *querySession) prepareRound() int {
+	n := len(q.rep)
+	q.roots = q.roots[:0]
+	for i := range q.slot {
+		q.slot[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		q.rep[i] = q.d.Find(uint32(i))
+	}
+	for i := 0; i < n; i++ {
+		r := q.rep[i]
+		if q.finished[r] || q.slot[r] >= 0 {
+			continue
+		}
+		q.slot[r] = int32(len(q.roots))
+		q.roots = append(q.roots, r)
+	}
+	// Group live nodes by root (counting sort over slot): members of
+	// roots[i] are order[starts[i]:starts[i+1]], ascending.
+	q.starts = append(q.starts[:0], make([]int, len(q.roots)+1)...)
+	live := 0
+	for i := 0; i < n; i++ {
+		if s := q.slot[q.rep[i]]; s >= 0 {
+			q.starts[s+1]++
+			live++
+		}
+	}
+	for i := 1; i <= len(q.roots); i++ {
+		q.starts[i] += q.starts[i-1]
+	}
+	if cap(q.order) < live {
+		q.order = make([]uint32, live)
+	}
+	q.order = q.order[:live]
+	fill := append([]int(nil), q.starts[:len(q.roots)]...)
+	for i := 0; i < n; i++ {
+		if s := q.slot[q.rep[i]]; s >= 0 {
+			q.order[fill[s]] = uint32(i)
+			fill[s]++
+		}
+	}
+	return len(q.roots)
+}
+
+// runBoruvka executes the lazy Boruvka rounds and returns the full query
+// result tagged with epoch. On ErrQueryFailed the partial result is still
+// returned.
+func (e *Engine) runBoruvka(epoch uint64) (*queryResult, error) {
 	n := int(e.cfg.NumNodes)
-	d := dsu.New(n)
+	q := &querySession{
+		d:        dsu.New(n),
+		rep:      make([]uint32, n),
+		finished: make([]bool, n),
+		slot:     make([]int32, n),
+	}
 	var forest []stream.Edge
-	merged := true
-	round := 0
-	for ; round < e.cfg.Rounds && merged; round++ {
-		merged = false
-		// Phase 1: sample one candidate edge per current component.
-		type candidate struct {
-			root uint32
-			edge stream.Edge
+	live := n
+	rounds := 0
+	for round := 0; round < e.cfg.Rounds; round++ {
+		if live = q.prepareRound(); live == 0 {
+			break
 		}
-		var cands []candidate
-		for node := 0; node < n; node++ {
-			root := uint32(node)
-			if d.Find(root) != root {
-				continue
-			}
-			idx, err := super[root][round].Query()
-			switch {
-			case err == nil:
-				edge, ierr := stream.IndexEdge(uint64(e.cfg.NumNodes), idx)
-				if ierr != nil {
-					// A checksum collision produced a non-edge index;
-					// treated as a sampling failure for this component.
-					e.sketchFailures.Add(1)
-					continue
-				}
-				cands = append(cands, candidate{root: root, edge: edge})
-			case errors.Is(err, cubesketch.ErrEmpty):
-				// No edge crosses this component's cut; it is finished.
-			case errors.Is(err, cubesketch.ErrFailed):
-				e.sketchFailures.Add(1)
-			}
+		rounds++
+		cands, emptied, err := e.sampleRound(q, round)
+		if err != nil {
+			return nil, err
 		}
-		// Phase 2+3: union endpoints and sum supernode sketches.
+		for _, r := range emptied {
+			q.finished[r] = true
+			live--
+		}
+		// Union phase: candidates arrive in deterministic live-root order,
+		// so merge order — and therefore the recovered forest — is
+		// reproducible across runs and worker counts.
 		for _, c := range cands {
-			ra, rb := d.Find(c.edge.U), d.Find(c.edge.V)
+			ra, rb := q.d.Find(c.edge.U), q.d.Find(c.edge.V)
 			if ra == rb {
 				// Another merge this round already connected them.
 				continue
 			}
-			newRoot, _ := d.Union(ra, rb)
-			other := ra
-			if other == newRoot {
-				other = rb
-			}
-			for r := 0; r < e.cfg.Rounds; r++ {
-				if err := super[newRoot][r].Merge(super[other][r]); err != nil {
-					return nil, fmt.Errorf("core: merging supernodes: %w", err)
-				}
-			}
-			super[other] = nil
+			root, _ := q.d.Union(ra, rb)
+			// The merged component has a fresh cut; with high probability
+			// neither constituent was finished (a finished component has
+			// no cut edges to be sampled), but never let a stale flag
+			// silence the new component.
+			q.finished[root] = false
 			forest = append(forest, c.edge)
-			merged = true
+			live--
 		}
 	}
-	e.lastRounds.Store(int64(round))
-	if merged {
-		// The final round still merged components; without fresh sketches
-		// we cannot certify the forest is complete.
-		return forest, ErrQueryFailed
+	e.lastRounds.Store(int64(rounds))
+	rep := make([]uint32, n)
+	count := 0
+	for i := 0; i < n; i++ {
+		rep[i] = q.d.Find(uint32(i))
+		if rep[i] == uint32(i) {
+			count++
+		}
 	}
-	return forest, nil
+	res := &queryResult{epoch: epoch, forest: forest, rep: rep, count: count}
+	if live > 0 {
+		// Rounds exhausted with uncertified components left: the forest
+		// may be incomplete and fresh sketches do not exist to extend it.
+		return res, ErrQueryFailed
+	}
+	return res, nil
 }
 
-// ConnectedComponents returns, for every node, a component representative,
-// plus the number of components. It is SpanningForest followed by a DSU
-// pass over the forest edges.
-func (e *Engine) ConnectedComponents() (rep []uint32, count int, err error) {
-	forest, err := e.SpanningForest()
-	if err != nil {
-		return nil, 0, err
+// sampleRound materializes the round-r supernode sketch of every live root
+// and samples one candidate cut edge from each (Boruvka phase 1). The
+// returned candidate list is in live-root order and emptied lists the
+// roots whose cut sketch was empty (complete components). RAM mode fans
+// both materialization and sampling across one goroutine per shard; disk
+// mode performs the sequential scan first (one device, one pass), then
+// fans only the sampling.
+func (e *Engine) sampleRound(q *querySession, round int) (cands []candidate, emptied []uint32, err error) {
+	nr := len(q.roots)
+	// One single-round arena holds every live root's supernode sketch:
+	// two allocations, mergeable with the shard slabs by construction
+	// (same vector length, columns, and round seed).
+	arena := cubesketch.NewSlab(nr, e.vecLen, e.cfg.Columns, []uint64{e.roundSeed(round)})
+	ramMode := e.store == nil
+	if !ramMode {
+		if err := e.scanRoundFromDisk(q, arena, round); err != nil {
+			return nil, nil, err
+		}
 	}
-	d := dsu.New(int(e.cfg.NumNodes))
-	for _, eg := range forest {
-		d.Union(eg.U, eg.V)
+
+	workers := len(e.shards)
+	if workers > nr {
+		workers = nr
 	}
-	rep, _ = d.Components()
-	return rep, d.Count(), nil
+	type workerOut struct {
+		cands   []candidate
+		emptied []uint32
+		err     error
+	}
+	outs := make([]workerOut, workers)
+	chunk := (nr + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > nr {
+			hi = nr
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(out *workerOut, lo, hi int) {
+			defer wg.Done()
+			var acc, view cubesketch.Sketch
+			for i := lo; i < hi; i++ {
+				arena.View(i, 0, &acc)
+				if ramMode {
+					// Materialize: XOR every member's round-r sketch view
+					// straight out of the owning shard's slab (read-only;
+					// the workers are quiescent under the write lock).
+					for _, node := range q.order[q.starts[i]:q.starts[i+1]] {
+						sh, local := e.shardOf(node)
+						sh.slab.View(local, round, &view)
+						if err := acc.Merge(&view); err != nil {
+							out.err = err
+							return
+						}
+					}
+				}
+				root := q.roots[i]
+				idx, qerr := acc.Query()
+				switch {
+				case qerr == nil:
+					edge, ierr := stream.IndexEdge(uint64(e.cfg.NumNodes), idx)
+					if ierr != nil {
+						// A checksum collision produced a non-edge index;
+						// treated as a sampling failure for this component.
+						e.sketchFailures.Add(1)
+						continue
+					}
+					out.cands = append(out.cands, candidate{root: root, edge: edge})
+				case errors.Is(qerr, cubesketch.ErrEmpty):
+					// No edge crosses this component's cut; it is complete
+					// and drops out of every later round.
+					out.emptied = append(out.emptied, root)
+				case errors.Is(qerr, cubesketch.ErrFailed):
+					e.sketchFailures.Add(1)
+				}
+			}
+		}(&outs[w], lo, hi)
+	}
+	wg.Wait()
+	// Workers own contiguous root ranges, so concatenating in worker
+	// order preserves the global deterministic live-root order.
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, nil, fmt.Errorf("core: merging supernodes: %w", outs[i].err)
+		}
+		cands = append(cands, outs[i].cands...)
+		emptied = append(emptied, outs[i].emptied...)
+	}
+	return cands, emptied, nil
+}
+
+// scanRoundFromDisk materializes the round-r supernode sketches out of the
+// sketch store with a sequential scan: live nodes are coalesced into runs
+// (bridging gaps cheaper than an extra operation), each run is read with
+// ReadRange in QueryScanBytes-sized chunks, and each slot's round-r bytes
+// are XOR-merged into its root's arena sketch without decoding the other
+// rounds. One round costs O(liveBytes/B) block reads in O(runs ×
+// chunksPerRun) operations — against the seed path's one Read per node
+// across all rounds.
+func (e *Engine) scanRoundFromDisk(q *querySession, arena *cubesketch.Slab, round int) error {
+	n := int(e.cfg.NumNodes)
+	chunkSlots := e.cfg.QueryScanBytes / e.slotSize
+	if chunkSlots < 1 {
+		chunkSlots = 1
+	}
+	if chunkSlots > n {
+		chunkSlots = n
+	}
+	if cap(q.scanBuf) < chunkSlots*e.slotSize {
+		q.scanBuf = make([]byte, chunkSlots*e.slotSize)
+	}
+	// A gap of finished slots is bridged when reading through it costs no
+	// more blocks than starting a fresh operation would.
+	gapSlots := e.cfg.BlockSize / e.slotSize
+	roundOff := round * e.sketchSize
+
+	var acc cubesketch.Sketch
+	liveAt := func(node int) bool { return q.slot[q.rep[node]] >= 0 }
+	for node := 0; node < n; {
+		if !liveAt(node) {
+			node++
+			continue
+		}
+		// Extend the run from node, bridging small finished gaps.
+		end := node + 1
+		for end < n {
+			if liveAt(end) {
+				end++
+				continue
+			}
+			skip := end
+			for skip < n && !liveAt(skip) {
+				skip++
+			}
+			if skip < n && skip-end <= gapSlots {
+				end = skip
+				continue
+			}
+			break
+		}
+		for lo := node; lo < end; lo += chunkSlots {
+			hi := lo + chunkSlots
+			if hi > end {
+				hi = end
+			}
+			buf := q.scanBuf[:(hi-lo)*e.slotSize]
+			if err := e.store.ReadRange(uint32(lo), hi-lo, buf); err != nil {
+				return fmt.Errorf("core: query scan of nodes [%d,%d): %w", lo, hi, err)
+			}
+			for nd := lo; nd < hi; nd++ {
+				s := q.slot[q.rep[nd]]
+				if s < 0 {
+					continue // bridged gap slot
+				}
+				arena.View(int(s), 0, &acc)
+				off := (nd-lo)*e.slotSize + roundOff
+				if err := acc.MergeBinary(buf[off : off+e.sketchSize]); err != nil {
+					return fmt.Errorf("core: query decode of node %d round %d: %w", nd, round, err)
+				}
+			}
+		}
+		node = end
+	}
+	return nil
 }

@@ -212,6 +212,35 @@ func (s *Sketch) Merge(other *Sketch) error {
 	return nil
 }
 
+// MergeBinary XOR-combines a serialized sketch (the MarshalBinary format)
+// into s without allocating or deserializing into an intermediate Sketch.
+// The serialized header must match s's parameters and seed exactly. It is
+// the zero-garbage merge path the engine's out-of-core query scan uses to
+// sum supernode sketches straight out of the sequential-scan buffer.
+func (s *Sketch) MergeBinary(buf []byte) error {
+	if len(buf) < s.SerializedSize() {
+		return fmt.Errorf("cubesketch: serialized sketch is %d bytes, need %d", len(buf), s.SerializedSize())
+	}
+	n := binary.LittleEndian.Uint64(buf[0:])
+	seed := binary.LittleEndian.Uint64(buf[8:])
+	cols := int(binary.LittleEndian.Uint64(buf[16:]))
+	rows := int(binary.LittleEndian.Uint64(buf[24:]))
+	if n != s.n || seed != s.seed || cols != s.cols || rows != s.rows {
+		return fmt.Errorf("cubesketch: incompatible serialized sketch (n=%d/%d cols=%d/%d rows=%d/%d seed=%#x/%#x)",
+			n, s.n, cols, s.cols, rows, s.rows, seed, s.seed)
+	}
+	off := 32
+	for i := range s.alphas {
+		s.alphas[i] ^= binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+	}
+	for i := range s.gammas {
+		s.gammas[i] ^= binary.LittleEndian.Uint32(buf[off:])
+		off += 4
+	}
+	return nil
+}
+
 // Reset zeroes the sketch in place, making it a sketch of the zero vector
 // again. The parameters and seed are retained.
 func (s *Sketch) Reset() {

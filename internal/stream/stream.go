@@ -47,6 +47,30 @@ type Update struct {
 	Type UpdateType
 }
 
+// Pair is a pair of node ids for batched connectivity point queries
+// ("are U and V currently in the same component?"). Unlike Edge it
+// carries no normalization contract — the two ids are just a question.
+type Pair struct {
+	U, V uint32
+}
+
+// RandomPairs returns count pseudo-random point-query pairs over
+// [0, numNodes), deterministic in seed — the shared workload generator
+// behind point-query serving drivers, experiments and tests. Pairs may
+// repeat and U may equal V (a self-pair is a legitimate, trivially-true
+// query).
+func RandomPairs(numNodes uint32, count int, seed uint64) []Pair {
+	rng := seed*2 + 0x9e3779b97f4a7c15 // never zero: xorshift's fixed point
+	pairs := make([]Pair, count)
+	for i := range pairs {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		pairs[i] = Pair{U: uint32(rng) % numNodes, V: uint32(rng>>32) % numNodes}
+	}
+	return pairs
+}
+
 // VectorLen returns the length of a characteristic vector over numNodes
 // nodes: C(numNodes, 2) possible edges.
 func VectorLen(numNodes uint64) uint64 {

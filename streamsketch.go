@@ -50,13 +50,32 @@ type StreamSketch interface {
 	Close() error
 }
 
+// PointQuerier is the read-side counterpart of StreamSketch for
+// connectivity point queries: structures that can answer "are u and v in
+// the same component?" — singly or batched — implement it. Graph is the
+// canonical implementation; drivers that interleave point-query traffic
+// with ingestion (cmd/gzrun, serving layers) accept this interface so the
+// query loop is independent of the concrete structure.
+//
+// Both methods share the Graph's ingest-epoch query cache: on an
+// unchanged graph they are O(1) per pair, and a batch handed to
+// ConnectedMany costs at most one full query no matter its length.
+type PointQuerier interface {
+	// Connected reports whether u and v are currently connected.
+	Connected(u, v uint32) (bool, error)
+	// ConnectedMany answers a batch of point queries in one pass; out[i]
+	// answers pairs[i].
+	ConnectedMany(pairs []Pair) ([]bool, error)
+}
+
 // Compile-time checks: every public sketch structure implements
-// StreamSketch.
+// StreamSketch, and Graph additionally serves point queries.
 var (
 	_ StreamSketch = (*Graph)(nil)
 	_ StreamSketch = (*BipartiteTester)(nil)
 	_ StreamSketch = (*ForestPeeler)(nil)
 	_ StreamSketch = (*MSFWeightSketch)(nil)
+	_ PointQuerier = (*Graph)(nil)
 )
 
 // sketchImpl is the contract the internal/sketchext structures share; the
