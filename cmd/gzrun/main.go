@@ -14,6 +14,18 @@
 //	gzrun -stream kron12.gzs -producers 4 -shards 4
 //	gzrun -stream kron12.gzs -structure bipartite
 //	gzrun -stream kron12.gzs -disk /mnt/ssd -buffering tree
+//
+// Durability and distributed merge: -checkpoint writes the structure's
+// sketch state after the run (the low-stall GZE3/GZX1 snapshot);
+// -restore starts a graph from a previous checkpoint file instead of
+// empty (parallel section decode); -merge XORs shard checkpoints written
+// elsewhere into the structure before the final query, so K machines can
+// each ingest a disjoint slice of a stream and one gzrun answers for the
+// union:
+//
+//	gzrun -stream shardA.gzs -checkpoint a.gze3
+//	gzrun -stream shardB.gzs -merge a.gze3
+//	gzrun -stream more.gzs -restore a.gze3 -checkpoint a2.gze3
 package main
 
 import (
@@ -23,6 +35,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -48,6 +61,9 @@ func main() {
 		pointQ    = flag.Int("pointqueries", 0, "random point-query pairs served after ingestion via ConnectedMany (graph)")
 		k         = flag.Int("k", 2, "layers for -structure kforests")
 		maxWeight = flag.Int("maxweight", 4, "max edge weight for -structure msf")
+		ckptPath  = flag.String("checkpoint", "", "write a checkpoint of the final sketch state to this file")
+		restore   = flag.String("restore", "", "restore the graph from this checkpoint file before ingesting (graph only)")
+		mergeList = flag.String("merge", "", "comma-separated checkpoint files merged in after ingestion, before the query")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -55,6 +71,9 @@ func main() {
 	}
 	if *producers < 1 || *batch < 1 {
 		log.Fatal("-producers and -batch must be at least 1")
+	}
+	if *restore != "" && *structure != "graph" {
+		log.Fatal("-restore is only supported with -structure graph")
 	}
 
 	f, err := os.Open(*path)
@@ -99,9 +118,23 @@ func main() {
 	)
 	switch *structure {
 	case "graph":
-		g, err := graphzeppelin.New(hdr.NumNodes, opts...)
-		if err != nil {
-			log.Fatal(err)
+		var g *graphzeppelin.Graph
+		var err error
+		if *restore != "" {
+			start := time.Now()
+			g, err = graphzeppelin.OpenCheckpoint(*restore, opts...)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if g.NumNodes() != hdr.NumNodes {
+				log.Fatalf("checkpoint %s is over %d nodes, stream over %d", *restore, g.NumNodes(), hdr.NumNodes)
+			}
+			fmt.Printf("restored %s (%d nodes) in %.3fs\n", *restore, g.NumNodes(), time.Since(start).Seconds())
+		} else {
+			g, err = graphzeppelin.New(hdr.NumNodes, opts...)
+			if err != nil {
+				log.Fatal(err)
+			}
 		}
 		graph = g
 		sk = g
@@ -172,6 +205,20 @@ func main() {
 	}
 	ingestDur := time.Since(start)
 
+	// Shard checkpoints written elsewhere merge in before the query: the
+	// structure then answers for the union of every merged stream.
+	if *mergeList != "" {
+		for _, path := range strings.Split(*mergeList, ",") {
+			path = strings.TrimSpace(path)
+			if path == "" {
+				continue
+			}
+			if err := mergeCheckpointFile(sk, path); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
 	qs := time.Now()
 	if err := report(sk); err != nil {
 		log.Fatal(err)
@@ -182,6 +229,18 @@ func main() {
 		if err := servePointQueries(graph, *pointQ, *seed, hdr.NumNodes); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if *ckptPath != "" {
+		cs := time.Now()
+		size, err := writeCheckpointFile(sk, *ckptPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stall := time.Duration(sk.Stats().CheckpointStallNanos)
+		fmt.Printf("checkpoint: %.1f MiB to %s in %.3fs (ingest stalled %.3fms)\n",
+			float64(size)/(1<<20), *ckptPath, time.Since(cs).Seconds(),
+			float64(stall.Microseconds())/1000)
 	}
 
 	st := sk.Stats()
@@ -197,6 +256,48 @@ func main() {
 		fmt.Printf("gutter I/O: %d read blocks, %d write blocks\n",
 			st.BufferIO.ReadBlocks, st.BufferIO.WriteBlocks)
 	}
+}
+
+// mergeCheckpointFile XORs one checkpoint file into the structure and
+// reports the merge rate.
+func mergeCheckpointFile(sk graphzeppelin.StreamSketch, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := sk.MergeCheckpoint(f); err != nil {
+		return fmt.Errorf("merging %s: %w", path, err)
+	}
+	dur := time.Since(start)
+	fmt.Printf("merged %s: %.1f MiB in %.3fs (%.1f MiB/s)\n",
+		path, float64(st.Size())/(1<<20), dur.Seconds(),
+		float64(st.Size())/(1<<20)/dur.Seconds())
+	return nil
+}
+
+// writeCheckpointFile streams the structure's checkpoint to path and
+// returns the byte size written.
+func writeCheckpointFile(sk graphzeppelin.StreamSketch, path string) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	if err := sk.WriteCheckpoint(f); err != nil {
+		f.Close()
+		return 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return 0, err
+	}
+	return st.Size(), f.Close()
 }
 
 // servePointQueries replays the post-ingestion serving workload: count

@@ -8,10 +8,27 @@ import (
 	"graphzeppelin/internal/sketchext"
 )
 
+// ErrIncompatibleCheckpoint is returned (wrapped; compare with errors.Is)
+// when merging a checkpoint whose construction parameters differ from the
+// target structure's.
+var ErrIncompatibleCheckpoint = core.ErrIncompatibleCheckpoint
+
+// ErrCorruptCheckpoint is returned (wrapped; compare with errors.Is) when
+// a checkpoint stream is malformed or a section fails its checksum.
+var ErrCorruptCheckpoint = core.ErrCorruptCheckpoint
+
 // WriteCheckpoint drains buffered updates and writes the Graph's full
-// sketch state to w. Because sketches are linear, checkpoints with equal
-// parameters are mergeable (see MergeCheckpoint), so checkpoints double as
-// the shard-shipping format for distributed ingestion.
+// sketch state to w in the sectioned GZE3 format (per-shard-pool parallel
+// encode, per-section CRC-32C checksums, a footer enabling parallel
+// restore). The snapshot is low-stall: ingestion is excluded only for the
+// drain and the snapshot seal — in-RAM sketches are copied shard-at-a-time
+// into reusable arenas, on-disk sketches are captured copy-on-write while
+// the scan streams — so concurrent producers keep running while the
+// checkpoint is written (see Stats.CheckpointStallNanos).
+//
+// Because sketches are linear, checkpoints with equal parameters are
+// mergeable (see MergeCheckpoint), so checkpoints double as the
+// shard-shipping format for distributed ingestion.
 func (g *Graph) WriteCheckpoint(w io.Writer) error {
 	return g.engine.WriteCheckpoint(w)
 }
@@ -31,14 +48,20 @@ func (g *Graph) SaveCheckpoint(path string) error {
 
 // MergeCheckpoint XORs a checkpoint into this Graph: the result summarizes
 // the mod-2 sum of both streams (for disjoint stream shards, their union).
-// The checkpoint must have the same node count, seed, columns and rounds.
+// The checkpoint must have the same node count, seed, columns and rounds
+// (ErrIncompatibleCheckpoint otherwise, naming both parameter sets). The
+// merge streams serialized slots straight into the sketch arenas with zero
+// per-sketch allocations; legacy GZE2 checkpoints merge behind the magic
+// check.
 func (g *Graph) MergeCheckpoint(r io.Reader) error {
 	return g.engine.MergeCheckpoint(r)
 }
 
-// ReadCheckpoint restores a Graph from a checkpoint stream; opts control
-// deployment choices (workers, buffering, disk placement) while the sketch
-// parameters come from the checkpoint.
+// ReadCheckpoint restores a Graph from a checkpoint stream (GZE3 or legacy
+// GZE2), reading front to back; opts control deployment choices (workers,
+// buffering, disk placement) while the sketch parameters come from the
+// checkpoint. For checkpoint files prefer OpenCheckpoint, which restores
+// sections in parallel.
 func ReadCheckpoint(r io.Reader, opts ...Option) (*Graph, error) {
 	var cfg core.Config
 	for _, o := range opts {
@@ -51,14 +74,27 @@ func ReadCheckpoint(r io.Reader, opts ...Option) (*Graph, error) {
 	return &Graph{engine: eng, numNodes: eng.Config().NumNodes}, nil
 }
 
-// LoadCheckpoint restores a Graph from a checkpoint file.
-func LoadCheckpoint(path string, opts ...Option) (*Graph, error) {
-	f, err := os.Open(path)
+// OpenCheckpoint restores a Graph from a checkpoint file. GZE3 files are
+// decoded in parallel: the footer locates every section, and one goroutine
+// per shard worker verifies and installs whole sections (with coalesced
+// range writes in disk mode). Legacy GZE2 files fall back to the
+// sequential path.
+func OpenCheckpoint(path string, opts ...Option) (*Graph, error) {
+	var cfg core.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	eng, err := core.OpenCheckpoint(path, cfg)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return ReadCheckpoint(f, opts...)
+	return &Graph{engine: eng, numNodes: eng.Config().NumNodes}, nil
+}
+
+// LoadCheckpoint restores a Graph from a checkpoint file. It is
+// OpenCheckpoint under its historical name.
+func LoadCheckpoint(path string, opts ...Option) (*Graph, error) {
+	return OpenCheckpoint(path, opts...)
 }
 
 // BipartiteTester tests bipartiteness of a dynamic graph stream in small

@@ -2,8 +2,11 @@ package graphzeppelin_test
 
 import (
 	"bytes"
+	"errors"
 	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 
 	"graphzeppelin"
 )
@@ -224,5 +227,310 @@ func TestMSFWeightSketchAPI(t *testing.T) {
 	w, err = s.Weight()
 	if err != nil || w != 4 { // now forced onto weights 1 and 3
 		t.Fatalf("Weight = %d, %v; want 4", w, err)
+	}
+}
+
+// TestStreamSketchCheckpointAllStructures round-trips the distributed
+// shard-merge recipe through the StreamSketch interface for every
+// structure: two identically constructed instances split one stream,
+// one ships its checkpoint, and the merged instance answers for the union
+// exactly like an instance that saw the whole stream.
+func TestStreamSketchCheckpointAllStructures(t *testing.T) {
+	opts := []graphzeppelin.Option{graphzeppelin.WithSeed(77)}
+	cases := []struct {
+		name  string
+		build func(t *testing.T) (a, b, whole graphzeppelin.StreamSketch)
+		query func(t *testing.T, sk graphzeppelin.StreamSketch) any
+	}{
+		{
+			name: "graph",
+			build: func(t *testing.T) (a, b, whole graphzeppelin.StreamSketch) {
+				mk := func() graphzeppelin.StreamSketch {
+					g, err := graphzeppelin.New(32, opts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return g
+				}
+				return mk(), mk(), mk()
+			},
+			query: func(t *testing.T, sk graphzeppelin.StreamSketch) any {
+				_, count, err := sk.(*graphzeppelin.Graph).ConnectedComponents()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return count
+			},
+		},
+		{
+			name: "bipartite",
+			build: func(t *testing.T) (a, b, whole graphzeppelin.StreamSketch) {
+				mk := func() graphzeppelin.StreamSketch {
+					b, err := graphzeppelin.NewBipartiteTester(32, opts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return b
+				}
+				return mk(), mk(), mk()
+			},
+			query: func(t *testing.T, sk graphzeppelin.StreamSketch) any {
+				bip, err := sk.(*graphzeppelin.BipartiteTester).IsBipartite()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return bip
+			},
+		},
+		{
+			name: "kforests",
+			build: func(t *testing.T) (a, b, whole graphzeppelin.StreamSketch) {
+				mk := func() graphzeppelin.StreamSketch {
+					p, err := graphzeppelin.NewForestPeeler(2, 32, opts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return p
+				}
+				return mk(), mk(), mk()
+			},
+			query: func(t *testing.T, sk graphzeppelin.StreamSketch) any {
+				lambda, err := sk.(*graphzeppelin.ForestPeeler).EdgeConnectivity()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return lambda
+			},
+		},
+		{
+			name: "msf",
+			build: func(t *testing.T) (a, b, whole graphzeppelin.StreamSketch) {
+				mk := func() graphzeppelin.StreamSketch {
+					m, err := graphzeppelin.NewMSFWeightSketch(4, 32, opts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return m
+				}
+				return mk(), mk(), mk()
+			},
+			query: func(t *testing.T, sk graphzeppelin.StreamSketch) any {
+				w, err := sk.(*graphzeppelin.MSFWeightSketch).Weight()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return w
+			},
+		},
+	}
+	// An odd cycle over 0..4 plus a path into the 20s: non-bipartite,
+	// connected core, some isolated nodes.
+	var updates []graphzeppelin.Update
+	for _, e := range [][2]uint32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {4, 10}, {10, 20}, {20, 21}} {
+		updates = append(updates, graphzeppelin.Update{
+			Edge: graphzeppelin.Edge{U: e[0], V: e[1]}, Type: graphzeppelin.Insert,
+		})
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b, whole := tc.build(t)
+			defer a.Close()
+			defer b.Close()
+			defer whole.Close()
+			for i, u := range updates {
+				target := a
+				if i%2 == 1 {
+					target = b
+				}
+				if err := target.Apply(u); err != nil {
+					t.Fatal(err)
+				}
+				if err := whole.Apply(u); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var buf bytes.Buffer
+			if err := b.WriteCheckpoint(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if err := a.MergeCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Fatal(err)
+			}
+			got := tc.query(t, a)
+			want := tc.query(t, whole)
+			if got != want {
+				t.Fatalf("merged %s answers %v, single-instance reference answers %v", tc.name, got, want)
+			}
+		})
+	}
+}
+
+// TestExtensionCheckpointRejectsWrongContainer checks cross-format safety:
+// a Graph checkpoint is not accepted by an extension and vice versa, and
+// layer-count mismatches are rejected.
+func TestExtensionCheckpointRejectsWrongContainer(t *testing.T) {
+	g, err := graphzeppelin.New(16, graphzeppelin.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	bt, err := graphzeppelin.NewBipartiteTester(16, graphzeppelin.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bt.Close()
+
+	var gbuf, bbuf bytes.Buffer
+	if err := g.WriteCheckpoint(&gbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.WriteCheckpoint(&bbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.MergeCheckpoint(bytes.NewReader(gbuf.Bytes())); err == nil {
+		t.Fatal("extension accepted a bare Graph checkpoint")
+	}
+	if err := g.MergeCheckpoint(bytes.NewReader(bbuf.Bytes())); err == nil {
+		t.Fatal("Graph accepted a GZX1 container")
+	}
+	p3, err := graphzeppelin.NewForestPeeler(3, 16, graphzeppelin.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p3.Close()
+	p2, err := graphzeppelin.NewForestPeeler(2, 16, graphzeppelin.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	var pbuf bytes.Buffer
+	if err := p2.WriteCheckpoint(&pbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := p3.MergeCheckpoint(bytes.NewReader(pbuf.Bytes())); !errors.Is(err, graphzeppelin.ErrIncompatibleCheckpoint) {
+		t.Fatalf("layer-count mismatch error = %v, want ErrIncompatibleCheckpoint", err)
+	}
+}
+
+// TestOpenCheckpointPublic exercises the parallel file restore through the
+// public API.
+func TestOpenCheckpointPublic(t *testing.T) {
+	g, err := graphzeppelin.New(64, graphzeppelin.WithSeed(9), graphzeppelin.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	for u := uint32(0); u < 63; u++ {
+		if err := g.Insert(u, u+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "g.gze3")
+	if err := g.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := graphzeppelin.OpenCheckpoint(path, graphzeppelin.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	_, count, err := back.ConnectedComponents()
+	if err != nil || count != 1 {
+		t.Fatalf("restored graph: count = %d, err = %v", count, err)
+	}
+}
+
+// gatedSink blocks every write until released; it lets a test hold a
+// checkpoint stream open while probing what else can run.
+type gatedSink struct {
+	buf     bytes.Buffer
+	gate    chan struct{}
+	started chan struct{}
+	once    sync.Once
+}
+
+func newGatedSink() *gatedSink {
+	return &gatedSink{gate: make(chan struct{}), started: make(chan struct{})}
+}
+
+func (g *gatedSink) Write(p []byte) (int, error) {
+	g.once.Do(func() { close(g.started) })
+	<-g.gate
+	return g.buf.Write(p)
+}
+
+// TestExtensionCheckpointSingleCutAcrossLayers pins that a GZX1 container
+// is one consistent cut across a structure's layer engines: the
+// BipartiteTester holds a triangle (non-bipartite), a checkpoint stream
+// is blocked on a gated writer, and an update that deletes a triangle
+// edge completes mid-stream (low stall holds for the group too). Both the
+// base graph AND its double cover must capture the pre-delete state — a
+// per-layer seal taken at each layer's stream time would put the delete
+// inside the cover's snapshot but outside the base's, breaking the
+// cc(D(G)) = 2·cc(G) identity the merged query depends on.
+func TestExtensionCheckpointSingleCutAcrossLayers(t *testing.T) {
+	const n = 8
+	mk := func() *graphzeppelin.BipartiteTester {
+		bt, err := graphzeppelin.NewBipartiteTester(n, graphzeppelin.WithSeed(55))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bt
+	}
+	live := mk()
+	defer live.Close()
+	for _, e := range []graphzeppelin.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}} {
+		if err := live.Apply(graphzeppelin.Update{Edge: e, Type: graphzeppelin.Insert}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	gw := newGatedSink()
+	ckptErr := make(chan error, 1)
+	go func() { ckptErr <- live.WriteCheckpoint(gw) }()
+	<-gw.started // every layer is sealed once the container header is out
+
+	// Delete a triangle edge while the stream is blocked: must complete
+	// (the seal window is over) and must land in NEITHER layer's snapshot.
+	applied := make(chan error, 1)
+	go func() {
+		applied <- live.Apply(graphzeppelin.Update{
+			Edge: graphzeppelin.Edge{U: 0, V: 2}, Type: graphzeppelin.Delete,
+		})
+	}()
+	select {
+	case err := <-applied:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("group ingest blocked for the duration of the checkpoint stream write")
+	}
+	close(gw.gate)
+	if err := <-ckptErr; err != nil {
+		t.Fatal(err)
+	}
+
+	// The container holds the full pre-delete triangle in both layers:
+	// merged into a quiet tester it must answer non-bipartite, and after
+	// replaying the delete, bipartite — exactly like the live structure.
+	probe := mk()
+	defer probe.Close()
+	if err := probe.MergeCheckpoint(bytes.NewReader(gw.buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if bip, err := probe.IsBipartite(); err != nil || bip {
+		t.Fatalf("merged pre-delete cut: IsBipartite = %v, %v; want false (triangle)", bip, err)
+	}
+	if err := probe.Apply(graphzeppelin.Update{
+		Edge: graphzeppelin.Edge{U: 0, V: 2}, Type: graphzeppelin.Delete,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if bip, err := probe.IsBipartite(); err != nil || !bip {
+		t.Fatalf("after replaying delete: IsBipartite = %v, %v; want true (path)", bip, err)
+	}
+	if bip, err := live.IsBipartite(); err != nil || !bip {
+		t.Fatalf("live structure after delete: IsBipartite = %v, %v; want true", bip, err)
 	}
 }

@@ -49,6 +49,12 @@ type Stats struct {
 	// all queries (§6.3 observed zero in 5000 trials; so do we, but we
 	// count anyway).
 	SketchFailures uint64
+	// CheckpointStallNanos is how long the most recent WriteCheckpoint
+	// excluded ingestion, in nanoseconds: the drain plus the snapshot seal
+	// (RAM: shard-at-a-time slab copy; disk: installing the copy-on-write
+	// capture). The stream write itself runs with ingestion live, so this
+	// is bounded by drain + O(slab copy), not by writer bandwidth.
+	CheckpointStallNanos uint64
 	// MemoryBytes estimates the RAM held by sketches and gutters;
 	// DiskBytes the on-device footprint (sketch slots + gutter tree).
 	MemoryBytes, DiskBytes int64
@@ -69,9 +75,11 @@ type Stats struct {
 // Exclusive ownership replaces the seed design's per-node mutexes: the
 // per-update path takes no engine-level lock beyond a read-lock on the
 // quiesce RWMutex (and, batched, that cost is amortized across the whole
-// batch). Quiescent phases (Drain, queries, checkpoints, Close) take the
-// quiesce write lock, flush the buffer, and wait on the pending-batch
-// WaitGroup; producers blocked on the read lock cannot race them.
+// batch). Quiescent phases (Drain, queries, Close) take the quiesce write
+// lock, flush the buffer, and wait on the pending-batch WaitGroup;
+// producers blocked on the read lock cannot race them. Checkpoint writes
+// hold the write lock only long enough to drain and seal a snapshot, then
+// stream with ingestion live (checkpoint.go).
 type Engine struct {
 	cfg        Config
 	vecLen     uint64
@@ -112,6 +120,21 @@ type Engine struct {
 	epoch      atomic.Uint64
 	queryCache atomic.Pointer[queryResult]
 	cacheHits  atomic.Uint64
+
+	// Checkpoint subsystem state (checkpoint.go). ckptMu serializes whole
+	// checkpoint operations and orders strictly before the quiesce lock
+	// (every path that needs both takes ckptMu first, including Close).
+	// snap, when non-nil, is the copy-on-write capture of an in-flight
+	// disk-mode snapshot that the workers feed pre-images into; snapSlabs
+	// are the reusable RAM-mode seal arenas; ckptBuf pools section payload
+	// buffers; lastCkptStall records the quiesce-held phase of the last
+	// WriteCheckpoint for Stats.
+	ckptMu        sync.Mutex
+	snap          atomic.Pointer[ckptSnap]
+	snapSlabs     []*cubesketch.Slab
+	ckptBuf       sync.Pool
+	lastCkptStall atomic.Int64
+	cowBudget     int // 0 = checkpointCOWBudget; tests shrink it
 
 	workerErr atomic.Pointer[error]
 	closed    atomic.Bool
@@ -439,6 +462,12 @@ func (e *Engine) applyBatch(sh *shard, b gutter.Batch) {
 		e.setErr(fmt.Errorf("core: reading sketches of node %d: %w", b.Node, err))
 		return
 	}
+	// A snapshot stream may be scanning the store right now; hand it this
+	// slot's pre-image before overwriting, so the snapshot stays an exact
+	// cut even though ingestion never stopped (checkpoint.go).
+	if snap := e.snap.Load(); snap != nil {
+		snap.preserve(b.Node, sh.blob)
+	}
 	if err := sh.scratch.UnmarshalNode(0, sh.blob); err != nil {
 		e.setErr(fmt.Errorf("core: decoding sketches of node %d: %w", b.Node, err))
 		return
@@ -490,12 +519,13 @@ func (e *Engine) drainLocked() error {
 // Stats returns a snapshot of engine statistics.
 func (e *Engine) Stats() Stats {
 	st := Stats{
-		Updates:        e.updates.Load(),
-		Shards:         len(e.shards),
-		ShardBatches:   make([]uint64, len(e.shards)),
-		QueryRounds:    int(e.lastRounds.Load()),
-		QueryCacheHits: e.cacheHits.Load(),
-		SketchFailures: e.sketchFailures.Load(),
+		Updates:              e.updates.Load(),
+		Shards:               len(e.shards),
+		ShardBatches:         make([]uint64, len(e.shards)),
+		QueryRounds:          int(e.lastRounds.Load()),
+		QueryCacheHits:       e.cacheHits.Load(),
+		SketchFailures:       e.sketchFailures.Load(),
+		CheckpointStallNanos: uint64(e.lastCkptStall.Load()),
 	}
 	for i, sh := range e.shards {
 		b := sh.batches.Load()
@@ -529,6 +559,10 @@ func (e *Engine) Stats() Stats {
 // the returned error.
 func (e *Engine) Close() error {
 	e.closeOnce.Do(func() {
+		// ckptMu first (the global lock order): a checkpoint stream in
+		// flight finishes before its devices are released under it.
+		e.ckptMu.Lock()
+		defer e.ckptMu.Unlock()
 		e.quiesce.Lock()
 		drainErr := e.drainLocked()
 		e.closed.Store(true)

@@ -241,6 +241,46 @@ func (s *Sketch) MergeBinary(buf []byte) error {
 	return nil
 }
 
+// MergeSerialized XOR-combines two serialized sketches (the MarshalBinary
+// format) without deserializing either: dst becomes the serialization of
+// the merge. Because the body is raw little-endian bucket words, the XOR of
+// two serialized bodies IS the serialized body of the XOR — so checkpoint
+// merging of disk-resident slots needs no Sketch at all, just this byte
+// walk. The two headers must be byte-identical (same n, seed, cols, rows);
+// both buffers must hold the full serialized sketch.
+func MergeSerialized(dst, src []byte) error {
+	if len(dst) < 32 || len(src) < 32 {
+		return errors.New("cubesketch: truncated serialized sketch header")
+	}
+	for i := 0; i < 32; i++ {
+		if dst[i] != src[i] {
+			return fmt.Errorf("cubesketch: serialized sketch headers differ (n=%d/%d cols=%d/%d rows=%d/%d seed=%#x/%#x)",
+				binary.LittleEndian.Uint64(dst[0:]), binary.LittleEndian.Uint64(src[0:]),
+				binary.LittleEndian.Uint64(dst[16:]), binary.LittleEndian.Uint64(src[16:]),
+				binary.LittleEndian.Uint64(dst[24:]), binary.LittleEndian.Uint64(src[24:]),
+				binary.LittleEndian.Uint64(dst[8:]), binary.LittleEndian.Uint64(src[8:]))
+		}
+	}
+	cols := binary.LittleEndian.Uint64(dst[16:])
+	rows := binary.LittleEndian.Uint64(dst[24:])
+	if cols == 0 || rows == 0 || cols > 1<<20 || rows > 1<<20 {
+		return fmt.Errorf("cubesketch: corrupt serialized header (cols=%d rows=%d)", cols, rows)
+	}
+	size := 32 + int(cols*rows)*12
+	if len(dst) < size || len(src) < size {
+		return fmt.Errorf("cubesketch: serialized sketch is %d/%d bytes, need %d", len(dst), len(src), size)
+	}
+	i := 32
+	for ; i+8 <= size; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
+	}
+	for ; i < size; i++ {
+		dst[i] ^= src[i]
+	}
+	return nil
+}
+
 // Reset zeroes the sketch in place, making it a sketch of the zero vector
 // again. The parameters and seed are retained.
 func (s *Sketch) Reset() {

@@ -175,3 +175,114 @@ func TestSlabZeroNodes(t *testing.T) {
 		t.Fatalf("empty slab has Bytes=%d Nodes=%d", sl.Bytes(), sl.Nodes())
 	}
 }
+
+// TestSlabCopyFrom seals one slab into another and checks the snapshot is
+// deep: later mutations of the source leave the copy untouched.
+func TestSlabCopyFrom(t *testing.T) {
+	const n, nodes, rounds = 1 << 10, 4, 3
+	seeds := slabSeeds(rounds, 99)
+	src := NewSlab(nodes, n, 0, seeds)
+	snap := NewSlab(nodes, n, 0, seeds)
+	src.Apply(1, []uint64{5, 9, 17})
+	src.Apply(3, []uint64{2})
+	if err := snap.CopyFrom(src); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, src.NodeSize())
+	src.MarshalNode(1, want)
+	src.Apply(1, []uint64{123, 456}) // mutate source after the seal
+	got := make([]byte, snap.NodeSize())
+	snap.MarshalNode(1, got)
+	if !bytes.Equal(got, want) {
+		t.Fatal("snapshot tracked source mutations")
+	}
+	// Mismatched shapes are rejected.
+	other := NewSlab(nodes+1, n, 0, seeds)
+	if err := snap.CopyFrom(other); err == nil {
+		t.Fatal("node-count mismatch accepted")
+	}
+	if err := snap.CopyFrom(NewSlab(nodes, n, 0, slabSeeds(rounds, 1234))); err == nil {
+		t.Fatal("seed mismatch accepted")
+	}
+}
+
+// TestSlabMergeNodeBinary checks the zero-alloc serialized node merge
+// equals an explicit per-round Merge, and that incompatible blobs are
+// rejected.
+func TestSlabMergeNodeBinary(t *testing.T) {
+	const n, nodes, rounds = 1 << 10, 3, 3
+	seeds := slabSeeds(rounds, 7)
+	a := NewSlab(nodes, n, 0, seeds)
+	b := NewSlab(nodes, n, 0, seeds)
+	a.Apply(2, []uint64{1, 2, 3})
+	b.Apply(2, []uint64{3, 4})
+
+	blob := make([]byte, b.NodeSize())
+	b.MarshalNode(2, blob)
+
+	want := NewSlab(nodes, n, 0, seeds)
+	var va, vb, vw Sketch
+	for r := 0; r < rounds; r++ {
+		a.View(2, r, &va)
+		b.View(2, r, &vb)
+		want.View(2, r, &vw)
+		if err := vw.Merge(&va); err != nil {
+			t.Fatal(err)
+		}
+		if err := vw.Merge(&vb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.MergeNodeBinary(2, blob); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, a.NodeSize())
+	a.MarshalNode(2, got)
+	wantBytes := make([]byte, want.NodeSize())
+	want.MarshalNode(2, wantBytes)
+	if !bytes.Equal(got, wantBytes) {
+		t.Fatal("MergeNodeBinary != per-round Merge")
+	}
+
+	wrong := NewSlab(nodes, n, 0, slabSeeds(rounds, 1000))
+	wrongBlob := make([]byte, wrong.NodeSize())
+	wrong.MarshalNode(0, wrongBlob)
+	if err := a.MergeNodeBinary(0, wrongBlob); err == nil {
+		t.Fatal("mismatched-seed blob accepted")
+	}
+	if err := a.MergeNodeBinary(0, blob[:10]); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+}
+
+// TestMergeSerialized checks the in-place serialized XOR merge against
+// Merge on deserialized sketches, and its header validation.
+func TestMergeSerialized(t *testing.T) {
+	x := New(1<<10, 0, 42)
+	y := New(1<<10, 0, 42)
+	x.UpdateBatch([]uint64{1, 5, 9})
+	y.UpdateBatch([]uint64{5, 6})
+	bx, _ := x.MarshalBinary()
+	by, _ := y.MarshalBinary()
+	if err := MergeSerialized(bx, by); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Merge(y); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := x.MarshalBinary()
+	if !bytes.Equal(bx, want) {
+		t.Fatal("MergeSerialized != Merge")
+	}
+
+	z, _ := New(1<<10, 0, 43).MarshalBinary() // different seed
+	if err := MergeSerialized(bx, z); err == nil {
+		t.Fatal("mismatched headers accepted")
+	}
+	if err := MergeSerialized(bx[:16], by); err == nil {
+		t.Fatal("truncated dst accepted")
+	}
+	if err := MergeSerialized(bx, by[:40]); err == nil {
+		t.Fatal("truncated src accepted")
+	}
+}

@@ -83,5 +83,24 @@ func (s *Store) ReadRange(node uint32, count int, buf []byte) error {
 	return err
 }
 
+// WriteRange writes count consecutive slots starting at node from buf
+// (count*slotSize bytes) with a single device access — the coalesced
+// write-back the checkpoint restore and merge paths use instead of one
+// Write per node.
+func (s *Store) WriteRange(node uint32, count int, buf []byte) error {
+	if len(buf) != count*s.slotSize {
+		return fmt.Errorf("diskstore: range buffer is %d bytes, want %d", len(buf), count*s.slotSize)
+	}
+	off, err := s.offset(node)
+	if err != nil {
+		return err
+	}
+	if uint32(count) > s.numNodes-node {
+		return fmt.Errorf("diskstore: range [%d,%d) out of bounds (%d nodes)", node, int(node)+count, s.numNodes)
+	}
+	_, err = s.dev.WriteAt(buf, off)
+	return err
+}
+
 // Stats returns the device's I/O statistics.
 func (s *Store) Stats() iomodel.Stats { return s.dev.Stats() }

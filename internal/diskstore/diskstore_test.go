@@ -87,3 +87,35 @@ func TestGeometry(t *testing.T) {
 		t.Fatal("geometry accessors wrong")
 	}
 }
+
+func TestWriteRange(t *testing.T) {
+	s, err := New(iomodel.NewMem(64), 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3*100)
+	for i := range buf {
+		buf[i] = byte(i % 251)
+	}
+	if err := s.WriteRange(4, 3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().WriteOps; got != 1 {
+		t.Fatalf("WriteRange used %d write ops, want 1", got)
+	}
+	got := make([]byte, 100)
+	for i := 0; i < 3; i++ {
+		if err := s.Read(uint32(4+i), got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, buf[i*100:(i+1)*100]) {
+			t.Fatalf("slot %d mismatch after WriteRange", 4+i)
+		}
+	}
+	if err := s.WriteRange(9, 2, make([]byte, 200)); err == nil {
+		t.Fatal("out-of-bounds range accepted")
+	}
+	if err := s.WriteRange(0, 2, make([]byte, 150)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}

@@ -114,3 +114,18 @@ func TestSamePartitionHelper(t *testing.T) {
 		t.Fatal("length mismatch accepted")
 	}
 }
+
+func TestDistributedMergeMatchesReference(t *testing.T) {
+	tbl, err := DistributedMerge(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[len(row)-1] != "MATCH" {
+			t.Fatalf("shards=%s: merged engine diverged from the single-engine reference", row[0])
+		}
+	}
+}

@@ -8,6 +8,7 @@ package iomodel
 import (
 	"fmt"
 	"os"
+	"sync"
 	"sync/atomic"
 )
 
@@ -15,8 +16,13 @@ import (
 const DefaultBlockSize = 16 * 1024
 
 // Stats counts I/O operations. Block counts are computed at the device's
-// block size: an access of n bytes costs ceil(n/B) block I/Os, the cost
-// model of the external-memory literature.
+// block size and the access offset: an n-byte access at offset off touches
+// every block from ⌊off/B⌋ through ⌊(off+n−1)/B⌋ — the cost model of the
+// external-memory literature. (A pure ceil(n/B) undercounts unaligned
+// accesses that straddle a block boundary, which the paper's Lemma 4/5
+// experiments would otherwise report as cheaper than they are.) Failed
+// operations count only the bytes actually transferred; an operation that
+// moves no data and returns an error is not counted at all.
 type Stats struct {
 	ReadOps, WriteOps       uint64 // calls
 	ReadBlocks, WriteBlocks uint64 // block-granularity I/Os
@@ -53,8 +59,15 @@ type counters struct {
 	bytesRead, bytesWritten atomic.Uint64
 }
 
-func (c *counters) record(write bool, n, block int) {
-	blocks := uint64((n + block - 1) / block)
+// record charges one n-byte access at offset off. The block count is
+// alignment-aware: the access touches first = ⌊off/B⌋ through
+// last = ⌊(off+n−1)/B⌋, i.e. last−first+1 blocks, not ceil(n/B).
+func (c *counters) record(write bool, n int, off int64, block int) {
+	var blocks uint64
+	if n > 0 {
+		b := int64(block)
+		blocks = uint64((off+int64(n)-1)/b - off/b + 1)
+	}
 	if write {
 		c.writeOps.Add(1)
 		c.writeBlocks.Add(blocks)
@@ -96,17 +109,25 @@ func OpenFile(path string, blockSize int) (*FileDevice, error) {
 	return &FileDevice{f: f, block: blockSize}, nil
 }
 
-// ReadAt implements Device.
+// ReadAt implements Device. Only bytes actually transferred are charged to
+// the statistics: a failed read that moved no data does not count as an
+// operation, and a partial read counts only the blocks it touched — so the
+// experiments' I/O figures never include I/Os that did not happen.
 func (d *FileDevice) ReadAt(p []byte, off int64) (int, error) {
 	n, err := d.f.ReadAt(p, off)
-	d.record(false, n, d.block)
+	if n > 0 || err == nil {
+		d.record(false, n, off, d.block)
+	}
 	return n, err
 }
 
-// WriteAt implements Device.
+// WriteAt implements Device. Stats follow the same only-successful-bytes
+// rule as ReadAt.
 func (d *FileDevice) WriteAt(p []byte, off int64) (int, error) {
 	n, err := d.f.WriteAt(p, off)
-	d.record(true, n, d.block)
+	if n > 0 || err == nil {
+		d.record(true, n, off, d.block)
+	}
 	return n, err
 }
 
@@ -121,8 +142,11 @@ func (d *FileDevice) Close() error { return d.f.Close() }
 
 // MemDevice is an in-memory Device used in tests and for "RAM mode" runs
 // that still want I/O accounting (e.g. to verify the I/O-complexity bounds
-// without touching a filesystem).
+// without touching a filesystem). It is safe for concurrent use, like a
+// real device: a mutex guards the backing buffer, whose slice header grow
+// reallocates.
 type MemDevice struct {
+	mu    sync.Mutex
 	buf   []byte
 	block int
 	counters
@@ -136,6 +160,9 @@ func NewMem(blockSize int) *MemDevice {
 	return &MemDevice{block: blockSize}
 }
 
+// grow extends the backing buffer to at least end bytes. The caller holds
+// d.mu: grow can reallocate the slice, so an unguarded concurrent ReadAt
+// could observe a stale slice header.
 func (d *MemDevice) grow(end int64) {
 	if int64(len(d.buf)) >= end {
 		return
@@ -155,17 +182,21 @@ func (d *MemDevice) grow(end int64) {
 
 // ReadAt implements Device; reads of never-written regions return zeros.
 func (d *MemDevice) ReadAt(p []byte, off int64) (int, error) {
+	d.mu.Lock()
 	d.grow(off + int64(len(p)))
 	n := copy(p, d.buf[off:])
-	d.record(false, n, d.block)
+	d.mu.Unlock()
+	d.record(false, n, off, d.block)
 	return n, nil
 }
 
 // WriteAt implements Device.
 func (d *MemDevice) WriteAt(p []byte, off int64) (int, error) {
+	d.mu.Lock()
 	d.grow(off + int64(len(p)))
 	n := copy(d.buf[off:], p)
-	d.record(true, n, d.block)
+	d.mu.Unlock()
+	d.record(true, n, off, d.block)
 	return n, nil
 }
 

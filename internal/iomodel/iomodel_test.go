@@ -2,6 +2,7 @@ package iomodel
 
 import (
 	"path/filepath"
+	"sync"
 	"testing"
 )
 
@@ -71,5 +72,147 @@ func TestStatsAdd(t *testing.T) {
 func TestDefaultBlockSize(t *testing.T) {
 	if NewMem(0).BlockSize() != DefaultBlockSize {
 		t.Fatal("default block size not applied")
+	}
+}
+
+// TestUnalignedBlockAccounting pins the alignment-aware block charge: an
+// n-byte access at unaligned off touches (off+n-1)/B − off/B + 1 blocks,
+// not ceil(n/B). A block-sized write starting mid-block straddles two
+// blocks and must be charged for both.
+func TestUnalignedBlockAccounting(t *testing.T) {
+	newDevs := map[string]func(t *testing.T) Device{
+		"mem": func(*testing.T) Device { return NewMem(16) },
+		"file": func(t *testing.T) Device {
+			d, err := OpenFile(filepath.Join(t.TempDir(), "dev"), 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { d.Close() })
+			return d
+		},
+	}
+	for name, mk := range newDevs {
+		t.Run(name, func(t *testing.T) {
+			d := mk(t)
+			buf := make([]byte, 16)
+			// 16 bytes at offset 8 spans blocks 0 and 1.
+			if _, err := d.WriteAt(buf, 8); err != nil {
+				t.Fatal(err)
+			}
+			if got := d.Stats().WriteBlocks; got != 2 {
+				t.Fatalf("unaligned block-spanning write charged %d blocks, want 2", got)
+			}
+			// 16 bytes at offset 16 is exactly one block.
+			if _, err := d.WriteAt(buf, 16); err != nil {
+				t.Fatal(err)
+			}
+			if got := d.Stats().WriteBlocks; got != 3 {
+				t.Fatalf("aligned write charged %d extra blocks, want 1 (total 3)", got)
+			}
+			// 4 bytes at offset 14 straddles blocks 0 and 1.
+			if _, err := d.ReadAt(buf[:4], 14); err != nil {
+				t.Fatal(err)
+			}
+			if got := d.Stats().ReadBlocks; got != 2 {
+				t.Fatalf("straddling 4-byte read charged %d blocks, want 2", got)
+			}
+		})
+	}
+}
+
+// TestMemDeviceConcurrentGrow races growing writes against reads; under
+// -race this catches the formerly unsynchronized grow mutating the backing
+// slice header while a concurrent ReadAt walked it.
+func TestMemDeviceConcurrentGrow(t *testing.T) {
+	d := NewMem(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 128)
+			for i := 0; i < 200; i++ {
+				off := int64(g*100000 + i*997)
+				if _, err := d.WriteAt(buf, off); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := d.ReadAt(buf, off/2); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestFileDeviceErrorAccounting verifies failed and partial I/O charge only
+// the bytes actually transferred: a read past EOF moves nothing and must
+// not count as an operation, a partial read counts what it got, and an
+// operation on a closed file (the injected fault) leaves every counter
+// untouched.
+func TestFileDeviceErrorAccounting(t *testing.T) {
+	d, err := OpenFile(filepath.Join(t.TempDir(), "dev"), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.WriteAt([]byte("0123456789"), 0); err != nil { // 10-byte file
+		t.Fatal(err)
+	}
+	base := d.Stats()
+
+	// Zero-byte failed read: past EOF.
+	if _, err := d.ReadAt(make([]byte, 8), 100); err == nil {
+		t.Fatal("read past EOF succeeded")
+	}
+	if st := d.Stats(); st.ReadOps != base.ReadOps || st.ReadBlocks != base.ReadBlocks || st.BytesRead != base.BytesRead {
+		t.Fatalf("failed zero-byte read moved counters: %+v vs %+v", st, base)
+	}
+
+	// Partial read: 20 bytes requested, 10 available.
+	n, err := d.ReadAt(make([]byte, 20), 0)
+	if n != 10 || err == nil {
+		t.Fatalf("partial read = (%d, %v), want (10, EOF)", n, err)
+	}
+	if st := d.Stats(); st.ReadOps != base.ReadOps+1 || st.BytesRead != base.BytesRead+10 || st.ReadBlocks != base.ReadBlocks+1 {
+		t.Fatalf("partial read mis-charged: %+v vs %+v", st, base)
+	}
+
+	// Fault injection: every op on a closed file errors with nothing
+	// transferred, so the counters must stay frozen.
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	frozen := d.Stats()
+	if _, err := d.ReadAt(make([]byte, 4), 0); err == nil {
+		t.Fatal("read on closed file succeeded")
+	}
+	if _, err := d.WriteAt(make([]byte, 4), 0); err == nil {
+		t.Fatal("write on closed file succeeded")
+	}
+	if st := d.Stats(); st != frozen {
+		t.Fatalf("failed ops on closed file moved counters: %+v vs %+v", st, frozen)
+	}
+}
+
+// TestFaultDeviceLeavesStatsUntouched pins the FaultDevice contract the
+// engine fault tests rely on: once the fault arms, the inner device is
+// never reached, so its statistics (which FaultDevice.Stats reports) do not
+// move for failed operations.
+func TestFaultDeviceLeavesStatsUntouched(t *testing.T) {
+	d := NewFault(NewMem(16), 1)
+	if _, err := d.WriteAt(make([]byte, 8), 0); err != nil {
+		t.Fatal(err)
+	}
+	before := d.Stats()
+	if _, err := d.WriteAt(make([]byte, 8), 0); err == nil {
+		t.Fatal("armed fault did not fire")
+	}
+	if _, err := d.ReadAt(make([]byte, 8), 0); err == nil {
+		t.Fatal("armed fault did not fire")
+	}
+	if st := d.Stats(); st != before {
+		t.Fatalf("injected faults moved device stats: %+v vs %+v", st, before)
 	}
 }

@@ -54,25 +54,30 @@ func (b *Bipartite) coverEdges(dst []stream.Edge, e stream.Edge) []stream.Edge {
 }
 
 // Update ingests one stream update into both the graph and its double
-// cover.
+// cover, on the read side of the group seal lock so a checkpoint cut
+// never separates G from D(G).
 func (b *Bipartite) Update(u stream.Update) error {
-	if err := b.engines[0].Update(u); err != nil {
-		return err
-	}
-	var lifted [2]stream.Edge
-	return b.engines[1].InsertEdges(b.coverEdges(lifted[:0], u.Edge))
+	return b.ingest(func() error {
+		if err := b.engines[0].Update(u); err != nil {
+			return err
+		}
+		var lifted [2]stream.Edge
+		return b.engines[1].InsertEdges(b.coverEdges(lifted[:0], u.Edge))
+	})
 }
 
 // UpdateBatch ingests a batch into the graph and its lifted double cover.
 func (b *Bipartite) UpdateBatch(ups []stream.Update) error {
-	if err := b.engines[0].UpdateBatch(ups); err != nil {
-		return err
-	}
-	lifted := make([]stream.Edge, 0, 2*len(ups))
-	for _, u := range ups {
-		lifted = b.coverEdges(lifted, u.Edge)
-	}
-	return b.engines[1].InsertEdges(lifted)
+	return b.ingest(func() error {
+		if err := b.engines[0].UpdateBatch(ups); err != nil {
+			return err
+		}
+		lifted := make([]stream.Edge, 0, 2*len(ups))
+		for _, u := range ups {
+			lifted = b.coverEdges(lifted, u.Edge)
+		}
+		return b.engines[1].InsertEdges(lifted)
+	})
 }
 
 // IsBipartite reports whether the current graph is bipartite. Isolated

@@ -51,7 +51,16 @@ func (kf *KForests) Update(u stream.Update) error { return kf.UpdateAll(u) }
 // Forests is a terminal query: further Updates after it would summarize
 // G minus the peeled forests on the deeper layers. Peel once, at the end,
 // as the AGM construction does.
+//
+// The whole peel runs on the read side of the group seal lock: the peel
+// deletions mutate deeper layers directly (they must not re-enter ingest,
+// which would recursively RLock against a waiting checkpoint writer), and
+// holding the lock across the peel means a concurrent WriteCheckpoint
+// seals either the un-peeled or the fully-peeled structure — never a
+// half-peeled cut.
 func (kf *KForests) Forests() ([][]stream.Edge, error) {
+	kf.seal.RLock()
+	defer kf.seal.RUnlock()
 	forests := make([][]stream.Edge, kf.k)
 	for i := 0; i < kf.k; i++ {
 		forest, err := kf.engines[i].SpanningForest()

@@ -49,18 +49,22 @@ func NewMSFWeight(maxWeight int, numNodes uint32, cfg core.Config) (*MSFWeight, 
 
 // WeightedUpdate ingests a weighted edge insertion or deletion. The
 // weight is part of the edge's identity: deleting requires the same
-// weight the insertion used (the weighted-stream contract).
+// weight the insertion used (the weighted-stream contract). Runs on the
+// read side of the group seal lock so a checkpoint cut never splits an
+// update across weight levels.
 func (m *MSFWeight) WeightedUpdate(u stream.Update, weight int) error {
 	if weight < 1 || weight > m.maxW {
 		return fmt.Errorf("sketchext: weight %d outside [1, %d]", weight, m.maxW)
 	}
-	// Edge belongs to every level G_i with i >= weight.
-	for i := weight - 1; i < m.maxW; i++ {
-		if err := m.engines[i].Update(u); err != nil {
-			return fmt.Errorf("sketchext: level %d: %w", i+1, err)
+	return m.ingest(func() error {
+		// Edge belongs to every level G_i with i >= weight.
+		for i := weight - 1; i < m.maxW; i++ {
+			if err := m.engines[i].Update(u); err != nil {
+				return fmt.Errorf("sketchext: level %d: %w", i+1, err)
+			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // Update ingests an unweighted stream update, treated as weight 1 (the

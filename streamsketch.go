@@ -1,6 +1,8 @@
 package graphzeppelin
 
 import (
+	"io"
+
 	"graphzeppelin/internal/core"
 	"graphzeppelin/internal/stream"
 )
@@ -45,6 +47,21 @@ type StreamSketch interface {
 	// Stats reports activity counters and footprint estimates,
 	// aggregated over the structure's engines.
 	Stats() Stats
+	// WriteCheckpoint writes the structure's full sketch state to w in a
+	// structure-specific durable format (GZE3 for Graph, the GZX1
+	// multi-engine container for the extensions). Snapshots are low-stall:
+	// ingestion is excluded only while buffered updates drain and the
+	// sketch state is sealed, then continues while the stream is written.
+	// Because sketches are linear, a checkpoint written by one structure
+	// is mergeable into any live structure with the same construction —
+	// the shard-shipping format for distributed ingestion.
+	WriteCheckpoint(w io.Writer) error
+	// MergeCheckpoint XORs a checkpoint written by an identically
+	// constructed structure into this one: the result summarizes the
+	// mod-2 sum of both streams (for disjoint stream shards, their
+	// union). Incompatible checkpoints are rejected with
+	// ErrIncompatibleCheckpoint.
+	MergeCheckpoint(r io.Reader) error
 	// Close drains buffered updates, stops the structure's workers and
 	// releases its resources. Afterwards every method returns ErrClosed.
 	Close() error
@@ -85,6 +102,8 @@ type sketchImpl interface {
 	UpdateBatch([]stream.Update) error
 	Flush() error
 	Stats() core.Stats
+	WriteCheckpoint(io.Writer) error
+	MergeCheckpoint(io.Reader) error
 	Close() error
 }
 
@@ -129,6 +148,14 @@ func (h sketchHandle) Flush() error { return h.impl.Flush() }
 // Stats aggregates activity counters and footprints over the structure's
 // engines.
 func (h sketchHandle) Stats() Stats { return h.impl.Stats() }
+
+// WriteCheckpoint writes the structure's full sketch state (every layer
+// engine) as one durable stream; see StreamSketch.WriteCheckpoint.
+func (h sketchHandle) WriteCheckpoint(w io.Writer) error { return h.impl.WriteCheckpoint(w) }
+
+// MergeCheckpoint merges a checkpoint written by an identically
+// constructed structure; see StreamSketch.MergeCheckpoint.
+func (h sketchHandle) MergeCheckpoint(r io.Reader) error { return h.impl.MergeCheckpoint(r) }
 
 // Close releases the structure's engines.
 func (h sketchHandle) Close() error { return h.impl.Close() }
