@@ -359,6 +359,64 @@ func BenchmarkSpanningForest(b *testing.B) {
 	}
 }
 
+// --- Out-of-core tier: grouped slots + write-back cache ---
+
+// BenchmarkIngestDiskCached measures disk-mode ingestion through the
+// tiered store (grouped slots + sharded write-back cache) against the
+// uncached per-slot read–modify–write path, reporting updates/s and
+// sketch-store block I/Os per update. The measured window runs through
+// Close, so the cached modes are charged their deferred dirty-group
+// spill (one coalesced write per resident group) — the comparison with
+// the baseline's inline writes is full-lifecycle, not deferral-flattered.
+// Construction-time slot initialization is excluded. Recorded in
+// BENCH_outofcore.json and smoke-run in CI.
+func BenchmarkIngestDiskCached(b *testing.B) {
+	res := benchStream()
+	for _, mode := range []struct {
+		name string
+		opts []graphzeppelin.Option
+	}{
+		{"uncached", []graphzeppelin.Option{graphzeppelin.WithCacheBytes(-1)}},
+		{"cached", nil},
+		{"cached-npg16", []graphzeppelin.Option{graphzeppelin.WithNodesPerGroup(16)}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := append([]graphzeppelin.Option{
+				graphzeppelin.WithSeed(1),
+				graphzeppelin.WithWorkers(2),
+				graphzeppelin.WithSketchesOnDisk(b.TempDir()),
+			}, mode.opts...)
+			g, err := graphzeppelin.New(res.NumNodes, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer g.Close()
+			ioBefore := g.Stats().SketchIO
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := g.Apply(res.Updates[i%len(res.Updates)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := g.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			// Close inside the measured I/O delta: the cache's deferred
+			// dirty write-backs are part of the cost being compared.
+			if err := g.Close(); err != nil {
+				b.Fatal(err)
+			}
+			st := g.Stats()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "updates/s")
+			b.ReportMetric(float64(st.SketchIO.TotalBlocks()-ioBefore.TotalBlocks())/float64(b.N), "blocks/update")
+			if lookups := st.SketchCache.Hits + st.SketchCache.Misses; lookups > 0 {
+				b.ReportMetric(100*float64(st.SketchCache.Hits)/float64(lookups), "hit%")
+			}
+		})
+	}
+}
+
 // --- Ingest throughput: sharded pipeline vs the seed configuration ---
 
 // BenchmarkIngestThroughput measures steady-state RAM-path ingestion

@@ -23,7 +23,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gzbench: ")
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig4, fig5, table10, fig11, fig12, fig13, fig14, fig15, fig16, query, shards, producers, distmerge, reliability, all")
+		exp      = flag.String("exp", "all", "experiment: fig4, fig5, table10, fig11, fig12, fig13, fig14, fig15, fig16, query, shards, producers, cache, distmerge, reliability, all")
 		maxScale = flag.Int("max-scale", 10, "largest Kronecker scale for system experiments")
 		trials   = flag.Int("trials", 25, "correctness checks per dataset (reliability)")
 		seed     = flag.Uint64("seed", 1, "generator/sketch seed")
@@ -56,6 +56,7 @@ func main() {
 		{"query", func() (*experiments.Table, error) { return experiments.QuerySweep(o) }},
 		{"shards", func() (*experiments.Table, error) { return experiments.ShardSweep(o) }},
 		{"producers", func() (*experiments.Table, error) { return experiments.ProducerSweep(o) }},
+		{"cache", func() (*experiments.Table, error) { return experiments.CacheSweep(o) }},
 		{"distmerge", func() (*experiments.Table, error) { return experiments.DistributedMerge(o) }},
 		{"reliability", func() (*experiments.Table, error) {
 			t, _, err := experiments.Reliability(o)

@@ -14,6 +14,13 @@
 //	gzrun -stream kron12.gzs -producers 4 -shards 4
 //	gzrun -stream kron12.gzs -structure bipartite
 //	gzrun -stream kron12.gzs -disk /mnt/ssd -buffering tree
+//	gzrun -stream kron12.gzs -disk /mnt/ssd -cachebytes 67108864 -nodespergroup 16
+//
+// In disk mode the tiered store's knobs are exposed directly:
+// -cachebytes budgets the write-back cache of decoded node groups
+// (negative disables it, the per-slot RMW ablation) and -nodespergroup
+// sets the group-slot size; the final stats dump prints the cache
+// hit/miss/eviction counters.
 //
 // Durability and distributed merge: -checkpoint writes the structure's
 // sketch state after the run (the low-stall GZE3/GZX1 snapshot);
@@ -56,6 +63,8 @@ func main() {
 		buffering = flag.String("buffering", "leaf", "buffering: leaf, tree, none")
 		factor    = flag.Float64("f", 0.5, "gutter size factor")
 		disk      = flag.String("disk", "", "directory for on-disk sketches (empty = RAM)")
+		cacheB    = flag.Int64("cachebytes", 0, "disk-mode write-back cache budget in bytes (0 = 32 MiB default, negative = uncached per-slot RMW)")
+		npg       = flag.Int("nodespergroup", 0, "disk-mode node-group slot size in sketches (0 = sized to the device block)")
 		seed      = flag.Uint64("seed", 1, "sketch seed")
 		queries   = flag.Int("queries", 1, "evenly spaced connectivity queries (graph, single producer)")
 		pointQ    = flag.Int("pointqueries", 0, "random point-query pairs served after ingestion via ConnectedMany (graph)")
@@ -107,6 +116,12 @@ func main() {
 	}
 	if *disk != "" {
 		opts = append(opts, graphzeppelin.WithSketchesOnDisk(*disk), graphzeppelin.WithDir(*disk))
+	}
+	if *cacheB != 0 {
+		opts = append(opts, graphzeppelin.WithCacheBytes(*cacheB))
+	}
+	if *npg > 0 {
+		opts = append(opts, graphzeppelin.WithNodesPerGroup(*npg))
 	}
 
 	// Build the selected structure; all of them ingest through the one
@@ -251,6 +266,11 @@ func main() {
 	if st.SketchIO.TotalBlocks() > 0 {
 		fmt.Printf("sketch I/O: %d read blocks, %d write blocks\n",
 			st.SketchIO.ReadBlocks, st.SketchIO.WriteBlocks)
+	}
+	if c := st.SketchCache; c.Hits+c.Misses > 0 {
+		fmt.Printf("sketch cache: %d hits, %d misses (%.1f%% hit rate), %d evictions, %d write-backs, %d groups (%.1f MiB) resident\n",
+			c.Hits, c.Misses, 100*float64(c.Hits)/float64(c.Hits+c.Misses),
+			c.Evictions, c.WriteBacks, c.CachedGroups, float64(c.CachedBytes)/(1<<20))
 	}
 	if st.BufferIO.TotalBlocks() > 0 {
 		fmt.Printf("gutter I/O: %d read blocks, %d write blocks\n",

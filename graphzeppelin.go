@@ -29,6 +29,14 @@
 // so concurrent producers rarely contend. WithShards (default
 // WithWorkers) sets the apply-side parallelism.
 //
+// Out-of-core mode (WithSketchesOnDisk) is tiered: node sketches live in
+// block-sized group slots on the device, batches apply to decoded groups
+// in a sharded write-back cache (WithCacheBytes, WithNodesPerGroup), and
+// gutter flushes align to the same groups — so steady-state ingest I/O is
+// paid per group residency, not per batch, and queries are served from
+// cached groups with zero device reads. See the README's "Out-of-core
+// architecture".
+//
 // Queries are epoch-cached and lazily materialized: the first query after
 // an update runs the Boruvka emulation (materializing each round's
 // supernode sketches on demand, with candidate sampling fanned across the
@@ -171,6 +179,26 @@ func WithSketchesOnDisk(dir string) Option {
 // WithDir sets the directory used for any disk-backed structures.
 func WithDir(dir string) Option {
 	return func(c *core.Config) { c.Dir = dir }
+}
+
+// WithCacheBytes budgets the out-of-core tier's sharded write-back cache
+// of decoded sketch groups (default 32 MiB). Batches apply to cached
+// groups in RAM; dirty groups are written back with one coalesced device
+// access on eviction or flush, so ingest I/O is paid per group residency,
+// not per batch. A negative budget disables the cache entirely, making
+// every batch pay a full slot read–decode–apply–encode–write round trip
+// (the ablation baseline of gzbench -exp cache). No effect in RAM mode.
+func WithCacheBytes(n int64) Option {
+	return func(c *core.Config) { c.CacheBytes = n }
+}
+
+// WithNodesPerGroup sets the node-group cardinality of the on-disk sketch
+// layout: group slots hold this many consecutive node sketches, gutter
+// flushes align to the same groups, and the write-back cache fills and
+// spills whole groups. The default sizes groups toward the device block
+// (the paper's max{1, B / sketch bytes}). No effect in RAM mode.
+func WithNodesPerGroup(n int) Option {
+	return func(c *core.Config) { c.NodesPerGroup = n }
 }
 
 // WithColumns overrides the per-sketch column count log(1/δ) (default 7).

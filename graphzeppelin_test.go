@@ -141,6 +141,8 @@ func TestOptionsArePlumbedThrough(t *testing.T) {
 		graphzeppelin.WithColumns(5),
 		graphzeppelin.WithRounds(8),
 		graphzeppelin.WithBufferFactor(0.25),
+		graphzeppelin.WithCacheBytes(4<<20),
+		graphzeppelin.WithNodesPerGroup(4),
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -164,6 +166,14 @@ func TestOptionsArePlumbedThrough(t *testing.T) {
 	}
 	if st.SketchIO.TotalBlocks() == 0 || st.BufferIO.TotalBlocks() == 0 {
 		t.Fatalf("disk structures reported no I/O: %+v", st)
+	}
+	// The tiered-store knobs reach the engine: batches went through the
+	// write-back cache, and the cache accounts for its RAM residency.
+	if st.SketchCache.Hits+st.SketchCache.Misses == 0 {
+		t.Fatal("write-back cache saw no lookups in disk mode")
+	}
+	if st.SketchCache.CachedBytes == 0 || st.SketchCache.CachedGroups == 0 {
+		t.Fatalf("write-back cache reports no residency: %+v", st.SketchCache)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"graphzeppelin/internal/cubesketch"
+	"graphzeppelin/internal/diskstore"
 )
 
 // Checkpoint format (GZE3):
@@ -146,6 +147,27 @@ func (s *ckptSnap) preserve(node uint32, blob []byte) {
 		s.cond.Wait()
 	}
 	s.mu.Unlock()
+}
+
+// needsPreImage reports whether any slot in [start, start+count) lies in
+// a not-yet-captured section — i.e. whether a write about to overwrite
+// those slots must deposit their pre-images first. Once every covering
+// section is scanned, writers skip both the deposit and the pre-image
+// device read that feeds it.
+func (s *ckptSnap) needsPreImage(start uint32, count int) bool {
+	lo := int(start / s.nodesPerSection)
+	hi := int((start + uint32(count) - 1) / s.nodesPerSection)
+	if hi >= len(s.scanned) {
+		hi = len(s.scanned) - 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for sec := lo; sec <= hi; sec++ {
+		if !s.scanned[sec] {
+			return true
+		}
+	}
+	return false
 }
 
 // capture marks section sec scanned and substitutes any deposited
@@ -287,12 +309,37 @@ func (e *Engine) sealCheckpointLocked() (*CheckpointSnapshot, error) {
 			return nil, err
 		}
 	} else {
+		// Make the device bytes the seal-time truth: spill every dirty
+		// cached group now (bounded by CacheBytes, so the stall stays
+		// drain + O(cache spill)), then install the copy-on-write capture.
+		// From here on the section scanner reads the device only; cached
+		// mutations stay invisible to it until a write-back, and the
+		// cache's write barrier deposits each group's pre-image into the
+		// capture before that write-back changes device bytes.
+		if e.cache != nil {
+			if err := e.cache.WriteBackAll(); err != nil {
+				e.quiesce.Unlock()
+				return nil, fmt.Errorf("core: sealing write-back cache: %w", err)
+			}
+		}
 		budget := e.cowBudget
 		if budget == 0 {
 			budget = checkpointCOWBudget
 		}
 		cs.snap = newCkptSnap(cs.nSections, cs.nps, budget)
 		e.snap.Store(cs.snap)
+		if e.cache != nil {
+			snap := cs.snap
+			slot := e.slotSize
+			e.cache.SetWriteBarrier(&diskstore.WriteBarrier{
+				NeedPreImage: snap.needsPreImage,
+				Deposit: func(start uint32, count int, pre []byte) {
+					for j := 0; j < count; j++ {
+						snap.preserve(start+uint32(j), pre[j*slot:(j+1)*slot])
+					}
+				},
+			})
+		}
 	}
 	e.quiesce.Unlock()
 	e.lastCkptStall.Store(int64(time.Since(stallStart)))
@@ -317,6 +364,9 @@ func (cs *CheckpointSnapshot) Close() {
 	}
 	cs.closed = true
 	if cs.snap != nil {
+		if cs.e.cache != nil {
+			cs.e.cache.SetWriteBarrier(nil)
+		}
 		cs.e.snap.Store(nil)
 		cs.snap.finish()
 	}
@@ -902,6 +952,14 @@ func (e *Engine) MergeCheckpoint(r io.Reader) error {
 	}
 	if err := e.drainLocked(); err != nil {
 		return err
+	}
+	// The merge reads and writes the store directly, so the cache must be
+	// spilled (its dirty state is ahead of the device) and then dropped
+	// (the merge makes resident copies stale).
+	if e.cache != nil {
+		if err := e.cache.Invalidate(); err != nil {
+			return fmt.Errorf("core: invalidating write-back cache for merge: %w", err)
+		}
 	}
 	br := asBufReader(r)
 	h, err := readCheckpointHeader(br)

@@ -333,11 +333,13 @@ func TestDiskCheckpointConcurrentProducers(t *testing.T) {
 					return
 				default:
 				}
-				// Insert+delete the same random edge: any prefix of this
-				// producer's accepted updates leaves at most one extra edge
-				// inside the already-connected component.
-				u := uint32(rng.Uint64N(n - 1))
-				v := u + 1 + uint32(rng.Uint64N(uint64(n-1-u)))
+				// Insert+delete the same random chord (v >= u+2, never a
+				// base path edge): any prefix of this producer's accepted
+				// updates leaves at most one extra edge inside the
+				// already-connected component, so every cut is
+				// partition-equivalent to the base.
+				u := uint32(rng.Uint64N(n - 2))
+				v := u + 2 + uint32(rng.Uint64N(uint64(n-2-u)))
 				if err := e.InsertEdge(u, v); err != nil {
 					t.Error(err)
 					return
@@ -546,7 +548,10 @@ func TestGZE2BackwardCompat(t *testing.T) {
 // exact cut, and no memory-unbounded pre-image map is needed.
 func TestDiskCheckpointCOWBudgetBackpressure(t *testing.T) {
 	const n = 64
-	e, err := NewEngine(Config{NumNodes: n, Seed: 67, SketchesOnDisk: true, BufferFactor: 0.01})
+	// CacheBytes 1 pins the write-back cache at its one-group floor, so
+	// nearly every post-seal batch evicts a dirty group and runs the COW
+	// write barrier — the deposits the budget backpressure throttles.
+	e, err := NewEngine(Config{NumNodes: n, Seed: 67, SketchesOnDisk: true, CacheBytes: 1, NodesPerGroup: 2, BufferFactor: 0.01})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -569,12 +574,14 @@ func TestDiskCheckpointCOWBudgetBackpressure(t *testing.T) {
 				return
 			default:
 			}
-			u := uint32(i % (n - 1))
-			if err := e.InsertEdge(u, u+1); err != nil {
+			// Chords only (u, u+2): toggling a base path edge would make
+			// a mid-pair snapshot cut genuinely disconnected.
+			u := uint32(i % (n - 2))
+			if err := e.InsertEdge(u, u+2); err != nil {
 				t.Error(err)
 				return
 			}
-			if err := e.DeleteEdge(u, u+1); err != nil {
+			if err := e.DeleteEdge(u, u+2); err != nil {
 				t.Error(err)
 				return
 			}

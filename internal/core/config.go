@@ -80,6 +80,25 @@ type Config struct {
 	// SketchesOnDisk stores node sketches on a block device instead of
 	// RAM (the out-of-core mode of §4.1).
 	SketchesOnDisk bool
+	// NodesPerGroup is the node-group cardinality of the on-disk sketch
+	// layout (§4.1): the store is accessed in group slots of this many
+	// consecutive node sketches, leaf-gutter flushes align to the same
+	// groups, and the write-back cache holds decoded groups. Zero picks
+	// the paper's sizing — as many node sketches as fit a device block,
+	// clamped to [1, 256]. Ignored in RAM mode. After construction,
+	// Engine.Config() reports the effective value.
+	NodesPerGroup int
+	// CacheBytes budgets the sharded write-back cache of decoded sketch
+	// groups in disk mode: batches apply to cached groups in RAM and
+	// dirty groups are written back as one coalesced device access on
+	// eviction or flush, so steady-state ingest I/O drops from one slot
+	// round trip per batch to one group round trip per cache residency.
+	// Zero picks the 32 MiB default; negative disables the cache entirely
+	// (every batch pays the per-slot read–decode–apply–encode–write round
+	// trip — the pre-cache behavior, kept for ablation). Ignored in RAM
+	// mode. After construction, Engine.Config() reports the effective
+	// value.
+	CacheBytes int64
 	// Dir is the directory for disk files (sketch store, gutter tree).
 	// Empty means in-memory devices are used even for "disk" structures,
 	// which still exercises the block I/O paths and accounting.
@@ -145,6 +164,10 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	return c, nil
 }
+
+// DefaultCacheBytes is the write-back cache budget used when
+// Config.CacheBytes is zero in disk mode.
+const DefaultCacheBytes = 32 << 20
 
 // DefaultRounds returns the node-sketch depth for a graph on numNodes
 // nodes: ⌈log2 numNodes⌉ + 2 Boruvka rounds, enough that the forest is

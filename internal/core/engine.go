@@ -37,6 +37,13 @@ type Stats struct {
 	// SketchIO and BufferIO are block-device statistics for the sketch
 	// store and the gutter tree (zero when those live in RAM).
 	SketchIO, BufferIO iomodel.Stats
+	// SketchCache reports the disk-mode write-back cache of decoded
+	// sketch groups: hits and misses count group lookups on the apply
+	// path, evictions and write-backs count budget-driven spills, and the
+	// residency fields give the cache's current RAM footprint (also
+	// included in MemoryBytes). All zero in RAM mode or with the cache
+	// disabled (CacheBytes < 0).
+	SketchCache diskstore.CacheStats
 	// QueryRounds is the Boruvka rounds used by the last full query.
 	QueryRounds int
 	// QueryCacheHits counts queries answered from the ingest-epoch cache
@@ -55,8 +62,9 @@ type Stats struct {
 	// capture). The stream write itself runs with ingestion live, so this
 	// is bounded by drain + O(slab copy), not by writer bandwidth.
 	CheckpointStallNanos uint64
-	// MemoryBytes estimates the RAM held by sketches and gutters;
-	// DiskBytes the on-device footprint (sketch slots + gutter tree).
+	// MemoryBytes estimates the RAM held by sketches, gutters and the
+	// write-back cache; DiskBytes the on-device footprint (sketch slots +
+	// gutter tree).
 	MemoryBytes, DiskBytes int64
 }
 
@@ -71,7 +79,11 @@ type Stats struct {
 // node % shards onto one SPSC queue per shard (pushes serialized by a
 // per-shard mutex taken once per batch); and each shard's single Graph
 // Worker owns its shard's sketches outright (an arena-backed
-// cubesketch.Slab in RAM mode, a private decode arena in disk mode).
+// cubesketch.Slab in RAM mode). In disk mode the workers share the tiered
+// sketch store instead: batches apply to decoded node groups in a sharded
+// write-back cache (diskstore.Cache, its own lock domain keyed by group),
+// and the device sees only group-granular fills and coalesced dirty
+// write-backs.
 // Exclusive ownership replaces the seed design's per-node mutexes: the
 // per-update path takes no engine-level lock beyond a read-lock on the
 // quiesce RWMutex (and, batched, that cost is amortized across the whole
@@ -89,6 +101,8 @@ type Engine struct {
 	shards []*shard
 
 	store    *diskstore.Store // non-nil in disk mode
+	cache    *diskstore.Cache // non-nil in disk mode unless CacheBytes < 0
+	npg      int              // nodes per disk group (1 in RAM mode)
 	storeDev iomodel.Device
 
 	buf     gutter.Buffer
@@ -156,8 +170,12 @@ type shard struct {
 
 	slab *cubesketch.Slab // RAM mode: this shard's node sketches
 
-	blob    []byte           // disk mode: slot read/write buffer
-	scratch *cubesketch.Slab // disk mode: single-node decode arena
+	// blob and scratch back the uncached disk path (CacheBytes < 0): a
+	// slot read/write buffer and a single-node decode arena. With the
+	// write-back cache enabled the apply path goes through the cache's
+	// group arenas instead and these stay nil.
+	blob    []byte
+	scratch *cubesketch.Slab
 
 	indices []uint64 // batch → characteristic-vector index scratch
 
@@ -190,6 +208,75 @@ func NewEngine(cfg Config) (*Engine, error) {
 	e.sketchSize = proto.SerializedSize()
 	e.slotSize = e.sketchSize * cfg.Rounds
 
+	// Resolve the disk-tier geometry: group slots sized toward the device
+	// block (the paper's max{1, B / sketch bytes} node grouping), and the
+	// write-back cache budget. RAM mode keeps groups of 1 — grouping only
+	// changes disk access granularity.
+	e.npg = 1
+	if cfg.SketchesOnDisk {
+		npg := cfg.NodesPerGroup
+		if npg <= 0 {
+			npg = cfg.BlockSize / e.slotSize
+			if npg > 256 {
+				npg = 256
+			}
+		}
+		if npg < 1 {
+			npg = 1
+		}
+		if uint32(npg) > cfg.NumNodes {
+			npg = int(cfg.NumNodes)
+		}
+		e.npg = npg
+		e.cfg.NodesPerGroup = npg
+		if cfg.CacheBytes == 0 {
+			e.cfg.CacheBytes = DefaultCacheBytes
+		}
+		cfg = e.cfg
+
+		e.storeDev, err = e.openDevice("sketches.gz0")
+		if err != nil {
+			return nil, err
+		}
+		e.store, err = diskstore.New(e.storeDev, cfg.NumNodes, e.slotSize, npg)
+		if err != nil {
+			return nil, err
+		}
+		// Initialize every slot with the empty-sketch encoding so reads
+		// before first write decode correctly, in coalesced chunks rather
+		// than one device write per node.
+		init := cubesketch.NewSlab(1, e.vecLen, cfg.Columns, seeds)
+		chunkSlots := cfg.QueryScanBytes / e.slotSize
+		if chunkSlots < 1 {
+			chunkSlots = 1
+		}
+		if uint32(chunkSlots) > cfg.NumNodes {
+			chunkSlots = int(cfg.NumNodes)
+		}
+		chunk := make([]byte, chunkSlots*e.slotSize)
+		for i := 0; i < chunkSlots; i++ {
+			init.MarshalNode(0, chunk[i*e.slotSize:])
+		}
+		for node := uint32(0); node < cfg.NumNodes; node += uint32(chunkSlots) {
+			count := chunkSlots
+			if rest := int(cfg.NumNodes - node); count > rest {
+				count = rest
+			}
+			if err := e.store.WriteRange(node, count, chunk[:count*e.slotSize]); err != nil {
+				return nil, fmt.Errorf("core: initializing sketch store: %w", err)
+			}
+		}
+		if cfg.CacheBytes >= 0 {
+			e.cache = diskstore.NewCache(e.store, diskstore.CacheConfig{
+				Bytes:  cfg.CacheBytes,
+				Shards: cfg.Shards,
+				NewSlab: func() *cubesketch.Slab {
+					return cubesketch.NewSlab(npg, e.vecLen, cfg.Columns, seeds)
+				},
+			})
+		}
+	}
+
 	e.shards = make([]*shard, cfg.Shards)
 	// Floor division keeps the total queued-batch bound at or under the
 	// configured QueueCapacity; each shard needs at least one slot, so
@@ -201,33 +288,15 @@ func NewEngine(cfg Config) (*Engine, error) {
 	for s := range e.shards {
 		sh := &shard{id: s, queue: gutter.NewSPSC(queueCap)}
 		if cfg.SketchesOnDisk {
-			sh.blob = make([]byte, e.slotSize)
-			sh.scratch = cubesketch.NewSlab(1, e.vecLen, cfg.Columns, seeds)
+			if e.cache == nil {
+				sh.blob = make([]byte, e.slotSize)
+				sh.scratch = cubesketch.NewSlab(1, e.vecLen, cfg.Columns, seeds)
+			}
 		} else {
 			count := shardNodeCount(cfg.NumNodes, cfg.Shards, s)
 			sh.slab = cubesketch.NewSlab(count, e.vecLen, cfg.Columns, seeds)
 		}
 		e.shards[s] = sh
-	}
-
-	if cfg.SketchesOnDisk {
-		e.storeDev, err = e.openDevice("sketches.gz0")
-		if err != nil {
-			return nil, err
-		}
-		e.store, err = diskstore.New(e.storeDev, cfg.NumNodes, e.slotSize)
-		if err != nil {
-			return nil, err
-		}
-		// Initialize every slot with the empty-sketch encoding so reads
-		// before first write decode correctly.
-		empty := make([]byte, e.slotSize)
-		e.shards[0].scratch.MarshalNode(0, empty)
-		for node := uint32(0); node < cfg.NumNodes; node++ {
-			if err := e.store.Write(node, empty); err != nil {
-				return nil, fmt.Errorf("core: initializing sketch store: %w", err)
-			}
-		}
 	}
 
 	numShards := uint32(cfg.Shards)
@@ -247,7 +316,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 		if capUpdates < 1 {
 			capUpdates = 1
 		}
-		e.leaf = gutter.NewLeafGutters(cfg.NumNodes, capUpdates, cfg.GutterStripes, sink)
+		// Leaf ranges align to the disk tier's node groups, so one group
+		// flush is one burst of batches against one group slot.
+		e.leaf = gutter.NewLeafGutters(cfg.NumNodes, capUpdates, cfg.GutterStripes, e.npg, sink)
 		e.buf = e.leaf
 	case BufferTree:
 		e.treeDev, err = e.openDevice("guttertree.gz0")
@@ -255,9 +326,13 @@ func NewEngine(cfg Config) (*Engine, error) {
 			return nil, err
 		}
 		tc := cfg.Tree
+		if tc.NodesPerLeaf <= 0 {
+			// Align leaf gutters to the disk tier's node groups too.
+			tc.NodesPerLeaf = e.npg
+		}
 		if tc.LeafRecords <= 0 {
-			// Paper: leaf gutters sized at twice the node sketch.
-			tc.LeafRecords = 2 * e.slotSize / 8
+			// Paper: leaf gutters sized at twice the node-group sketch.
+			tc.LeafRecords = 2 * e.slotSize * tc.NodesPerLeaf / 8
 		}
 		e.tree, err = gutter.NewTree(cfg.NumNodes, tc, e.treeDev, sink)
 		if err != nil {
@@ -458,6 +533,21 @@ func (e *Engine) applyBatch(sh *shard, b gutter.Batch) {
 		return
 	}
 
+	if e.cache != nil {
+		// Tiered path: the batch applies to the decoded group in the
+		// write-back cache; the device is touched only on miss fill and
+		// dirty write-back. Snapshot pre-image preservation happens at
+		// write-back time through the cache's write barrier, because
+		// that is the only point where device bytes change (the scanner
+		// reads the device, which a seal-time flush made coherent).
+		if err := e.cache.Apply(b.Node, sh.indices); err != nil {
+			e.setErr(fmt.Errorf("core: applying batch to node %d: %w", b.Node, err))
+		}
+		return
+	}
+
+	// Uncached ablation path (CacheBytes < 0): one slot round trip per
+	// batch.
 	if err := e.store.Read(b.Node, sh.blob); err != nil {
 		e.setErr(fmt.Errorf("core: reading sketches of node %d: %w", b.Node, err))
 		return
@@ -539,8 +629,16 @@ func (e *Engine) Stats() Stats {
 		st.SketchIO = e.storeDev.Stats()
 		st.DiskBytes += e.store.TotalBytes()
 	}
+	if e.cache != nil {
+		st.SketchCache = e.cache.Stats()
+		st.MemoryBytes += st.SketchCache.CachedBytes
+	}
 	if e.treeDev != nil {
 		st.BufferIO = e.treeDev.Stats()
+		if e.tree != nil {
+			// DiskBytes covers sketch slots + gutter tree, as documented.
+			st.DiskBytes += e.tree.TotalBytes()
+		}
 	}
 	if e.leaf != nil {
 		st.MemoryBytes += int64(e.leaf.Capacity()) * 4 * int64(e.cfg.NumNodes)
@@ -571,6 +669,11 @@ func (e *Engine) Close() error {
 		}
 		e.wg.Wait()
 		errs := []error{drainErr, e.buf.Close()}
+		if e.cache != nil {
+			// Spill dirty cached groups before the device goes away, so
+			// the on-device state reflects every applied update.
+			errs = append(errs, e.cache.WriteBackAll())
+		}
 		if e.storeDev != nil {
 			errs = append(errs, e.storeDev.Close())
 		}

@@ -20,6 +20,7 @@ func TestDiskFaultSurfacesThroughUpdates(t *testing.T) {
 		NumNodes:       16,
 		Seed:           51,
 		SketchesOnDisk: true,
+		CacheBytes:     -1,      // uncached path: every batch round-trips the store
 		BufferFactor:   0.00001, // tiny gutters: every update hits the store
 		DeviceFactory:  faultFactory(200),
 	})
@@ -43,10 +44,13 @@ func TestDiskFaultSurfacesThroughUpdates(t *testing.T) {
 
 func TestDiskFaultSurfacesThroughQuery(t *testing.T) {
 	// Enough budget to ingest, but the query's full scan trips the fault.
+	// The cache is disabled so the scan actually touches the device; the
+	// cached-path equivalent is TestCacheWriteBackFaultSurfaces.
 	e, err := NewEngine(Config{
 		NumNodes:       8,
 		Seed:           52,
 		SketchesOnDisk: true,
+		CacheBytes:     -1,
 		DeviceFactory:  faultFactory(60),
 	})
 	if err != nil {
@@ -135,6 +139,37 @@ func TestUpdatesStatExcludesErroredUpdates(t *testing.T) {
 	}
 	if got := e.Stats().Updates; got != succeeded {
 		t.Fatalf("Updates stat = %d, want %d (only successful updates)", got, succeeded)
+	}
+}
+
+// TestCacheWriteBackFaultSurfaces drives the tiered path into a device
+// fault: a one-group cache budget forces an eviction write-back on nearly
+// every batch, so the op budget runs out inside the cache's fill/spill
+// cycle and the error must surface through ingest or Drain.
+func TestCacheWriteBackFaultSurfaces(t *testing.T) {
+	e, err := NewEngine(Config{
+		NumNodes:       64,
+		Seed:           56,
+		SketchesOnDisk: true,
+		CacheBytes:     1, // floor: one resident group — constant eviction
+		NodesPerGroup:  2,
+		BufferFactor:   0.00001,
+		DeviceFactory:  faultFactory(300),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	var sawErr error
+	for i := 0; i < 100000 && sawErr == nil; i++ {
+		u := uint32(i % 63)
+		sawErr = e.InsertEdge(u, u+1)
+	}
+	if sawErr == nil {
+		sawErr = e.Drain()
+	}
+	if !errors.Is(sawErr, iomodel.ErrInjected) {
+		t.Fatalf("cache fill/write-back fault not surfaced: %v", sawErr)
 	}
 }
 

@@ -403,15 +403,20 @@ func (e *Engine) sampleRound(q *querySession, round int) (cands []candidate, emp
 }
 
 // scanRoundFromDisk materializes the round-r supernode sketches out of the
-// sketch store with a sequential scan: live nodes are coalesced into runs
-// (bridging gaps cheaper than an extra operation), each run is read with
-// ReadRange in QueryScanBytes-sized chunks, and each slot's round-r bytes
-// are XOR-merged into its root's arena sketch without decoding the other
-// rounds. One round costs O(liveBytes/B) block reads in O(runs ×
+// tiered store. Groups resident in the write-back cache are served from
+// their decoded arenas with zero device I/O — which is also what keeps the
+// scan coherent: a dirty cached group's device bytes are stale by design,
+// so the cache copy is the authoritative one. The remaining (uncached)
+// live groups are coalesced into sequential runs (bridging gaps cheaper
+// than an extra operation), each run read with ReadRange in
+// QueryScanBytes-sized chunks, and each slot's round-r bytes XOR-merged
+// into its root's arena sketch without decoding the other rounds. One
+// round costs O(uncachedLiveBytes/B) block reads in O(runs ×
 // chunksPerRun) operations — against the seed path's one Read per node
 // across all rounds.
 func (e *Engine) scanRoundFromDisk(q *querySession, arena *cubesketch.Slab, round int) error {
 	n := int(e.cfg.NumNodes)
+	npg := e.npg
 	chunkSlots := e.cfg.QueryScanBytes / e.slotSize
 	if chunkSlots < 1 {
 		chunkSlots = 1
@@ -427,52 +432,90 @@ func (e *Engine) scanRoundFromDisk(q *querySession, arena *cubesketch.Slab, roun
 	gapSlots := e.cfg.BlockSize / e.slotSize
 	roundOff := round * e.sketchSize
 
-	var acc cubesketch.Sketch
+	var acc, view cubesketch.Sketch
 	liveAt := func(node int) bool { return q.slot[q.rep[node]] >= 0 }
-	for node := 0; node < n; {
-		if !liveAt(node) {
-			node++
-			continue
-		}
-		// Extend the run from node, bridging small finished gaps.
-		end := node + 1
-		for end < n {
-			if liveAt(end) {
-				end++
-				continue
+
+	// flushRun reads the pending uncached slot run [lo, hi) in chunks and
+	// merges every live slot's round-r bytes.
+	flushRun := func(lo, hi int) error {
+		for cl := lo; cl < hi; cl += chunkSlots {
+			ch := cl + chunkSlots
+			if ch > hi {
+				ch = hi
 			}
-			skip := end
-			for skip < n && !liveAt(skip) {
-				skip++
+			buf := q.scanBuf[:(ch-cl)*e.slotSize]
+			if err := e.store.ReadRange(uint32(cl), ch-cl, buf); err != nil {
+				return fmt.Errorf("core: query scan of nodes [%d,%d): %w", cl, ch, err)
 			}
-			if skip < n && skip-end <= gapSlots {
-				end = skip
-				continue
-			}
-			break
-		}
-		for lo := node; lo < end; lo += chunkSlots {
-			hi := lo + chunkSlots
-			if hi > end {
-				hi = end
-			}
-			buf := q.scanBuf[:(hi-lo)*e.slotSize]
-			if err := e.store.ReadRange(uint32(lo), hi-lo, buf); err != nil {
-				return fmt.Errorf("core: query scan of nodes [%d,%d): %w", lo, hi, err)
-			}
-			for nd := lo; nd < hi; nd++ {
+			for nd := cl; nd < ch; nd++ {
 				s := q.slot[q.rep[nd]]
 				if s < 0 {
 					continue // bridged gap slot
 				}
 				arena.View(int(s), 0, &acc)
-				off := (nd-lo)*e.slotSize + roundOff
+				off := (nd-cl)*e.slotSize + roundOff
 				if err := acc.MergeBinary(buf[off : off+e.sketchSize]); err != nil {
 					return fmt.Errorf("core: query decode of node %d round %d: %w", nd, round, err)
 				}
 			}
 		}
-		node = end
+		return nil
+	}
+
+	numGroups := (n + npg - 1) / npg
+	runStart, runEnd := -1, -1 // pending uncached run, in slot units
+	for g := 0; g < numGroups; g++ {
+		lo := g * npg
+		hi := lo + npg
+		if hi > n {
+			hi = n
+		}
+		anyLive := false
+		for nd := lo; nd < hi && !anyLive; nd++ {
+			anyLive = liveAt(nd)
+		}
+		if !anyLive {
+			continue // a gap; bridged below if the next live group is near
+		}
+		if e.cache != nil {
+			if slab, ok := e.cache.Peek(g); ok {
+				// Served from the decoded arena: no device traffic, and
+				// coherent even when the group is dirty. Close any pending
+				// device run first — bridging across this group would
+				// re-merge its live slots from stale device bytes.
+				if runStart >= 0 {
+					if err := flushRun(runStart, runEnd); err != nil {
+						return err
+					}
+					runStart = -1
+				}
+				for nd := lo; nd < hi; nd++ {
+					s := q.slot[q.rep[nd]]
+					if s < 0 {
+						continue
+					}
+					arena.View(int(s), 0, &acc)
+					slab.View(nd-lo, round, &view)
+					if err := acc.Merge(&view); err != nil {
+						return fmt.Errorf("core: query merge of cached node %d round %d: %w", nd, round, err)
+					}
+				}
+				continue
+			}
+		}
+		if runStart >= 0 && lo-runEnd <= gapSlots {
+			runEnd = hi // bridge the gap inside one sequential read
+			continue
+		}
+		if runStart >= 0 {
+			if err := flushRun(runStart, runEnd); err != nil {
+				return err
+			}
+		}
+		runStart, runEnd = lo, hi
+	}
+	if runStart >= 0 {
+		return flushRun(runStart, runEnd)
 	}
 	return nil
 }

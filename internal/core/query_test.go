@@ -127,13 +127,16 @@ func TestCachedResultsAreIsolated(t *testing.T) {
 // TestDiskQueryScanReadCount is the regression test for the seed bug
 // where the disk-mode query scan issued one store.Read per node across
 // all rounds: the lazy per-round scan must read sequential ranges, a
-// handful of ReadRange ops per round, never n point reads.
+// handful of ReadRange ops per round, never n point reads. The cache is
+// disabled so every group actually comes off the device; the cached-tier
+// behavior (zero reads) is pinned by TestDiskQueryServedFromCache.
 func TestDiskQueryScanReadCount(t *testing.T) {
 	const n = 64
 	e := pathEngine(t, Config{
 		NumNodes:       n,
 		Seed:           73,
 		SketchesOnDisk: true,
+		CacheBytes:     -1,
 		DeviceFactory: func(string) (iomodel.Device, error) {
 			return iomodel.NewMem(512), nil
 		},
@@ -181,6 +184,42 @@ func TestDiskQueryScanReadCount(t *testing.T) {
 	}
 }
 
+// TestDiskQueryServedFromCache pins the tiered-store query contract:
+// after ingest leaves every touched group resident in the write-back
+// cache, a cold full query is answered entirely from the decoded arenas —
+// zero device reads — and still matches the exact partition. This is also
+// the coherence test for dirty groups: their device bytes are stale, so
+// any device read here would risk a wrong answer, not just a slow one.
+func TestDiskQueryServedFromCache(t *testing.T) {
+	const n = 64
+	e := pathEngine(t, Config{
+		NumNodes:       n,
+		Seed:           73,
+		SketchesOnDisk: true, // default CacheBytes: everything stays resident
+		DeviceFactory: func(string) (iomodel.Device, error) {
+			return iomodel.NewMem(512), nil
+		},
+	}, n-1)
+	defer e.Close()
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if cs := e.Stats().SketchCache; cs.CachedGroups == 0 || cs.WriteBacks != 0 {
+		t.Fatalf("precondition: groups should be resident and dirty, got %+v", cs)
+	}
+	before := e.Stats().SketchIO
+	var edges []stream.Edge
+	for u := uint32(0); u+1 < n; u++ {
+		edges = append(edges, stream.Edge{U: u, V: u + 1})
+	}
+	checkAgainstExact(t, e, n, edges)
+	after := e.Stats().SketchIO
+	if after.ReadOps != before.ReadOps || after.WriteOps != before.WriteOps {
+		t.Fatalf("cached-tier query touched the device: %d reads, %d writes",
+			after.ReadOps-before.ReadOps, after.WriteOps-before.WriteOps)
+	}
+}
+
 // TestDiskScanFaultSurfaces injects a device fault timed to trip during
 // the query's per-round sequential scan (ingest and drain run on a full
 // op budget first) and checks the scan error surfaces through
@@ -192,6 +231,7 @@ func TestDiskScanFaultSurfaces(t *testing.T) {
 			NumNodes:       n,
 			Seed:           74,
 			SketchesOnDisk: true,
+			CacheBytes:     -1, // the scan must actually read the device
 			DeviceFactory:  factory,
 		}, n-1)
 	}

@@ -173,6 +173,37 @@ func (sl *Slab) MarshalNode(node int, buf []byte) int {
 	return off
 }
 
+// MarshalNodes serializes the count consecutive node stacks starting at
+// node into buf (at least count × NodeSize() bytes) and returns the bytes
+// written. It is the group-granular spill path of the disk tier's
+// write-back cache: one call turns a decoded node group back into the
+// exact byte range its group slot holds, with no allocation.
+func (sl *Slab) MarshalNodes(node, count int, buf []byte) int {
+	off := 0
+	for j := 0; j < count; j++ {
+		off += sl.MarshalNode(node+j, buf[off:])
+	}
+	return off
+}
+
+// UnmarshalNodes replaces the count consecutive node stacks starting at
+// node with the serialized group in buf (count × NodeSize() bytes),
+// validating every round header. It is the group-granular fill path of
+// the write-back cache: one device read decodes into a reused arena with
+// no allocation.
+func (sl *Slab) UnmarshalNodes(node, count int, buf []byte) error {
+	if len(buf) < count*sl.NodeSize() {
+		return fmt.Errorf("cubesketch: slab group blob is %d bytes, need %d", len(buf), count*sl.NodeSize())
+	}
+	size := sl.NodeSize()
+	for j := 0; j < count; j++ {
+		if err := sl.UnmarshalNode(node+j, buf[j*size:(j+1)*size]); err != nil {
+			return fmt.Errorf("cubesketch: group node %d: %w", node+j, err)
+		}
+	}
+	return nil
+}
+
 // UnmarshalNode replaces all rounds of node with the serialized stack in
 // buf, validating that every round's header matches the slab's parameters.
 // It performs no allocation, making it the zero-garbage decode path for

@@ -2,7 +2,9 @@
 // Section 4.1: node sketches are serialized to fixed-size slots laid out
 // contiguously by node group on a block device, so a group's sketches can
 // be fetched and written back with O(groupBytes/B) I/Os when a batch of
-// buffered updates is applied to them.
+// buffered updates is applied to them. The Cache (cache.go) layers a
+// sharded write-back cache of decoded groups on top, so repeated batches
+// against a hot group cost no device I/O at all.
 package diskstore
 
 import (
@@ -11,19 +13,32 @@ import (
 	"graphzeppelin/internal/iomodel"
 )
 
-// Store holds numNodes fixed-size sketch blobs on a Device.
+// Store holds numNodes fixed-size sketch blobs on a Device, grouped into
+// slots of NodesPerGroup consecutive nodes each. The layout is dense —
+// node i's blob starts at byte i × slotSize — so range reads across group
+// boundaries stay contiguous; the grouping fixes the I/O granularity of
+// the apply path (whole group slots, sized toward the device block size)
+// rather than padding the layout.
 type Store struct {
 	dev      iomodel.Device
 	slotSize int
 	numNodes uint32
+	npg      int // nodes per group slot
 }
 
-// New creates a store of numNodes slots of slotSize bytes each on dev.
-func New(dev iomodel.Device, numNodes uint32, slotSize int) (*Store, error) {
+// New creates a store of numNodes slots of slotSize bytes each on dev,
+// grouped nodesPerGroup nodes per group slot (clamped to [1, numNodes]).
+func New(dev iomodel.Device, numNodes uint32, slotSize, nodesPerGroup int) (*Store, error) {
 	if slotSize <= 0 {
 		return nil, fmt.Errorf("diskstore: slot size must be positive, got %d", slotSize)
 	}
-	return &Store{dev: dev, slotSize: slotSize, numNodes: numNodes}, nil
+	if nodesPerGroup < 1 {
+		nodesPerGroup = 1
+	}
+	if numNodes > 0 && uint32(nodesPerGroup) > numNodes {
+		nodesPerGroup = int(numNodes)
+	}
+	return &Store{dev: dev, slotSize: slotSize, numNodes: numNodes, npg: nodesPerGroup}, nil
 }
 
 // SlotSize returns the per-node blob size in bytes.
@@ -31,6 +46,31 @@ func (s *Store) SlotSize() int { return s.slotSize }
 
 // NumNodes returns the number of slots.
 func (s *Store) NumNodes() uint32 { return s.numNodes }
+
+// NodesPerGroup returns the group-slot cardinality.
+func (s *Store) NodesPerGroup() int { return s.npg }
+
+// NumGroups returns the number of group slots.
+func (s *Store) NumGroups() int {
+	return (int(s.numNodes) + s.npg - 1) / s.npg
+}
+
+// GroupOf returns the group slot holding node.
+func (s *Store) GroupOf(node uint32) int { return int(node) / s.npg }
+
+// GroupRange returns group g's node range: its first node and how many
+// nodes it holds (the last group may be short).
+func (s *Store) GroupRange(g int) (start uint32, count int) {
+	start = uint32(g * s.npg)
+	count = s.npg
+	if rest := int(s.numNodes) - int(start); count > rest {
+		count = rest
+	}
+	return start, count
+}
+
+// GroupBytes returns the byte size of a full group slot.
+func (s *Store) GroupBytes() int { return s.npg * s.slotSize }
 
 // TotalBytes returns the store's on-device footprint.
 func (s *Store) TotalBytes() int64 { return int64(s.numNodes) * int64(s.slotSize) }
@@ -68,6 +108,27 @@ func (s *Store) Write(node uint32, buf []byte) error {
 	return err
 }
 
+// ReadGroup fills buf with group g's slot (count × slotSize bytes, where
+// count is the group's node count) in one device access — the fill path
+// of the write-back cache (Lemma 4's grouped fetch).
+func (s *Store) ReadGroup(g int, buf []byte) error {
+	start, count := s.GroupRange(g)
+	if count <= 0 {
+		return fmt.Errorf("diskstore: group %d out of range (%d groups)", g, s.NumGroups())
+	}
+	return s.ReadRange(start, count, buf)
+}
+
+// WriteGroup writes group g's slot back in one coalesced device access —
+// the spill path of the write-back cache.
+func (s *Store) WriteGroup(g int, buf []byte) error {
+	start, count := s.GroupRange(g)
+	if count <= 0 {
+		return fmt.Errorf("diskstore: group %d out of range (%d groups)", g, s.NumGroups())
+	}
+	return s.WriteRange(start, count, buf)
+}
+
 // ReadRange reads count consecutive slots starting at node into buf
 // (count*slotSize bytes) with a single device access — the sequential
 // scan Boruvka's first phase uses (Lemma 5).
@@ -85,8 +146,8 @@ func (s *Store) ReadRange(node uint32, count int, buf []byte) error {
 
 // WriteRange writes count consecutive slots starting at node from buf
 // (count*slotSize bytes) with a single device access — the coalesced
-// write-back the checkpoint restore and merge paths use instead of one
-// Write per node.
+// write-back the cache spill, checkpoint restore and merge paths use
+// instead of one Write per node.
 func (s *Store) WriteRange(node uint32, count int, buf []byte) error {
 	if len(buf) != count*s.slotSize {
 		return fmt.Errorf("diskstore: range buffer is %d bytes, want %d", len(buf), count*s.slotSize)

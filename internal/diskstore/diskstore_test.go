@@ -8,7 +8,7 @@ import (
 )
 
 func TestRoundTrip(t *testing.T) {
-	s, err := New(iomodel.NewMem(64), 10, 100)
+	s, err := New(iomodel.NewMem(64), 10, 100, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,7 @@ func TestRoundTrip(t *testing.T) {
 }
 
 func TestReadRange(t *testing.T) {
-	s, err := New(iomodel.NewMem(64), 8, 16)
+	s, err := New(iomodel.NewMem(64), 8, 16, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestReadRange(t *testing.T) {
 }
 
 func TestErrors(t *testing.T) {
-	s, err := New(iomodel.NewMem(64), 4, 8)
+	s, err := New(iomodel.NewMem(64), 4, 8, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,20 +76,69 @@ func TestErrors(t *testing.T) {
 	if err := s.ReadRange(0, 2, make([]byte, 15)); err == nil {
 		t.Fatal("bad range buffer accepted")
 	}
-	if _, err := New(iomodel.NewMem(64), 4, 0); err == nil {
+	if _, err := New(iomodel.NewMem(64), 4, 0, 1); err == nil {
 		t.Fatal("zero slot size accepted")
 	}
 }
 
 func TestGeometry(t *testing.T) {
-	s, _ := New(iomodel.NewMem(64), 100, 32)
+	s, _ := New(iomodel.NewMem(64), 100, 32, 1)
 	if s.SlotSize() != 32 || s.NumNodes() != 100 || s.TotalBytes() != 3200 {
 		t.Fatal("geometry accessors wrong")
 	}
 }
 
+func TestGroupGeometry(t *testing.T) {
+	// 10 nodes in groups of 4: groups are [0,4), [4,8), [8,10).
+	s, err := New(iomodel.NewMem(64), 10, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NodesPerGroup() != 4 || s.NumGroups() != 3 || s.GroupBytes() != 64 {
+		t.Fatalf("group geometry: npg=%d groups=%d bytes=%d", s.NodesPerGroup(), s.NumGroups(), s.GroupBytes())
+	}
+	if g := s.GroupOf(7); g != 1 {
+		t.Fatalf("GroupOf(7) = %d, want 1", g)
+	}
+	if start, count := s.GroupRange(2); start != 8 || count != 2 {
+		t.Fatalf("GroupRange(2) = (%d,%d), want (8,2)", start, count)
+	}
+	// Oversized and non-positive group sizes are clamped.
+	if s, _ := New(iomodel.NewMem(64), 4, 8, 100); s.NodesPerGroup() != 4 {
+		t.Fatalf("oversized group not clamped: %d", s.NodesPerGroup())
+	}
+	if s, _ := New(iomodel.NewMem(64), 4, 8, 0); s.NodesPerGroup() != 1 {
+		t.Fatalf("zero group not clamped: %d", s.NodesPerGroup())
+	}
+}
+
+func TestGroupRoundTrip(t *testing.T) {
+	s, err := New(iomodel.NewMem(64), 10, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write the short last group and read it back with one op each.
+	blob := bytes.Repeat([]byte{0xab}, 2*16)
+	if err := s.WriteGroup(2, blob); err != nil {
+		t.Fatal(err)
+	}
+	if ops := s.Stats().WriteOps; ops != 1 {
+		t.Fatalf("WriteGroup used %d ops, want 1", ops)
+	}
+	got := make([]byte, 2*16)
+	if err := s.ReadGroup(2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatal("group round trip mismatch")
+	}
+	if err := s.ReadGroup(3, got); err == nil {
+		t.Fatal("out-of-range group accepted")
+	}
+}
+
 func TestWriteRange(t *testing.T) {
-	s, err := New(iomodel.NewMem(64), 10, 100)
+	s, err := New(iomodel.NewMem(64), 10, 100, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

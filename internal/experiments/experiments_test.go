@@ -115,6 +115,21 @@ func TestSamePartitionHelper(t *testing.T) {
 	}
 }
 
+func TestCacheSweepMatchesRAM(t *testing.T) {
+	tbl, err := CacheSweep(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[len(row)-1] != "MATCH" {
+			t.Fatalf("%s: disk-mode partition diverged from the RAM reference", row[0])
+		}
+	}
+}
+
 func TestDistributedMergeMatchesReference(t *testing.T) {
 	tbl, err := DistributedMerge(smallOpts())
 	if err != nil {

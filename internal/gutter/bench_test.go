@@ -8,7 +8,7 @@ import (
 )
 
 func BenchmarkLeafGuttersInsert(b *testing.B) {
-	g := NewLeafGutters(1024, 512, 1, func(Batch) {})
+	g := NewLeafGutters(1024, 512, 1, 1, func(Batch) {})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.InsertEdge(uint32(i)&1023, uint32(i*7)&1023)
@@ -16,7 +16,7 @@ func BenchmarkLeafGuttersInsert(b *testing.B) {
 }
 
 func BenchmarkLeafGuttersInsertEdges(b *testing.B) {
-	g := NewLeafGutters(1024, 512, 8, func(Batch) {})
+	g := NewLeafGutters(1024, 512, 8, 1, func(Batch) {})
 	edges := make([]stream.Edge, 512)
 	for i := range edges {
 		u := uint32(i) & 1023

@@ -162,7 +162,7 @@ func TestUnbufferedEmitsImmediately(t *testing.T) {
 // and never corrupts delivered data.
 func TestRecycleReusesBuffers(t *testing.T) {
 	var live [][]uint32
-	g := NewLeafGutters(4, 2, 1, func(b Batch) { live = append(live, b.Others) })
+	g := NewLeafGutters(4, 2, 1, 1, func(b Batch) { live = append(live, b.Others) })
 	g.Insert(0, 1)
 	g.Insert(0, 2) // fills gutter 0
 	if len(live) != 1 || len(live[0]) != 2 {
@@ -181,7 +181,7 @@ func TestRecycleReusesBuffers(t *testing.T) {
 
 func TestLeafGuttersFlushOnFull(t *testing.T) {
 	r := newRecorder()
-	g := NewLeafGutters(4, 3, 2, r.sink)
+	g := NewLeafGutters(4, 3, 2, 1, r.sink)
 	g.Insert(1, 10)
 	g.Insert(1, 11)
 	if r.batches != 0 {
@@ -196,11 +196,49 @@ func TestLeafGuttersFlushOnFull(t *testing.T) {
 	checkDelivery(t, r, map[uint32][]uint32{1: {10, 11, 12, 13}})
 }
 
+// TestLeafGuttersGroupedFlush pins the group-aware flush contract: a
+// group flushes as one burst when its combined fill reaches nodesPerGroup
+// × capacity, emitting every pending gutter of the group back to back —
+// the shape the out-of-core tier turns into a single group-slot fetch.
+func TestLeafGuttersGroupedFlush(t *testing.T) {
+	r := newRecorder()
+	g := NewLeafGutters(8, 2, 4, 4, r.sink) // groups [0,4) and [4,8), cap 8 updates each
+	if g.NodesPerGroup() != 4 {
+		t.Fatalf("NodesPerGroup = %d, want 4", g.NodesPerGroup())
+	}
+	// Stripes clamp to the group count.
+	if g.Stripes() != 2 {
+		t.Fatalf("stripes = %d, want 2 (one per group)", g.Stripes())
+	}
+	// 7 updates across group 0 (nodes 0..3): below the group trigger even
+	// though node 0 holds more than its nominal per-node capacity.
+	for i := 0; i < 4; i++ {
+		g.Insert(0, uint32(10+i))
+	}
+	g.Insert(1, 20)
+	g.Insert(2, 30)
+	g.Insert(3, 40)
+	if r.batches != 0 {
+		t.Fatalf("group flushed early after 7/8 updates (%d batches)", r.batches)
+	}
+	// The 8th update trips the group: all four gutters flush as one burst.
+	g.Insert(1, 21)
+	if r.batches != 4 {
+		t.Fatalf("group flush emitted %d batches, want 4", r.batches)
+	}
+	// Group 1 is untouched by the burst.
+	g.Insert(5, 50)
+	g.Flush()
+	checkDelivery(t, r, map[uint32][]uint32{
+		0: {10, 11, 12, 13}, 1: {20, 21}, 2: {30}, 3: {40}, 5: {50},
+	})
+}
+
 func TestLeafGuttersNoLossNoDuplication(t *testing.T) {
 	rng := rand.New(rand.NewPCG(1, 2))
 	r := newRecorder()
 	const n = 64
-	g := NewLeafGutters(n, 7, 4, r.sink)
+	g := NewLeafGutters(n, 7, 4, 1, r.sink)
 	want := map[uint32][]uint32{}
 	for i := 0; i < 5000; i++ {
 		u := uint32(rng.Uint64N(n))
@@ -225,7 +263,7 @@ func TestLeafGuttersBatchMatchesSingle(t *testing.T) {
 	rng := rand.New(rand.NewPCG(7, 7))
 	r := newRecorder()
 	const n = 32
-	g := NewLeafGutters(n, 5, 3, r.sink)
+	g := NewLeafGutters(n, 5, 3, 1, r.sink)
 	want := map[uint32][]uint32{}
 	var batch []stream.Edge
 	for i := 0; i < 3000; i++ {
@@ -264,7 +302,7 @@ func TestBuffersConcurrentProducers(t *testing.T) {
 		name  string
 		build func(sink Sink) Buffer
 	}{
-		{"leaf", func(sink Sink) Buffer { return NewLeafGutters(n, 7, 4, sink) }},
+		{"leaf", func(sink Sink) Buffer { return NewLeafGutters(n, 7, 4, 1, sink) }},
 		{"tree", func(sink Sink) Buffer {
 			tree, err := NewTree(n, TreeConfig{Fanout: 4, BufferRecords: 128, LeafRecords: 32}, iomodel.NewMem(512), sink)
 			if err != nil {

@@ -17,27 +17,41 @@ import (
 type Sink func(Batch)
 
 // LeafGutters is the leaf-only buffering structure of Section 5.1: one
-// in-RAM gutter per graph node, each flushed to the sink as a batch when
-// it fills. The paper sizes each gutter at a factor f of the node-sketch
-// size (default f = 1/2); here the caller passes the resulting capacity in
-// updates directly.
+// in-RAM gutter per graph node, grouped into node groups of nodesPerGroup
+// consecutive nodes. The paper sizes each gutter at a factor f of the
+// node-sketch size (default f = 1/2); here the caller passes the resulting
+// per-node capacity in updates directly.
 //
-// Gutters are partitioned into stripes by node % stripes, each guarded by
+// Flushes are group-aware: a group flushes when its combined buffered
+// updates reach nodesPerGroup × capacity, emitting every non-empty gutter
+// of the group back to back. Downstream, one such burst touches one
+// node-group slot of the out-of-core sketch store, so the whole burst
+// costs a single group fetch through the write-back cache instead of one
+// slot round trip per node (Lemma 4's grouped flush). With nodesPerGroup
+// = 1 (RAM mode) this degenerates to the classic per-node fill trigger.
+// Within a group, per-node buffers may grow past the nominal capacity —
+// the group total, not the per-node fill, is the trigger — so skewed
+// nodes borrow budget from their quiet neighbors.
+//
+// Gutters are partitioned into stripes by group, each stripe guarded by
 // its own mutex, so any number of producers may insert concurrently;
-// contention is limited to producers touching the same stripe at the same
-// moment. InsertEdges groups a whole batch by stripe first, so it takes
-// each stripe lock at most once per call. Recycle may be called
-// concurrently by the consuming workers.
+// grouping by stripe keeps a group's flush under one lock. InsertEdges
+// groups a whole batch by stripe first, so it takes each stripe lock at
+// most once per call. Recycle may be called concurrently by the consuming
+// workers.
 type LeafGutters struct {
-	bufs     [][]uint32
-	capacity int
-	stripes  uint32
-	locks    []sync.Mutex
-	sink     Sink
-	free     freelist
-	scratch  sync.Pool // *stripePlan
-	buffered atomic.Uint64
-	flushes  atomic.Uint64
+	bufs      [][]uint32
+	capacity  int
+	npg       uint32 // nodes per group
+	groupCap  int    // npg × capacity: the group flush trigger
+	groupFill []int32
+	stripes   uint32
+	locks     []sync.Mutex
+	sink      Sink
+	free      freelist
+	scratch   sync.Pool // *stripePlan
+	buffered  atomic.Uint64
+	flushes   atomic.Uint64
 }
 
 // endpoint is one direction of a buffered edge update: other is appended
@@ -53,54 +67,93 @@ type stripePlan struct {
 }
 
 // NewLeafGutters returns per-node gutters holding capacity updates each,
-// lock-striped for stripes concurrent producers (minimum 1, clamped to
-// numNodes).
-func NewLeafGutters(numNodes uint32, capacity, stripes int, sink Sink) *LeafGutters {
+// organized into groups of nodesPerGroup consecutive nodes (minimum 1)
+// that fill and flush together, lock-striped for stripes concurrent
+// producers (minimum 1, clamped to the group count).
+func NewLeafGutters(numNodes uint32, capacity, stripes, nodesPerGroup int, sink Sink) *LeafGutters {
 	if capacity < 1 {
 		capacity = 1
 	}
+	if nodesPerGroup < 1 {
+		nodesPerGroup = 1
+	}
+	if numNodes > 0 && uint32(nodesPerGroup) > numNodes {
+		nodesPerGroup = int(numNodes)
+	}
+	numGroups := (int(numNodes) + nodesPerGroup - 1) / nodesPerGroup
 	if stripes < 1 {
 		stripes = 1
 	}
-	if uint32(stripes) > numNodes && numNodes > 0 {
-		stripes = int(numNodes)
+	if stripes > numGroups && numGroups > 0 {
+		stripes = numGroups
 	}
 	return &LeafGutters{
-		bufs:     make([][]uint32, numNodes),
-		capacity: capacity,
-		stripes:  uint32(stripes),
-		locks:    make([]sync.Mutex, stripes),
-		sink:     sink,
+		bufs:      make([][]uint32, numNodes),
+		capacity:  capacity,
+		npg:       uint32(nodesPerGroup),
+		groupCap:  capacity * nodesPerGroup,
+		groupFill: make([]int32, numGroups),
+		stripes:   uint32(stripes),
+		locks:     make([]sync.Mutex, stripes),
+		sink:      sink,
 	}
 }
 
 // Capacity returns the per-gutter capacity in updates.
 func (g *LeafGutters) Capacity() int { return g.capacity }
 
+// NodesPerGroup returns the node-group cardinality.
+func (g *LeafGutters) NodesPerGroup() int { return int(g.npg) }
+
 // Stripes returns the number of lock stripes.
 func (g *LeafGutters) Stripes() int { return len(g.locks) }
 
-// insertLocked buffers other in node's gutter, flushing it as a batch if
-// it becomes full. The caller holds node's stripe lock.
+// stripeOf returns the lock stripe guarding node's group.
+func (g *LeafGutters) stripeOf(node uint32) uint32 {
+	return (node / g.npg) % g.stripes
+}
+
+// flushGroupLocked emits every non-empty gutter of group grp back to back
+// and resets the group's fill. The caller holds the group's stripe lock.
+func (g *LeafGutters) flushGroupLocked(grp uint32) {
+	lo := grp * g.npg
+	hi := lo + g.npg
+	if n := uint32(len(g.bufs)); hi > n {
+		hi = n
+	}
+	for node := lo; node < hi; node++ {
+		buf := g.bufs[node]
+		if len(buf) == 0 {
+			continue
+		}
+		g.sink(Batch{Node: node, Others: buf})
+		g.flushes.Add(1)
+		g.bufs[node] = nil
+	}
+	g.groupFill[grp] = 0
+}
+
+// insertLocked buffers other in node's gutter, flushing the whole group
+// as a burst of batches when the group's combined fill reaches the group
+// capacity. The caller holds node's stripe lock.
 func (g *LeafGutters) insertLocked(node, other uint32) {
 	buf := g.bufs[node]
 	if buf == nil {
 		buf = g.free.get(g.capacity)
 	}
-	buf = append(buf, other)
+	g.bufs[node] = append(buf, other)
 	g.buffered.Add(1)
-	if len(buf) >= g.capacity {
-		g.sink(Batch{Node: node, Others: buf})
-		g.flushes.Add(1)
-		buf = nil
+	grp := node / g.npg
+	g.groupFill[grp]++
+	if int(g.groupFill[grp]) >= g.groupCap {
+		g.flushGroupLocked(grp)
 	}
-	g.bufs[node] = buf
 }
 
 // Insert buffers the update (u, v) in u's gutter. Callers buffer each edge
 // update under both endpoints, mirroring the paper's edge_update.
 func (g *LeafGutters) Insert(u, v uint32) {
-	s := u % g.stripes
+	s := g.stripeOf(u)
 	g.locks[s].Lock()
 	g.insertLocked(u, v)
 	g.locks[s].Unlock()
@@ -108,7 +161,7 @@ func (g *LeafGutters) Insert(u, v uint32) {
 
 // InsertEdge buffers the edge update under both endpoints.
 func (g *LeafGutters) InsertEdge(u, v uint32) error {
-	su, sv := u%g.stripes, v%g.stripes
+	su, sv := g.stripeOf(u), g.stripeOf(v)
 	g.locks[su].Lock()
 	g.insertLocked(u, v)
 	if su == sv {
@@ -132,7 +185,7 @@ func (g *LeafGutters) InsertEdges(edges []stream.Edge) error {
 		plan = &stripePlan{byStripe: make([][]endpoint, g.stripes)}
 	}
 	for _, e := range edges {
-		su, sv := e.U%g.stripes, e.V%g.stripes
+		su, sv := g.stripeOf(e.U), g.stripeOf(e.V)
 		plan.byStripe[su] = append(plan.byStripe[su], endpoint{e.U, e.V})
 		plan.byStripe[sv] = append(plan.byStripe[sv], endpoint{e.V, e.U})
 	}
@@ -155,17 +208,13 @@ func (g *LeafGutters) InsertEdges(edges []stream.Edge) error {
 // Flush force-flushes every nonempty gutter (the cleanup step before a
 // connectivity query), taking each stripe lock once.
 func (g *LeafGutters) Flush() error {
-	n := uint32(len(g.bufs))
+	numGroups := uint32(len(g.groupFill))
 	for s := uint32(0); s < g.stripes; s++ {
 		g.locks[s].Lock()
-		for node := s; node < n; node += g.stripes {
-			buf := g.bufs[node]
-			if len(buf) == 0 {
-				continue
+		for grp := s; grp < numGroups; grp += g.stripes {
+			if g.groupFill[grp] > 0 {
+				g.flushGroupLocked(grp)
 			}
-			g.sink(Batch{Node: node, Others: buf})
-			g.flushes.Add(1)
-			g.bufs[node] = nil
 		}
 		g.locks[s].Unlock()
 	}

@@ -74,6 +74,7 @@ type Tree struct {
 	sink      Sink
 	mu        sync.Mutex // guards nodes/root/scratch and all device traffic
 	nodes     []treeNode
+	region    int64    // total pre-allocated device footprint in bytes
 	root      []record // the root buffer lives in RAM
 	scratch   []byte
 	free      freelist
@@ -125,8 +126,14 @@ func NewTree(numNodes uint32, cfg TreeConfig, dev iomodel.Device, sink Sink) (*T
 			return nil, fmt.Errorf("gutter: preallocating tree regions: %w", err)
 		}
 	}
+	t.region = off
 	return t, nil
 }
+
+// TotalBytes returns the tree's pre-allocated on-device footprint — the
+// sum of every internal buffer and leaf region. The engine adds it to
+// Stats.DiskBytes alongside the sketch store.
+func (t *Tree) TotalBytes() int64 { return t.region }
 
 // build creates the subtree covering leaf range [lo, hi) and returns its
 // index in t.nodes. isRoot marks the top call: the root's records live in
