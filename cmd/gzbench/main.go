@@ -7,14 +7,20 @@
 //
 //	gzbench -exp fig4
 //	gzbench -exp all -max-scale 11 -trials 100
+//	gzbench -exp scaling -json BENCH_scaling.json
+//	gzbench -exp shards -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"graphzeppelin/internal/experiments"
 )
@@ -22,14 +28,42 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gzbench: ")
+	os.Exit(run())
+}
+
+// run holds main's body so profile-flush defers execute before the
+// process exits with a status code.
+func run() int {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig4, fig5, table10, fig11, fig12, fig13, fig14, fig15, fig16, query, shards, producers, cache, distmerge, reliability, all")
-		maxScale = flag.Int("max-scale", 10, "largest Kronecker scale for system experiments")
-		trials   = flag.Int("trials", 25, "correctness checks per dataset (reliability)")
-		seed     = flag.Uint64("seed", 1, "generator/sketch seed")
-		quiet    = flag.Bool("q", false, "suppress progress output")
+		exp        = flag.String("exp", "all", "experiment: fig4, fig5, table10, fig11, fig12, fig13, fig14, fig15, fig16, query, shards, producers, scaling, cache, distmerge, reliability, all")
+		maxScale   = flag.Int("max-scale", 10, "largest Kronecker scale for system experiments")
+		trials     = flag.Int("trials", 25, "correctness checks per dataset (reliability)")
+		seed       = flag.Uint64("seed", 1, "generator/sketch seed")
+		quiet      = flag.Bool("q", false, "suppress progress output")
+		jsonPath   = flag.String("json", "", "also write results (with host metadata) to this JSON file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Printf("cpuprofile: %v", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Printf("cpuprofile: %v", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer writeHeapProfile(*memProfile)
+	}
 
 	o := experiments.Options{
 		MaxScale: *maxScale,
@@ -56,6 +90,7 @@ func main() {
 		{"query", func() (*experiments.Table, error) { return experiments.QuerySweep(o) }},
 		{"shards", func() (*experiments.Table, error) { return experiments.ShardSweep(o) }},
 		{"producers", func() (*experiments.Table, error) { return experiments.ProducerSweep(o) }},
+		{"scaling", func() (*experiments.Table, error) { return experiments.ScalingSweep(o) }},
 		{"cache", func() (*experiments.Table, error) { return experiments.CacheSweep(o) }},
 		{"distmerge", func() (*experiments.Table, error) { return experiments.DistributedMerge(o) }},
 		{"reliability", func() (*experiments.Table, error) {
@@ -66,6 +101,8 @@ func main() {
 
 	want := strings.Split(*exp, ",")
 	matched := false
+	var tables []*experiments.Table
+	failed := ""
 	for _, e := range all {
 		if !selected(want, e.name) {
 			continue
@@ -73,14 +110,30 @@ func main() {
 		matched = true
 		t, err := e.run()
 		if err != nil {
-			log.Fatalf("%s: %v", e.name, err)
+			// Remember the failure but fall through, so profiles and the
+			// JSON for already-finished experiments are still written.
+			failed = fmt.Sprintf("%s: %v", e.name, err)
+			log.Print(failed)
+			break
 		}
 		t.Print(os.Stdout)
+		tables = append(tables, t)
 	}
 	if !matched {
-		log.Fatalf("no experiment matches %q", *exp)
+		log.Printf("no experiment matches %q", *exp)
+		return 1
+	}
+	if *jsonPath != "" && len(tables) > 0 {
+		if err := writeJSON(*jsonPath, tables, o); err != nil {
+			log.Printf("json: %v", err)
+			failed = "json write failed"
+		}
+	}
+	if failed != "" {
+		return 1
 	}
 	fmt.Fprintln(os.Stderr, "done")
+	return 0
 }
 
 func selected(want []string, name string) bool {
@@ -90,4 +143,66 @@ func selected(want []string, name string) bool {
 		}
 	}
 	return false
+}
+
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("memprofile: %v", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		log.Printf("memprofile: %v", err)
+	}
+}
+
+// jsonReport is the machine-readable result format: the host block pins
+// the parallelism actually available when the numbers were taken, so
+// 1-vCPU results are never mistaken for multi-core ones.
+type jsonReport struct {
+	Benchmark string `json:"benchmark"`
+	Date      string `json:"date"`
+	Host      struct {
+		NumCPU     int    `json:"num_cpu"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		GoVersion  string `json:"go_version"`
+		OSArch     string `json:"os_arch"`
+	} `json:"host"`
+	Options struct {
+		MaxScale int    `json:"max_scale"`
+		Seed     uint64 `json:"seed"`
+	} `json:"options"`
+	Tables []jsonTable `json:"tables"`
+}
+
+type jsonTable struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+func writeJSON(path string, tables []*experiments.Table, o experiments.Options) error {
+	var r jsonReport
+	r.Benchmark = "gzbench"
+	r.Date = time.Now().UTC().Format("2006-01-02")
+	r.Host.NumCPU = runtime.NumCPU()
+	r.Host.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	r.Host.GoVersion = runtime.Version()
+	r.Host.OSArch = runtime.GOOS + "/" + runtime.GOARCH
+	r.Options.MaxScale = o.MaxScale
+	r.Options.Seed = o.Seed
+	for _, t := range tables {
+		r.Tables = append(r.Tables, jsonTable{
+			ID: t.ID, Title: t.Title, Header: t.Header, Rows: t.Rows, Notes: t.Notes,
+		})
+	}
+	out, err := json.MarshalIndent(&r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }

@@ -42,6 +42,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -54,25 +56,28 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gzrun: ")
 	var (
-		path      = flag.String("stream", "", "GZS1 stream file (required)")
-		structure = flag.String("structure", "graph", "structure: graph, bipartite, kforests, msf")
-		workers   = flag.Int("workers", 1, "graph workers")
-		shards    = flag.Int("shards", 0, "ingest shards (0 = one per worker)")
-		producers = flag.Int("producers", 1, "concurrent producer goroutines")
-		batch     = flag.Int("batch", 4096, "updates per ApplyBatch call (1 = per-update Apply)")
-		buffering = flag.String("buffering", "leaf", "buffering: leaf, tree, none")
-		factor    = flag.Float64("f", 0.5, "gutter size factor")
-		disk      = flag.String("disk", "", "directory for on-disk sketches (empty = RAM)")
-		cacheB    = flag.Int64("cachebytes", 0, "disk-mode write-back cache budget in bytes (0 = 32 MiB default, negative = uncached per-slot RMW)")
-		npg       = flag.Int("nodespergroup", 0, "disk-mode node-group slot size in sketches (0 = sized to the device block)")
-		seed      = flag.Uint64("seed", 1, "sketch seed")
-		queries   = flag.Int("queries", 1, "evenly spaced connectivity queries (graph, single producer)")
-		pointQ    = flag.Int("pointqueries", 0, "random point-query pairs served after ingestion via ConnectedMany (graph)")
-		k         = flag.Int("k", 2, "layers for -structure kforests")
-		maxWeight = flag.Int("maxweight", 4, "max edge weight for -structure msf")
-		ckptPath  = flag.String("checkpoint", "", "write a checkpoint of the final sketch state to this file")
-		restore   = flag.String("restore", "", "restore the graph from this checkpoint file before ingesting (graph only)")
-		mergeList = flag.String("merge", "", "comma-separated checkpoint files merged in after ingestion, before the query")
+		path       = flag.String("stream", "", "GZS1 stream file (required)")
+		structure  = flag.String("structure", "graph", "structure: graph, bipartite, kforests, msf")
+		workers    = flag.Int("workers", 1, "graph workers")
+		shards     = flag.Int("shards", 0, "ingest shards (0 = one per worker)")
+		producers  = flag.Int("producers", 1, "concurrent producer goroutines")
+		batch      = flag.Int("batch", 4096, "updates per ApplyBatch call (1 = per-update Apply)")
+		buffering  = flag.String("buffering", "leaf", "buffering: leaf, tree, none")
+		factor     = flag.Float64("f", 0.5, "gutter size factor")
+		disk       = flag.String("disk", "", "directory for on-disk sketches (empty = RAM)")
+		cacheB     = flag.Int64("cachebytes", 0, "disk-mode write-back cache budget in bytes (0 = 32 MiB default, negative = uncached per-slot RMW)")
+		npg        = flag.Int("nodespergroup", 0, "disk-mode node-group slot size in sketches (0 = sized to the device block)")
+		seed       = flag.Uint64("seed", 1, "sketch seed")
+		queries    = flag.Int("queries", 1, "evenly spaced connectivity queries (graph, single producer)")
+		pointQ     = flag.Int("pointqueries", 0, "random point-query pairs served after ingestion via ConnectedMany (graph)")
+		k          = flag.Int("k", 2, "layers for -structure kforests")
+		maxWeight  = flag.Int("maxweight", 4, "max edge weight for -structure msf")
+		ckptPath   = flag.String("checkpoint", "", "write a checkpoint of the final sketch state to this file")
+		restore    = flag.String("restore", "", "restore the graph from this checkpoint file before ingesting (graph only)")
+		mergeList  = flag.String("merge", "", "comma-separated checkpoint files merged in after ingestion, before the query")
+		noRebal    = flag.Bool("norebalance", false, "disable the skew-aware shard rebalancer (graph)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -83,6 +88,37 @@ func main() {
 	}
 	if *restore != "" && *structure != "graph" {
 		log.Fatal("-restore is only supported with -structure graph")
+	}
+
+	// Profiles flush on normal completion; a log.Fatal error path exits
+	// without them, which is fine — a partial profile of a failed run is
+	// not worth complicating every error site for.
+	if *cpuProfile != "" {
+		pf, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			pf, err := os.Create(*memProfile)
+			if err != nil {
+				log.Printf("memprofile: %v", err)
+				return
+			}
+			defer pf.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(pf); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+		}()
 	}
 
 	f, err := os.Open(*path)
@@ -104,6 +140,9 @@ func main() {
 	}
 	if *shards > 0 {
 		opts = append(opts, graphzeppelin.WithShards(*shards))
+	}
+	if *noRebal {
+		opts = append(opts, graphzeppelin.WithRebalancing(false))
 	}
 	switch *buffering {
 	case "leaf":

@@ -71,6 +71,7 @@ package graphzeppelin
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"graphzeppelin/internal/core"
 	"graphzeppelin/internal/gutter"
@@ -145,6 +146,24 @@ func WithWorkers(n int) Option {
 // count are clamped.
 func WithShards(n int) Option {
 	return func(c *core.Config) { c.Shards = n }
+}
+
+// WithRebalancing enables or disables the skew-aware shard rebalancer
+// (default enabled whenever there is more than one shard). When on, a
+// background policy migrates hot node slices from overloaded Graph
+// Workers to underloaded ones, so a skewed stream no longer serializes
+// behind the one worker that happens to own its hot nodes. Only the
+// processing assignment moves — sketch storage, queries and checkpoints
+// keep the static node % shards layout.
+func WithRebalancing(enabled bool) Option {
+	return func(c *core.Config) { c.NoRebalance = !enabled }
+}
+
+// WithRebalanceInterval sets the rebalancer's policy tick period (default
+// 2ms): each tick compares per-shard load over the previous window and
+// migrates at most a few slices.
+func WithRebalanceInterval(d time.Duration) Option {
+	return func(c *core.Config) { c.RebalanceInterval = d }
 }
 
 // WithBuffering selects the buffering structure (default LeafGutters).

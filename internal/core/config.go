@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/bits"
 	"runtime"
+	"time"
 
 	"graphzeppelin/internal/cubesketch"
 	"graphzeppelin/internal/gutter"
@@ -113,6 +114,29 @@ type Config struct {
 	// shard keeps a floor of one slot, so values below Shards are
 	// effectively raised to Shards.
 	QueueCapacity int
+	// NoRebalance disables the skew-aware shard rebalancer. By default
+	// (with more than one shard) a background policy goroutine watches
+	// per-slice push rates and per-shard queue backlogs and migrates hot
+	// node slices from overloaded shards to underloaded ones, so a skewed
+	// stream no longer serializes behind one Graph Worker. Rebalancing
+	// moves only the *processing* assignment — sketch storage stays at the
+	// static node % Shards home, so query and checkpoint layouts are
+	// unchanged.
+	NoRebalance bool
+	// RebalanceInterval is the policy tick period (default 2ms). Each tick
+	// compares per-shard loads over the previous tick window and performs
+	// at most a few slice migrations.
+	RebalanceInterval time.Duration
+	// RebalanceFactor is the imbalance trigger: a migration is considered
+	// only when the hottest shard's load exceeds this multiple of the mean
+	// (default 1.25).
+	RebalanceFactor float64
+	// SlicesPerShard is the granularity of the dynamic node→shard
+	// processing assignment: the node space is split into
+	// Shards × SlicesPerShard slices (by node modulo), each independently
+	// routable to any shard (default 16). More slices mean finer-grained
+	// rebalancing at slightly more routing state.
+	SlicesPerShard int
 	// QueryScanBytes is the target size of one sequential ReadRange the
 	// disk-mode query scan issues (default 1 MiB): each Boruvka round
 	// reads the still-live stretch of the sketch store in chunks of this
@@ -161,6 +185,15 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.QueryScanBytes <= 0 {
 		c.QueryScanBytes = 1 << 20
+	}
+	if c.RebalanceInterval <= 0 {
+		c.RebalanceInterval = 2 * time.Millisecond
+	}
+	if c.RebalanceFactor <= 1 {
+		c.RebalanceFactor = 1.25
+	}
+	if c.SlicesPerShard <= 0 {
+		c.SlicesPerShard = 16
 	}
 	return c, nil
 }

@@ -30,10 +30,19 @@ type Stats struct {
 	// summed across shards.
 	Batches uint64
 	// Shards is the number of ingest shards (= Graph Workers), and
-	// ShardBatches the per-shard batch counts; a skewed distribution
-	// means the node→shard partition is unbalanced for this stream.
+	// ShardBatches the per-shard batch counts *by executing worker*; a
+	// skewed distribution means processing was unbalanced for this
+	// stream. With rebalancing on, a skewed stream should still show a
+	// near-flat ShardBatches because hot node slices migrate away from
+	// the overloaded worker.
 	Shards       int
 	ShardBatches []uint64
+	// Rebalances counts slice migrations performed by the skew-aware
+	// rebalancer; ForeignBatches counts batches applied by a worker other
+	// than the node's static storage-home shard (i.e. work executed under
+	// a migrated assignment). Both stay zero with rebalancing disabled.
+	Rebalances     uint64
+	ForeignBatches uint64
 	// SketchIO and BufferIO are block-device statistics for the sketch
 	// store and the gutter tree (zero when those live in RAM).
 	SketchIO, BufferIO iomodel.Stats
@@ -109,6 +118,30 @@ type Engine struct {
 	pending sync.WaitGroup
 	wg      sync.WaitGroup
 
+	// Skew-aware rebalancing state (rebalance.go). The node space is cut
+	// into numSlices slices (node % numSlices); assign maps each slice to
+	// the shard currently *processing* its batches (storage stays at the
+	// static node % Shards home). slicePushes counts batches routed per
+	// slice (the policy's load signal), migrations holds the in-flight
+	// handoff record per slice, and the rebal* fields drive the policy
+	// goroutine. rebalancing is false when the policy is off, in which
+	// case assign never changes and the pipeline behaves exactly like the
+	// static partition.
+	numSlices   uint32
+	assign      []atomic.Uint32
+	slicePushes []atomic.Uint64
+	migrations  []atomic.Pointer[migration]
+	rebalancing bool
+	rebalStop   chan struct{}
+	rebalWG     sync.WaitGroup
+	rebalances  atomic.Uint64
+
+	// testApplyHook, when non-nil (tests only), brackets every batch
+	// apply: it is called with the node before the apply and the returned
+	// function after. The rebalancer tests use it to prove per-node apply
+	// exclusivity across migrations.
+	testApplyHook func(node uint32) func()
+
 	// quiesce separates producers (read side: ingest entry points) from
 	// quiescent phases (write side: drain, queries, checkpoints, close).
 	// Holding the write lock with pending at zero means the workers are
@@ -163,10 +196,15 @@ type Engine struct {
 type shard struct {
 	id    int
 	queue *gutter.SPSC
+
 	// pushMu serializes producers pushing onto this shard's queue,
 	// preserving the SPSC single-producer contract with multiple ingest
-	// goroutines. Taken once per emitted batch, not per update.
+	// goroutines. Taken once per emitted batch, not per update. Alone on
+	// its cache line: producer lock traffic must not bounce the lines of
+	// the worker-owned fields below (shards are allocated back to back
+	// often enough for the padding to matter on both sides).
 	pushMu sync.Mutex
+	_      [gutter.CacheLine - 8]byte
 
 	slab *cubesketch.Slab // RAM mode: this shard's node sketches
 
@@ -178,8 +216,13 @@ type shard struct {
 	scratch *cubesketch.Slab
 
 	indices []uint64 // batch → characteristic-vector index scratch
+	_       [gutter.CacheLine]byte
 
-	batches atomic.Uint64
+	// Worker-written counters, padded off the read-mostly fields above so
+	// per-batch increments never invalidate a neighbor's hot line.
+	batches atomic.Uint64 // batches applied by this worker
+	foreign atomic.Uint64 // of those, batches whose storage home is another shard
+	_       [gutter.CacheLine - 16]byte
 }
 
 // shardNodeCount returns how many of numNodes nodes land in shard s under
@@ -299,15 +342,55 @@ func NewEngine(cfg Config) (*Engine, error) {
 		e.shards[s] = sh
 	}
 
-	numShards := uint32(cfg.Shards)
+	// Dynamic slice → shard routing table. numSlices is a multiple of the
+	// shard count, and slice s starts at shard s % Shards, so the initial
+	// assignment routes node n to shard n % Shards — identical to the
+	// static partition until the rebalancer moves something.
+	e.rebalancing = cfg.Shards > 1 && !cfg.NoRebalance
+	e.numSlices = 1
+	if cfg.Shards > 1 {
+		sps := cfg.SlicesPerShard
+		// Keep the routing tables sane if someone runs thousands of
+		// shards; numSlices must stay a multiple of Shards.
+		if max := (1 << 20) / cfg.Shards; sps > max {
+			sps = max
+		}
+		if sps < 1 {
+			sps = 1
+		}
+		e.numSlices = uint32(cfg.Shards * sps)
+	}
+	e.assign = make([]atomic.Uint32, e.numSlices)
+	e.slicePushes = make([]atomic.Uint64, e.numSlices)
+	e.migrations = make([]atomic.Pointer[migration], e.numSlices)
+	for s := range e.assign {
+		e.assign[s].Store(uint32(s % cfg.Shards))
+	}
+
 	sink := func(b gutter.Batch) {
 		e.pending.Add(1)
-		sh := e.shards[b.Node%numShards]
-		sh.pushMu.Lock()
-		ok := sh.queue.Push(b)
-		sh.pushMu.Unlock()
-		if !ok {
-			e.pending.Done()
+		slice := b.Node % e.numSlices
+		for {
+			sid := e.assign[slice].Load()
+			sh := e.shards[sid]
+			sh.pushMu.Lock()
+			// Re-check under the push mutex: a migration updates the
+			// assignment while holding the old owner's pushMu, so a stale
+			// read here is caught before the push and retried — no batch
+			// can land behind the handoff sentinel in the old queue.
+			if e.assign[slice].Load() != sid {
+				sh.pushMu.Unlock()
+				continue
+			}
+			if e.rebalancing {
+				e.slicePushes[slice].Add(1)
+			}
+			ok := sh.queue.Push(b)
+			sh.pushMu.Unlock()
+			if !ok {
+				e.pending.Done()
+			}
+			return
 		}
 	}
 	switch cfg.Buffering {
@@ -348,6 +431,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 	for _, sh := range e.shards {
 		e.wg.Add(1)
 		go e.worker(sh)
+	}
+	if e.rebalancing {
+		e.startRebalancer()
 	}
 	return e, nil
 }
@@ -500,9 +586,13 @@ func (e *Engine) DeleteEdge(u, v uint32) error {
 func (e *Engine) Closed() bool { return e.closed.Load() }
 
 // worker is a Graph Worker: it pops node-keyed batches from its shard's
-// queue and applies them to that shard's sketches. It is the only
-// goroutine that ever touches the shard's slab and scratch, so no locking
-// is needed anywhere on the apply path.
+// queue and applies them to the owning node slices' sketches. While a
+// slice is assigned here, this worker is the only goroutine applying its
+// nodes (the migration handoff in rebalance.go preserves that exclusivity
+// across reassignments), so no locking is needed anywhere on the apply
+// path. Every real batch has at least one update; an empty Others slice
+// marks a migration sentinel, which is control flow, not sketch work (it
+// is not counted in pending).
 func (e *Engine) worker(sh *shard) {
 	defer e.wg.Done()
 	for {
@@ -510,6 +600,11 @@ func (e *Engine) worker(sh *shard) {
 		if !ok {
 			return
 		}
+		if len(b.Others) == 0 {
+			e.completeMigration(b.Node)
+			continue
+		}
+		e.awaitHandoff(sh, b.Node)
 		e.applyBatch(sh, b)
 		e.buf.Recycle(b.Others)
 		e.pending.Done()
@@ -526,11 +621,25 @@ func (e *Engine) applyBatch(sh *shard, b gutter.Batch) {
 		sh.indices = append(sh.indices, stream.EdgeIndex(uint64(e.cfg.NumNodes), eg))
 	}
 	sh.batches.Add(1)
+	if h := e.testApplyHook; h != nil {
+		defer h(b.Node)()
+	}
 
 	if e.store == nil {
-		_, local := e.shardOf(b.Node)
-		sh.slab.Apply(local, sh.indices)
+		// Apply to the node's *storage home* slab (static node % Shards),
+		// which under a migrated assignment is not the executing worker's
+		// own. Safe without locks: Slab.Apply keeps all scratch per-call,
+		// and the handoff protocol guarantees at most one worker applies a
+		// given slice's nodes at any moment.
+		home, local := e.shardOf(b.Node)
+		if home != sh {
+			sh.foreign.Add(1)
+		}
+		home.slab.Apply(local, sh.indices)
 		return
+	}
+	if home, _ := e.shardOf(b.Node); home != sh {
+		sh.foreign.Add(1)
 	}
 
 	if e.cache != nil {
@@ -617,10 +726,12 @@ func (e *Engine) Stats() Stats {
 		SketchFailures:       e.sketchFailures.Load(),
 		CheckpointStallNanos: uint64(e.lastCkptStall.Load()),
 	}
+	st.Rebalances = e.rebalances.Load()
 	for i, sh := range e.shards {
 		b := sh.batches.Load()
 		st.ShardBatches[i] = b
 		st.Batches += b
+		st.ForeignBatches += sh.foreign.Load()
 		if sh.slab != nil {
 			st.MemoryBytes += int64(sh.slab.Bytes())
 		}
@@ -657,6 +768,10 @@ func (e *Engine) Stats() Stats {
 // the returned error.
 func (e *Engine) Close() error {
 	e.closeOnce.Do(func() {
+		// Stop the rebalancer before quiescing: no new migrations start
+		// mid-close, and an in-flight handoff still completes because its
+		// sentinel is drained (or its queue closed) below.
+		e.stopRebalancer()
 		// ckptMu first (the global lock order): a checkpoint stream in
 		// flight finishes before its devices are released under it.
 		e.ckptMu.Lock()

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"graphzeppelin/internal/stream"
+)
+
+// skewedEdges generates count edges with one endpoint drawn from the hot
+// node set (all homed on shard 0 under node % shards) and the other
+// uniform, deterministically per (seed).
+func skewedEdges(seed uint64, numNodes uint32, shards, count int) []stream.Edge {
+	rng := rand.New(rand.NewPCG(seed, 0xbeef))
+	hot := make([]uint32, 0, 16)
+	for n := uint32(0); len(hot) < 16 && n < numNodes; n += uint32(shards) {
+		hot = append(hot, n) // n % shards == 0: every hot node homes on shard 0
+	}
+	edges := make([]stream.Edge, 0, count)
+	for len(edges) < count {
+		u := hot[rng.IntN(len(hot))]
+		v := rng.Uint32N(numNodes)
+		if u == v {
+			continue
+		}
+		edges = append(edges, stream.Edge{U: u, V: v})
+	}
+	return edges
+}
+
+// nodeSketchBytes marshals node's sketches out of its home shard's slab.
+// The engine must be drained (workers idle) when this is called.
+func nodeSketchBytes(t *testing.T, e *Engine, node uint32) []byte {
+	t.Helper()
+	sh, local := e.shardOf(node)
+	buf := make([]byte, sh.slab.NodeSize())
+	sh.slab.MarshalNode(local, buf)
+	return buf
+}
+
+// TestRebalancerSkewedStreamHandoff is the rebalancer's -race stress test:
+// concurrent producers drive a heavily skewed stream (every edge touches a
+// node homed on shard 0) through a 4-shard engine with an aggressive
+// rebalancing policy, forcing many slice migrations while batches are in
+// flight. It proves the two properties the handoff protocol guarantees:
+//
+//   - per-node apply exclusivity: a test hook brackets every batch apply
+//     and counts overlapping appliers per node — any overlap across a
+//     migration (the old and new owner applying the same slice at once)
+//     is a violation, and under -race also a detected data race on the
+//     home slab;
+//   - no lost or duplicated work: the final per-node sketch state is
+//     bit-identical to a single-shard engine ingesting the same edges,
+//     which XOR-linearity makes sensitive to any dropped or double-applied
+//     batch.
+func TestRebalancerSkewedStreamHandoff(t *testing.T) {
+	const (
+		numNodes  = 256
+		shards    = 4
+		producers = 4
+		perRound  = 4000
+		maxRounds = 10
+	)
+	cfg := Config{
+		NumNodes: numNodes,
+		Seed:     0xabcde,
+		Shards:   shards,
+		// Unbuffered: every update is one batch, maximizing queue traffic
+		// and migration interleavings.
+		Buffering:         BufferNone,
+		QueueCapacity:     2 * shards, // tiny queues → constant backpressure
+		RebalanceInterval: 200 * time.Microsecond,
+		RebalanceFactor:   1.05,
+		SlicesPerShard:    16,
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inUse := make([]atomic.Int32, numNodes)
+	var violations atomic.Int32
+	e.testApplyHook = func(node uint32) func() {
+		if inUse[node].Add(1) != 1 {
+			violations.Add(1)
+		}
+		return func() { inUse[node].Add(-1) }
+	}
+
+	// Ingest in rounds until the policy has demonstrably migrated slices
+	// (at least once; usually the first round is plenty), recording every
+	// edge so the sequential reference can replay the identical stream.
+	var all []stream.Edge
+	for round := 0; round < maxRounds; round++ {
+		var wg sync.WaitGroup
+		roundEdges := make([][]stream.Edge, producers)
+		for p := 0; p < producers; p++ {
+			roundEdges[p] = skewedEdges(uint64(round*producers+p), numNodes, shards, perRound)
+			wg.Add(1)
+			go func(edges []stream.Edge) {
+				defer wg.Done()
+				for _, eg := range edges {
+					if err := e.InsertEdge(eg.U, eg.V); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(roundEdges[p])
+		}
+		wg.Wait()
+		for _, edges := range roundEdges {
+			all = append(all, edges...)
+		}
+		if e.Stats().Rebalances > 0 && round >= 1 {
+			break
+		}
+	}
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := e.Stats()
+	if violations.Load() != 0 {
+		t.Fatalf("%d concurrent same-node applies observed across migrations", violations.Load())
+	}
+	if st.Rebalances == 0 {
+		t.Fatalf("skewed stream triggered no migrations (batches=%d, shard batches=%v)", st.Batches, st.ShardBatches)
+	}
+	if st.ForeignBatches == 0 {
+		t.Fatal("migrations happened but no batch was applied off its home shard")
+	}
+	t.Logf("rebalances=%d foreign=%d shardBatches=%v", st.Rebalances, st.ForeignBatches, st.ShardBatches)
+
+	// Sequential reference: one shard, no rebalancing, same seed.
+	ref, err := NewEngine(Config{
+		NumNodes:  numNodes,
+		Seed:      cfg.Seed,
+		Shards:    1,
+		Buffering: BufferNone,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eg := range all {
+		if err := ref.InsertEdge(eg.U, eg.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ref.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for node := uint32(0); node < numNodes; node++ {
+		if !bytes.Equal(nodeSketchBytes(t, e, node), nodeSketchBytes(t, ref, node)) {
+			t.Fatalf("node %d sketches diverge from sequential reference", node)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRebalanceDisabled pins the NoRebalance escape hatch: the same skewed
+// stream through the same shard count must keep the static partition (no
+// migrations, no foreign applies, all hot batches on shard 0).
+func TestRebalanceDisabled(t *testing.T) {
+	const numNodes, shards = 256, 4
+	e, err := NewEngine(Config{
+		NumNodes:    numNodes,
+		Seed:        1,
+		Shards:      shards,
+		Buffering:   BufferNone,
+		NoRebalance: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eg := range skewedEdges(7, numNodes, shards, 5000) {
+		if err := e.InsertEdge(eg.U, eg.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Rebalances != 0 || st.ForeignBatches != 0 {
+		t.Fatalf("NoRebalance engine migrated: rebalances=%d foreign=%d", st.Rebalances, st.ForeignBatches)
+	}
+	if st.ShardBatches[0] <= st.ShardBatches[1] {
+		t.Fatalf("expected static skew onto shard 0, got %v", st.ShardBatches)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRebalancerDiskMode runs the skewed stream against the disk-tier
+// cache path with rebalancing on: the cache's own locking plus the handoff
+// protocol must keep the store coherent, and the final components must
+// match the exact reference.
+func TestRebalancerDiskMode(t *testing.T) {
+	const numNodes, shards = 128, 4
+	e, err := NewEngine(Config{
+		NumNodes:          numNodes,
+		Seed:              3,
+		Shards:            shards,
+		SketchesOnDisk:    true,
+		Buffering:         BufferNone,
+		QueueCapacity:     2 * shards,
+		RebalanceInterval: 200 * time.Microsecond,
+		RebalanceFactor:   1.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := skewedEdges(11, numNodes, shards, 4000)
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(part []stream.Edge) {
+			defer wg.Done()
+			for _, eg := range part {
+				if err := e.InsertEdge(eg.U, eg.V); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(edges[p*1000 : (p+1)*1000])
+	}
+	wg.Wait()
+
+	// The toggle semantics mean duplicate edges cancel; compute the
+	// surviving edge set for the exact reference.
+	parity := map[stream.Edge]bool{}
+	for _, eg := range edges {
+		parity[eg.Normalize()] = !parity[eg.Normalize()]
+	}
+	var live []stream.Edge
+	for eg, on := range parity {
+		if on {
+			live = append(live, eg)
+		}
+	}
+	wantRep, wantCount := exactComponents(numNodes, live)
+	rep, gotCount, err := e.ConnectedComponents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCount != wantCount {
+		t.Fatalf("components = %d, want %d", gotCount, wantCount)
+	}
+	if !samePartition(rep, wantRep) {
+		t.Fatal("component partition diverges from exact reference")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

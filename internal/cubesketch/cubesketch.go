@@ -56,6 +56,18 @@ var (
 // seed-derivation constant; an arbitrary odd 64-bit value.
 const membershipSalt = 0x9e3779b97f4a7c15
 
+// maxRows bounds NumRows over every legal vector length:
+// bits.Len64(n-1) + 2 ≤ 66. The batched update kernel keeps one
+// (alpha, gamma) accumulator pair per row on the stack, so the bound must
+// be a compile-time constant.
+const maxRows = 66
+
+// batchKernelMin is the batch size below which UpdateBatch falls back to
+// the per-update path: for tiny batches, zeroing and replaying 2×rows
+// accumulator words per column costs more than the handful of scattered
+// bucket writes it saves.
+const batchKernelMin = 4
+
 // Sketch is a CubeSketch of a vector in Z_2^n.
 type Sketch struct {
 	n        uint64 // vector length; valid indices are [0, n)
@@ -155,12 +167,65 @@ func (s *Sketch) Update(idx uint64) {
 	}
 }
 
-// UpdateBatch toggles each index in batch. Equivalent to calling Update on
-// each element; provided so callers express the paper's batched ingestion
-// path in one call.
+// UpdateBatch toggles each index in batch. Bucket-identical to calling
+// Update on each element (XOR accumulation is order-independent), but the
+// batched kernel is structured for throughput: the bounds check and the
+// updates counter are hoisted out of the loop, and instead of one
+// read-modify-write of the bucket arrays per (column, index), each
+// column's (alpha, gamma) XOR deltas accumulate in a stack-resident
+// per-row scratch and land on the bucket arrays in one sequential pass of
+// word-wide writes.
 func (s *Sketch) UpdateBatch(batch []uint64) {
+	if len(batch) < batchKernelMin {
+		for _, idx := range batch {
+			s.Update(idx)
+		}
+		return
+	}
 	for _, idx := range batch {
-		s.Update(idx)
+		if idx >= s.n {
+			panic(fmt.Sprintf("cubesketch: index %d out of range for n=%d", idx, s.n))
+		}
+	}
+	s.updates += uint64(len(batch))
+	rows := s.rows
+	var alphaAcc [maxRows]uint64
+	var gammaAcc [maxRows]uint32
+	base := 0
+	for _, cs := range s.colSeeds {
+		accumulateColumn(cs, batch, rows, &alphaAcc, &gammaAcc)
+		applyColumn(s.alphas[base:base+rows], s.gammas[base:base+rows], &alphaAcc, &gammaAcc)
+		base += rows
+	}
+}
+
+// accumulateColumn zeroes the first rows accumulator entries and XORs one
+// column's (alpha, gamma) deltas for every index in batch into them. All
+// indices must already be validated against the vector length.
+func accumulateColumn(cs uint64, batch []uint64, rows int, alphaAcc *[maxRows]uint64, gammaAcc *[maxRows]uint32) {
+	for i := 0; i < rows; i++ {
+		alphaAcc[i] = 0
+		gammaAcc[i] = 0
+	}
+	last := rows - 1
+	for _, idx := range batch {
+		h := hashing.Mix64(cs, idx)
+		depth := bits.TrailingZeros64(h)
+		if depth > last {
+			depth = last
+		}
+		alphaAcc[depth] ^= idx + 1
+		gammaAcc[depth] ^= uint32(h >> 32)
+	}
+}
+
+// applyColumn lands one column's accumulated deltas on its bucket arrays
+// in a single sequential pass. alphas and gammas have length rows, which
+// hoists every bounds check out of the loop.
+func applyColumn(alphas []uint64, gammas []uint32, alphaAcc *[maxRows]uint64, gammaAcc *[maxRows]uint32) {
+	for i := range alphas {
+		alphas[i] ^= alphaAcc[i]
+		gammas[i] ^= gammaAcc[i]
 	}
 }
 

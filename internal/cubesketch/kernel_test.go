@@ -1,0 +1,150 @@
+package cubesketch
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+)
+
+// kernelShapes spans the (columns, n)-space the batched kernel must match
+// the per-update path on: tiny and large vector lengths (hence row
+// counts), default and non-default column counts.
+var kernelShapes = []struct {
+	name string
+	n    uint64
+	cols int
+}{
+	{"n=2,cols=1", 2, 1},
+	{"n=97,cols=3", 97, 3},
+	{"n=1024,cols=7", 1024, 7},
+	{"n=1e6,cols=2", 1_000_000, 2},
+	{"n=1e12,cols=5", 1_000_000_000_000, 5},
+}
+
+// kernelBatch builds a batch of size sz over [0, n) in which roughly a
+// third of the entries are duplicates of earlier ones, so the XOR
+// cancellation of repeated indices within one batch is exercised.
+func kernelBatch(rng *rand.Rand, n uint64, sz int) []uint64 {
+	batch := make([]uint64, 0, sz)
+	for len(batch) < sz {
+		if len(batch) > 0 && rng.IntN(3) == 0 {
+			batch = append(batch, batch[rng.IntN(len(batch))])
+		} else {
+			batch = append(batch, rng.Uint64N(n))
+		}
+	}
+	return batch
+}
+
+// TestUpdateBatchKernelEquivalence pins the batched bucket-XOR kernel to
+// the per-update path: for every shape and batch size (spanning both
+// sides of the small-batch fallback threshold and multiple hash-scratch
+// chunks), UpdateBatch must produce bucket-identical state, including
+// with duplicate indices in one batch.
+func TestUpdateBatchKernelEquivalence(t *testing.T) {
+	sizes := []int{1, 2, 3, 4, 5, 7, 8, 16, 100, 255, 256, 257, 700}
+	for _, shape := range kernelShapes {
+		rng := rand.New(rand.NewPCG(42, shape.n))
+		for _, sz := range sizes {
+			batch := kernelBatch(rng, shape.n, sz)
+
+			ref := New(shape.n, shape.cols, 0xfeed)
+			for _, idx := range batch {
+				ref.Update(idx)
+			}
+			got := New(shape.n, shape.cols, 0xfeed)
+			got.UpdateBatch(batch)
+
+			refB, _ := ref.MarshalBinary()
+			gotB, _ := got.MarshalBinary()
+			if !bytes.Equal(refB, gotB) {
+				t.Fatalf("%s size=%d: UpdateBatch buckets differ from per-update path", shape.name, sz)
+			}
+			if ref.Updates() != got.Updates() {
+				t.Fatalf("%s size=%d: updates counter %d != %d", shape.name, sz, got.Updates(), ref.Updates())
+			}
+		}
+	}
+}
+
+// TestSlabApplyKernelEquivalence pins Slab.Apply's chunked kernel to the
+// per-update view path across rounds, for batch sizes crossing the chunk
+// boundary and with duplicates present.
+func TestSlabApplyKernelEquivalence(t *testing.T) {
+	sizes := []int{1, 3, 4, 32, 256, 300, 513}
+	for _, shape := range kernelShapes {
+		rng := rand.New(rand.NewPCG(7, shape.n))
+		seeds := []uint64{11, 22, 33}
+		const nodes = 3
+		for _, sz := range sizes {
+			batch := kernelBatch(rng, shape.n, sz)
+			node := rng.IntN(nodes)
+
+			ref := NewSlab(nodes, shape.n, shape.cols, seeds)
+			var v Sketch
+			for r := range seeds {
+				ref.View(node, r, &v)
+				for _, idx := range batch {
+					v.Update(idx)
+				}
+			}
+			got := NewSlab(nodes, shape.n, shape.cols, seeds)
+			got.Apply(node, batch)
+
+			refB := make([]byte, ref.NodeSize()*nodes)
+			gotB := make([]byte, got.NodeSize()*nodes)
+			ref.MarshalNodes(0, nodes, refB)
+			got.MarshalNodes(0, nodes, gotB)
+			if !bytes.Equal(refB, gotB) {
+				t.Fatalf("%s size=%d node=%d: Slab.Apply buckets differ from per-update path", shape.name, sz, node)
+			}
+		}
+	}
+}
+
+// TestSlabApplyConcurrentDistinctNodes verifies the kernel's scratch is
+// truly per-call: concurrent Apply calls on distinct nodes of one slab
+// (what rebalanced Graph Workers do) must neither race nor corrupt each
+// other's arena ranges.
+func TestSlabApplyConcurrentDistinctNodes(t *testing.T) {
+	const (
+		n     = 1 << 16
+		nodes = 8
+		iters = 50
+	)
+	seeds := []uint64{5, 6}
+	batches := make([][]uint64, nodes)
+	for i := range batches {
+		rng := rand.New(rand.NewPCG(uint64(i), 99))
+		batches[i] = kernelBatch(rng, n, 300)
+	}
+
+	ref := NewSlab(nodes, n, 3, seeds)
+	for node, b := range batches {
+		for i := 0; i < iters; i++ {
+			ref.Apply(node, b)
+		}
+	}
+
+	got := NewSlab(nodes, n, 3, seeds)
+	done := make(chan struct{})
+	for node := 0; node < nodes; node++ {
+		go func(node int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < iters; i++ {
+				got.Apply(node, batches[node])
+			}
+		}(node)
+	}
+	for i := 0; i < nodes; i++ {
+		<-done
+	}
+
+	refB := make([]byte, ref.NodeSize()*nodes)
+	gotB := make([]byte, got.NodeSize()*nodes)
+	ref.MarshalNodes(0, nodes, refB)
+	got.MarshalNodes(0, nodes, gotB)
+	if !bytes.Equal(refB, gotB) {
+		t.Fatal("concurrent Apply on distinct nodes corrupted the slab")
+	}
+}

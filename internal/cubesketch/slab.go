@@ -144,11 +144,46 @@ func (sl *Slab) MergeNodeBinary(node int, buf []byte) error {
 
 // Apply toggles every index in batch in all rounds of node's sketch. The
 // node's rounds are adjacent in the arena, so the traversal is sequential.
+//
+// Large batches take the batched bucket-XOR kernel: per (round, column)
+// the batch's (alpha, gamma) XOR deltas accumulate per touched bucket row
+// in stack accumulators (hashing each index inline as it is consumed),
+// and the deltas land on the arena in one sequential pass of word-wide
+// writes — the bounds check runs once per batch instead of once per
+// update. The result is bucket-identical to applying each update
+// individually, because XOR accumulation commutes.
+//
+// All scratch is per-call, so concurrent Apply calls on *distinct* nodes
+// of the same slab are safe: they write disjoint arena ranges (the
+// engine's rebalanced workers rely on this). Concurrent calls on the same
+// node race.
 func (sl *Slab) Apply(node int, batch []uint64) {
-	var v Sketch
+	if len(batch) < batchKernelMin {
+		var v Sketch
+		for r := 0; r < sl.rounds; r++ {
+			sl.View(node, r, &v)
+			for _, idx := range batch {
+				v.Update(idx)
+			}
+		}
+		return
+	}
+	for _, idx := range batch {
+		if idx >= sl.n {
+			panic(fmt.Sprintf("cubesketch: index %d out of range for n=%d", idx, sl.n))
+		}
+	}
+	rows := sl.rows
+	var alphaAcc [maxRows]uint64
+	var gammaAcc [maxRows]uint32
 	for r := 0; r < sl.rounds; r++ {
-		sl.View(node, r, &v)
-		v.UpdateBatch(batch)
+		seeds := sl.colSeeds[r]
+		base := (node*sl.rounds + r) * sl.stride
+		for c, cs := range seeds {
+			accumulateColumn(cs, batch, rows, &alphaAcc, &gammaAcc)
+			off := base + c*rows
+			applyColumn(sl.alphas[off:off+rows], sl.gammas[off:off+rows], &alphaAcc, &gammaAcc)
+		}
 	}
 }
 

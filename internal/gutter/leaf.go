@@ -39,6 +39,14 @@ type Sink func(Batch)
 // groups a whole batch by stripe first, so it takes each stripe lock at
 // most once per call. Recycle may be called concurrently by the consuming
 // workers.
+//
+// Two layout decisions keep concurrent producers off each other's cache
+// lines: the stripe mutexes are padded to one line each (eight packed
+// sync.Mutex values share a line, so contended stripes would invalidate
+// their neighbors on every lock), and stripes cover *contiguous* group
+// ranges rather than interleaving groups round-robin — neighboring
+// groups' fill counters and buffer headers, which share lines, then
+// belong to the same stripe and are only ever written under one lock.
 type LeafGutters struct {
 	bufs      [][]uint32
 	capacity  int
@@ -46,12 +54,21 @@ type LeafGutters struct {
 	groupCap  int    // npg × capacity: the group flush trigger
 	groupFill []int32
 	stripes   uint32
-	locks     []sync.Mutex
+	perStripe uint32 // groups per stripe (contiguous ranges)
+	locks     []paddedMutex
 	sink      Sink
 	free      freelist
 	scratch   sync.Pool // *stripePlan
 	buffered  atomic.Uint64
 	flushes   atomic.Uint64
+}
+
+// paddedMutex is a sync.Mutex alone on its cache line, so producers
+// contending for one stripe never bounce the line of a neighboring
+// stripe's lock.
+type paddedMutex struct {
+	sync.Mutex
+	_ [CacheLine - 8]byte
 }
 
 // endpoint is one direction of a buffered edge update: other is appended
@@ -87,6 +104,10 @@ func NewLeafGutters(numNodes uint32, capacity, stripes, nodesPerGroup int, sink 
 	if stripes > numGroups && numGroups > 0 {
 		stripes = numGroups
 	}
+	perStripe := 1
+	if numGroups > 0 {
+		perStripe = (numGroups + stripes - 1) / stripes
+	}
 	return &LeafGutters{
 		bufs:      make([][]uint32, numNodes),
 		capacity:  capacity,
@@ -94,7 +115,8 @@ func NewLeafGutters(numNodes uint32, capacity, stripes, nodesPerGroup int, sink 
 		groupCap:  capacity * nodesPerGroup,
 		groupFill: make([]int32, numGroups),
 		stripes:   uint32(stripes),
-		locks:     make([]sync.Mutex, stripes),
+		perStripe: uint32(perStripe),
+		locks:     make([]paddedMutex, stripes),
 		sink:      sink,
 	}
 }
@@ -108,9 +130,10 @@ func (g *LeafGutters) NodesPerGroup() int { return int(g.npg) }
 // Stripes returns the number of lock stripes.
 func (g *LeafGutters) Stripes() int { return len(g.locks) }
 
-// stripeOf returns the lock stripe guarding node's group.
+// stripeOf returns the lock stripe guarding node's group. Stripes own
+// contiguous group ranges of perStripe groups each.
 func (g *LeafGutters) stripeOf(node uint32) uint32 {
-	return (node / g.npg) % g.stripes
+	return (node / g.npg) / g.perStripe
 }
 
 // flushGroupLocked emits every non-empty gutter of group grp back to back
@@ -210,8 +233,13 @@ func (g *LeafGutters) InsertEdges(edges []stream.Edge) error {
 func (g *LeafGutters) Flush() error {
 	numGroups := uint32(len(g.groupFill))
 	for s := uint32(0); s < g.stripes; s++ {
+		lo := s * g.perStripe
+		hi := lo + g.perStripe
+		if hi > numGroups {
+			hi = numGroups
+		}
 		g.locks[s].Lock()
-		for grp := s; grp < numGroups; grp += g.stripes {
+		for grp := lo; grp < hi; grp++ {
 			if g.groupFill[grp] > 0 {
 				g.flushGroupLocked(grp)
 			}

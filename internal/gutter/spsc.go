@@ -14,6 +14,13 @@ import (
 	"time"
 )
 
+// CacheLine is the assumed coherence granularity. Hot fields written by
+// different cores are padded apart by this much so a store on one side
+// never invalidates the other side's line (false sharing). 64 bytes is
+// the line size of every x86-64 and most arm64 parts; on the few 128-byte
+// platforms the cost is one extra clean line, not correctness.
+const CacheLine = 64
+
 // Batch is a group of buffered updates bound for one node's sketch: for
 // node Node, each element of Others is the far endpoint of one edge update.
 type Batch struct {
@@ -32,12 +39,31 @@ type Batch struct {
 // full, bounding the memory between the buffering stage and the workers
 // as in Section 5.1; a consumer that finds the queue empty spins briefly
 // and then parks on a channel, so idle workers cost nothing.
+//
+// Layout: the consumer-written head and the producer-written tail live on
+// separate cache lines, each packaged with that side's *private* cache of
+// the opposite index. The producer re-reads head only when the queue looks
+// full against its cached copy, and the consumer re-reads tail only when
+// it looks empty, so the steady-state push/pop pair costs one cross-core
+// cache-line transfer per index wrap instead of one per operation.
 type SPSC struct {
+	// Shared read-mostly geometry (written once at construction).
 	buf      []Batch
 	mask     uint64
-	capacity uint64        // logical bound; may be below len(buf)
-	head     atomic.Uint64 // next slot to pop; advanced only by the consumer
-	tail     atomic.Uint64 // next slot to push; advanced only by the producer
+	capacity uint64 // logical bound; may be below len(buf)
+	_        [CacheLine]byte
+
+	// Consumer line: head plus the consumer's private cache of tail.
+	head       atomic.Uint64 // next slot to pop; advanced only by the consumer
+	cachedTail uint64        // consumer-private; refreshed on apparent-empty
+	_          [CacheLine - 16]byte
+
+	// Producer line: tail plus the producer's private cache of head.
+	tail       atomic.Uint64 // next slot to push; advanced only by the producer
+	cachedHead uint64        // producer-private; refreshed on apparent-full
+	_          [CacheLine - 16]byte
+
+	// Control plane (rarely touched).
 	closed   atomic.Bool
 	sleeping atomic.Bool   // consumer is parked (or about to park) on wake
 	wake     chan struct{} // capacity 1; producer/Close signal a parked consumer
@@ -62,13 +88,23 @@ func NewSPSC(capacity int) *SPSC {
 	}
 }
 
-// backoff yields the processor, escalating to short sleeps so that an idle
-// spin never starves the other side on a single-CPU machine.
+// backoff yields the processor while a push or pop cannot make progress.
+// On a single-CPU host the other side cannot run until we get off the
+// core, so the wait escalates to real sleeps; on a multi-core host the
+// other side is (or can be) running right now, so we keep yielding and cap
+// the sleep tier at 10µs — the old 200µs tier added milliseconds of
+// wake-up latency to briefly-stalled workers, which flattens any scaling
+// curve measured across them.
 func backoff(spins *int) {
 	*spins++
+	multicore := runtime.GOMAXPROCS(0) > 1
 	switch {
 	case *spins < 64:
 		runtime.Gosched()
+	case multicore && *spins < 1024:
+		runtime.Gosched()
+	case multicore:
+		time.Sleep(10 * time.Microsecond)
 	case *spins < 256:
 		time.Sleep(10 * time.Microsecond)
 	default:
@@ -85,15 +121,21 @@ func (q *SPSC) Push(b Batch) bool {
 			return false
 		}
 		t := q.tail.Load()
-		if t-q.head.Load() < q.capacity {
-			q.buf[t&q.mask] = b
-			q.tail.Store(t + 1) // publishes the slot to the consumer
-			if q.sleeping.Load() {
-				q.signal()
+		// Fast path: judge fullness against the producer's cached head;
+		// only an apparently full queue pays the cross-core head load.
+		if t-q.cachedHead >= q.capacity {
+			q.cachedHead = q.head.Load()
+			if t-q.cachedHead >= q.capacity {
+				backoff(&spins)
+				continue
 			}
-			return true
 		}
-		backoff(&spins)
+		q.buf[t&q.mask] = b
+		q.tail.Store(t + 1) // publishes the slot to the consumer
+		if q.sleeping.Load() {
+			q.signal()
+		}
+		return true
 	}
 }
 
@@ -111,7 +153,12 @@ func (q *SPSC) Pop() (b Batch, ok bool) {
 	spins := 0
 	for {
 		h := q.head.Load()
-		if h != q.tail.Load() {
+		// Fast path: judge emptiness against the consumer's cached tail;
+		// a run of queued batches costs one cross-core tail load total.
+		if h == q.cachedTail {
+			q.cachedTail = q.tail.Load()
+		}
+		if h != q.cachedTail {
 			b = q.buf[h&q.mask]
 			q.buf[h&q.mask] = Batch{}
 			q.head.Store(h + 1) // frees the slot for the producer
