@@ -35,7 +35,7 @@ func main() {
 // process exits with a status code.
 func run() int {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig4, fig5, table10, fig11, fig12, fig13, fig14, fig15, fig16, query, shards, producers, scaling, cache, distmerge, reliability, all")
+		exp        = flag.String("exp", "all", "experiment: fig4, fig5, table10, fig11, fig12, fig13, fig14, fig15, fig16, query, shards, producers, scaling, cache, distmerge, distserve, reliability, all")
 		maxScale   = flag.Int("max-scale", 10, "largest Kronecker scale for system experiments")
 		trials     = flag.Int("trials", 25, "correctness checks per dataset (reliability)")
 		seed       = flag.Uint64("seed", 1, "generator/sketch seed")
@@ -43,6 +43,7 @@ func run() int {
 		jsonPath   = flag.String("json", "", "also write results (with host metadata) to this JSON file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		gzserveBin = flag.String("gzserve", "", "path to a gzserve binary; distserve then runs each cluster role as its own process")
 	)
 	flag.Parse()
 
@@ -66,11 +67,12 @@ func run() int {
 	}
 
 	o := experiments.Options{
-		MaxScale: *maxScale,
-		Trials:   *trials,
-		Seed:     *seed,
-		Verbose:  !*quiet,
-		Progress: os.Stderr,
+		MaxScale:   *maxScale,
+		Trials:     *trials,
+		Seed:       *seed,
+		Verbose:    !*quiet,
+		Progress:   os.Stderr,
+		GzserveBin: *gzserveBin,
 	}
 
 	type runner func() (*experiments.Table, error)
@@ -93,6 +95,7 @@ func run() int {
 		{"scaling", func() (*experiments.Table, error) { return experiments.ScalingSweep(o) }},
 		{"cache", func() (*experiments.Table, error) { return experiments.CacheSweep(o) }},
 		{"distmerge", func() (*experiments.Table, error) { return experiments.DistributedMerge(o) }},
+		{"distserve", func() (*experiments.Table, error) { return experiments.DistServe(o) }},
 		{"reliability", func() (*experiments.Table, error) {
 			t, _, err := experiments.Reliability(o)
 			return t, err

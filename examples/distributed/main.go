@@ -1,48 +1,116 @@
 // Command distributed demonstrates the paper's conclusion claim that
 // GraphZeppelin's sketches "can be partitioned throughout a distributed
-// cluster": the stream is fanned out round-robin to shard engines that
-// never coordinate during ingestion; at query time the shards' linear
-// sketches are checkpoint-merged and one Boruvka pass answers for the
-// whole stream.
+// cluster" — here over a real network stack. It stands up the gzserve
+// topology on localhost: K workers, each a full engine owning a node
+// range, behind HTTP servers; a coordinator that routes framed edge
+// batches to them with pipelined, idempotent sends; and a driver
+// speaking the GZW1 wire protocol to the coordinator. At query time the
+// coordinator pulls every worker's GZE3 checkpoint, XOR-merges them
+// into an aggregator, and one Boruvka pass answers for the whole
+// stream.
+//
+// The same topology runs as separate processes with cmd/gzserve — see
+// the "Distributed deployment" section of the README. Here everything
+// lives in one process so the demo is `go run`-able, but every byte
+// still crosses a TCP socket.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 
-	"graphzeppelin/internal/distrib"
+	"graphzeppelin/internal/core"
+	"graphzeppelin/internal/gzserve"
 	"graphzeppelin/internal/kron"
 )
 
+const (
+	scale = 8
+	k     = 3 // workers
+	seed  = 99
+)
+
 func main() {
-	const scale = 8
 	edges := kron.DenseKronecker(scale, 3)
 	res := kron.ToStream(edges, 1<<scale, kron.StreamOptions{}, 4)
 	fmt.Printf("stream: %d nodes, %d updates\n", res.NumNodes, len(res.Updates))
 
-	cluster, err := distrib.New(distrib.Config{
-		NumNodes: res.NumNodes,
-		Shards:   4,
-		Seed:     99,
+	// Start K workers, each owning one node range of the universe.
+	part, err := gzserve.NewRangePartitioner(res.NumNodes, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var workerURLs []string
+	for i := 0; i < k; i++ {
+		lo, hi := part.Range(i)
+		wk, err := gzserve.NewWorker(core.Config{NumNodes: res.NumNodes, Seed: seed}, lo, hi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer wk.Close()
+		url := listenAndServe(wk.Handler())
+		workerURLs = append(workerURLs, url)
+		fmt.Printf("worker %d: %s owns nodes [%d,%d)\n", i, url, lo, hi)
+	}
+
+	// The coordinator validates each worker's /v1/info handshake, then
+	// routes by node range with bounded in-flight windows per worker.
+	co, err := gzserve.NewCoordinator(gzserve.CoordinatorConfig{
+		Engine:    core.Config{NumNodes: res.NumNodes, Seed: seed},
+		Workers:   workerURLs,
+		BatchSize: 1024,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer cluster.Close()
+	coordURL := listenAndServe(co.Handler())
+	fmt.Printf("coordinator: %s\n", coordURL)
 
-	for _, u := range res.Updates {
-		if err := cluster.Update(u); err != nil {
-			log.Fatal(err)
-		}
+	// Drive the whole stream through the coordinator's framed HTTP
+	// ingest endpoint, like a remote producer would.
+	ctx := context.Background()
+	drv := gzserve.NewClient(coordURL, gzserve.ClientConfig{})
+	for off := 0; off < len(res.Updates); off += 512 {
+		end := min(off+512, len(res.Updates))
+		drv.SendAsync(ctx, res.Updates[off:end])
 	}
-	_, count, err := cluster.ConnectedComponents()
+	if err := drv.Drain(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Refresh = drain windows + pull and merge every worker's checkpoint;
+	// queries then answer over that global cut.
+	if err := co.Refresh(ctx); err != nil {
+		log.Fatal(err)
+	}
+	_, count, err := co.ConnectedComponents(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("global components (merged from 4 shards): %d\n", count)
-	for i, st := range cluster.Stats() {
-		fmt.Printf("  shard %d ingested %d updates (%.1f MiB of sketches)\n",
-			i, st.Updates, float64(st.MemoryBytes)/(1<<20))
+	fmt.Printf("global components (merged from %d workers): %d\n", k, count)
+
+	st := co.Stats()
+	for i, w := range st.Workers {
+		fmt.Printf("  worker %d: %d batches, %d updates, %d retries\n", i, w.Batches, w.Updates, w.Retries)
 	}
-	fmt.Println("no shard saw the whole stream; linearity stitched the answer together")
+	fmt.Printf("  merged cut covered %d/%d updates\n", st.LastMergeUpdates, len(res.Updates))
+	if err := co.Close(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("no worker saw the whole stream; linearity stitched the answer together over HTTP")
+}
+
+// listenAndServe serves h on an OS-picked loopback port and returns its
+// base URL. The demo process exits when main returns, so servers are
+// not individually shut down.
+func listenAndServe(h http.Handler) string {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, h)
+	return "http://" + ln.Addr().String()
 }

@@ -346,6 +346,24 @@ func (e *Engine) sealCheckpointLocked() (*CheckpointSnapshot, error) {
 	return cs, nil
 }
 
+// Updates returns the number of stream updates in the sealed cut — the
+// checkpoint's position in the stream. Networked shippers put it in
+// response metadata so an aggregator can account for every accepted
+// update across its workers.
+func (cs *CheckpointSnapshot) Updates() uint64 { return cs.updates }
+
+// Size returns the exact byte length StreamTo will produce. The GZE3
+// layout is fully determined by the engine parameters and section plan
+// (header + per-section header + numNodes fixed-width slots + footer),
+// so a server can emit a length-prefixed frame or Content-Length and
+// stream the checkpoint directly, without buffering it first.
+func (cs *CheckpointSnapshot) Size() int64 {
+	e := cs.e
+	return int64(4+checkpointHeaderLen+footerTrailerLen) +
+		int64(cs.nSections)*int64(sectionHeaderLen+footerEntryLen) +
+		int64(e.cfg.NumNodes)*int64(e.slotSize)
+}
+
 // StreamTo streams the sealed snapshot to w; ingestion is live throughout.
 func (cs *CheckpointSnapshot) StreamTo(w io.Writer) error {
 	if cs.closed || cs.written {

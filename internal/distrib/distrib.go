@@ -13,12 +13,12 @@
 package distrib
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"sync"
 
 	"graphzeppelin/internal/core"
+	"graphzeppelin/internal/gzserve"
 	"graphzeppelin/internal/stream"
 )
 
@@ -39,10 +39,15 @@ type Config struct {
 }
 
 // Cluster is a set of shard engines ingesting one logical stream.
+// Routing and query-time aggregation are the same implementations the
+// networked gzserve cluster uses — a round-robin gzserve.Partitioner
+// and the checkpoint-merge gzserve.Aggregate — so the in-process
+// cluster is exactly the networked topology with channels in place of
+// HTTP.
 type Cluster struct {
 	cfg    Config
 	shards []*shard
-	next   int // round-robin cursor
+	part   *gzserve.Partitioner
 	closed bool
 }
 
@@ -73,7 +78,11 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 1024
 	}
-	c := &Cluster{cfg: cfg}
+	part, err := gzserve.NewRoundRobinPartitioner(cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, part: part}
 	for i := 0; i < cfg.Shards; i++ {
 		ec := cfg.Engine
 		ec.NumNodes = cfg.NumNodes
@@ -108,11 +117,10 @@ func (s *shard) run() {
 	}
 }
 
-// Update routes one stream update to a shard (round-robin; any routing
-// policy is correct by linearity).
+// Update routes one stream update to a shard via the shared partitioner
+// (round-robin policy; any routing is correct by linearity).
 func (c *Cluster) Update(u stream.Update) error {
-	s := c.shards[c.next]
-	c.next = (c.next + 1) % len(c.shards)
+	s := c.shards[c.part.Part(u)]
 	s.ch <- shardMsg{update: u}
 	s.mu.Lock()
 	err := s.err
@@ -161,7 +169,8 @@ func (c *Cluster) ConnectedComponents() ([]uint32, int, error) {
 }
 
 // aggregate builds a fresh engine holding the XOR of all shards' sketches
-// by shipping each shard's checkpoint — the cross-machine merge path.
+// by shipping each shard's checkpoint through the shared merge-based
+// aggregation — the same path the networked coordinator takes.
 func (c *Cluster) aggregate() (*core.Engine, error) {
 	if err := c.drainShards(); err != nil {
 		return nil, err
@@ -169,22 +178,13 @@ func (c *Cluster) aggregate() (*core.Engine, error) {
 	ec := c.cfg.Engine
 	ec.NumNodes = c.cfg.NumNodes
 	ec.Seed = c.cfg.Seed
-	ec.SketchesOnDisk = false
-	ec.Dir = ""
-	agg, err := core.NewEngine(ec)
-	if err != nil {
-		return nil, err
-	}
+	sources := make([]gzserve.CheckpointSource, len(c.shards))
 	for i, s := range c.shards {
-		var buf bytes.Buffer
-		if err := s.eng.WriteCheckpoint(&buf); err != nil {
-			agg.Close()
-			return nil, fmt.Errorf("distrib: checkpointing shard %d: %w", i, err)
-		}
-		if err := agg.MergeCheckpoint(&buf); err != nil {
-			agg.Close()
-			return nil, fmt.Errorf("distrib: merging shard %d: %w", i, err)
-		}
+		sources[i] = gzserve.EngineSource(s.eng)
+	}
+	agg, err := gzserve.Aggregate(ec, sources)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: %w", err)
 	}
 	return agg, nil
 }

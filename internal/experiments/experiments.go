@@ -70,6 +70,10 @@ type Options struct {
 	// Verbose writes progress lines to Progress while running.
 	Verbose  bool
 	Progress io.Writer
+	// GzserveBin, when set, makes DistServe launch each cluster role as
+	// its own gzserve process on localhost (the true multi-process
+	// topology); empty runs the servers in-process over loopback HTTP.
+	GzserveBin string
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,514 @@
+package gzserve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphzeppelin/internal/core"
+	"graphzeppelin/internal/stream"
+)
+
+// Coordinator endpoints beyond the worker set (the coordinator also
+// serves PathIngest, PathInfo and PathStatsz).
+const (
+	PathRefresh    = "/v1/refresh"
+	PathComponents = "/v1/components"
+	PathForest     = "/v1/forest"
+	PathConnected  = "/v1/connected"
+)
+
+// CoordinatorConfig parameterizes a coordinator.
+type CoordinatorConfig struct {
+	// Engine carries the cluster-wide engine parameters (NumNodes and
+	// Seed required; every worker must have been started with the same
+	// NumNodes/Seed/Columns/Rounds or /v1/info validation fails). The
+	// aggregator engine queries run on is built from it, always in RAM.
+	Engine core.Config
+	// Workers is the base URL of every worker, in partition order.
+	Workers []string
+	// BatchSize is the per-worker dispatch threshold in updates
+	// (default 4096): a worker's pending buffer ships when it fills.
+	BatchSize int
+	// Client tunes every worker connection (window, retries, transport).
+	Client ClientConfig
+	// MergeInterval, when positive, refreshes the merged view
+	// periodically in the background; queries between refreshes answer
+	// from the last merged checkpoint cut.
+	MergeInterval time.Duration
+	// SkipValidate skips the startup /v1/info compatibility handshake
+	// (tests that fake workers).
+	SkipValidate bool
+}
+
+// CoordStats is the coordinator's /statsz document.
+type CoordStats struct {
+	// Accepted counts updates taken in by Ingest; AcceptedBatches the
+	// ingest calls (network or in-process) that carried them.
+	Accepted        uint64 `json:"accepted"`
+	AcceptedBatches uint64 `json:"accepted_batches"`
+	// Merges counts refreshes; the Last* fields describe the most recent
+	// one: wall time of the pull+merge, the summed stream positions of
+	// the merged worker cuts, and its completion time.
+	Merges           uint64 `json:"merges"`
+	LastMergeNanos   uint64 `json:"last_merge_nanos"`
+	LastMergeUpdates uint64 `json:"last_merge_updates"`
+	// Workers is each connection's send/retry/duplicate/in-flight
+	// accounting, in partition order.
+	Workers []ClientStats `json:"workers"`
+}
+
+// aggView is one immutable merged result the query path answers from.
+type aggView struct {
+	eng     *core.Engine
+	updates uint64 // summed worker cut positions
+}
+
+// Coordinator partitions incoming edge batches by node range across the
+// cluster's workers, pipelines the sends, and answers global queries by
+// merging the workers' checkpoints into an aggregator engine. Ingest
+// and queries are safe for concurrent use; queries reflect the last
+// merged checkpoint (call Refresh, or set MergeInterval, to advance it).
+type Coordinator struct {
+	cfg     CoordinatorConfig
+	part    *Partitioner
+	clients []*Client
+
+	// lifeCtx governs forwarded sends: a batch accepted by Ingest keeps
+	// flowing to its worker after the accepting call (or HTTP request)
+	// returns, until the coordinator itself closes.
+	lifeCtx    context.Context
+	lifeCancel context.CancelFunc
+
+	mu      sync.Mutex // guards pending and splitBufs
+	pending [][]stream.Update
+
+	gate *seqGate // dedup for the network ingest endpoint
+
+	aggMu sync.RWMutex // held for write while swapping the merged view
+	agg   *aggView
+
+	accepted     atomic.Uint64
+	acceptedB    atomic.Uint64
+	merges       atomic.Uint64
+	lastMergeNs  atomic.Uint64
+	lastMergeUpd atomic.Uint64
+
+	closed   atomic.Bool
+	loopStop chan struct{}
+	loopDone chan struct{}
+}
+
+// NewCoordinator connects to cfg.Workers, validates engine-parameter
+// compatibility with each (unless SkipValidate), and returns a ready
+// coordinator.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("gzserve: coordinator needs at least one worker")
+	}
+	if cfg.Engine.NumNodes < 2 {
+		return nil, errors.New("gzserve: coordinator needs Engine.NumNodes >= 2")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 4096
+	}
+	part, err := NewRangePartitioner(cfg.Engine.NumNodes, len(cfg.Workers))
+	if err != nil {
+		return nil, err
+	}
+	co := &Coordinator{
+		cfg:     cfg,
+		part:    part,
+		pending: make([][]stream.Update, len(cfg.Workers)),
+		gate:    newSeqGate(),
+	}
+	co.lifeCtx, co.lifeCancel = context.WithCancel(context.Background())
+	for _, addr := range cfg.Workers {
+		co.clients = append(co.clients, NewClient(addr, cfg.Client))
+	}
+	if !cfg.SkipValidate {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for i, cl := range co.clients {
+			info, err := cl.Info(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("gzserve: worker %d (%s): %w", i, cl.Addr(), err)
+			}
+			if info.NumNodes != cfg.Engine.NumNodes || info.Seed != cfg.Engine.Seed {
+				return nil, fmt.Errorf("gzserve: worker %d (%s) runs nodes=%d seed=%d, cluster wants nodes=%d seed=%d: %w",
+					i, cl.Addr(), info.NumNodes, info.Seed, cfg.Engine.NumNodes, cfg.Engine.Seed, ErrVersionMismatch)
+			}
+		}
+	}
+	if cfg.MergeInterval > 0 {
+		co.loopStop = make(chan struct{})
+		co.loopDone = make(chan struct{})
+		go co.mergeLoop()
+	}
+	return co, nil
+}
+
+func (co *Coordinator) mergeLoop() {
+	defer close(co.loopDone)
+	t := time.NewTicker(co.cfg.MergeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-co.loopStop:
+			return
+		case <-t.C:
+			co.Refresh(context.Background())
+		}
+	}
+}
+
+// Ingest accepts a batch of updates, partitions it by node range, and
+// pipelines full per-worker sub-batches to their workers. Forwarding
+// continues after Ingest returns (it is bounded by the coordinator's
+// lifetime, not the call); send failures surface here (sticky) and on
+// Flush.
+func (co *Coordinator) Ingest(ups []stream.Update) error {
+	if co.closed.Load() {
+		return core.ErrClosed
+	}
+	co.accepted.Add(uint64(len(ups)))
+	co.acceptedB.Add(1)
+	co.mu.Lock()
+	for _, u := range ups {
+		i := co.part.Part(u)
+		co.pending[i] = append(co.pending[i], u)
+		if len(co.pending[i]) >= co.cfg.BatchSize {
+			co.clients[i].SendAsync(co.lifeCtx, co.pending[i])
+			co.pending[i] = co.pending[i][:0]
+		}
+	}
+	co.mu.Unlock()
+	return co.firstSendErr()
+}
+
+func (co *Coordinator) firstSendErr() error {
+	for _, cl := range co.clients {
+		cl.mu.Lock()
+		err := cl.sendErr
+		cl.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush ships every pending sub-batch and waits for all in-flight sends
+// to be acknowledged.
+func (co *Coordinator) Flush() error {
+	co.mu.Lock()
+	for i := range co.pending {
+		if len(co.pending[i]) > 0 {
+			co.clients[i].SendAsync(co.lifeCtx, co.pending[i])
+			co.pending[i] = co.pending[i][:0]
+		}
+	}
+	co.mu.Unlock()
+	var first error
+	for _, cl := range co.clients {
+		if err := cl.Drain(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Refresh drains the send pipeline, pulls a sealed checkpoint from
+// every worker in parallel, merges them into a fresh aggregator, and
+// atomically installs it as the view queries answer from. The merged
+// cut contains every update Ingest had accepted before Refresh began.
+func (co *Coordinator) Refresh(ctx context.Context) error {
+	if err := co.Flush(); err != nil {
+		return err
+	}
+	start := time.Now()
+	// Pull every worker's checkpoint concurrently (each worker seals its
+	// own cut and streams with ingestion live), then merge sequentially —
+	// MergeCheckpoint itself fans out across the aggregator's workers.
+	bufs := make([]*bytes.Buffer, len(co.clients))
+	errs := make([]error, len(co.clients))
+	var cutSum atomic.Uint64
+	var wg sync.WaitGroup
+	for i, cl := range co.clients {
+		wg.Add(1)
+		go func(i int, cl *Client) {
+			defer wg.Done()
+			rc, updates, err := cl.Checkpoint(ctx)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer rc.Close()
+			var buf bytes.Buffer
+			if _, err := buf.ReadFrom(rc); err != nil {
+				errs[i] = err
+				return
+			}
+			cutSum.Add(updates)
+			bufs[i] = &buf
+		}(i, cl)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("gzserve: pulling checkpoint from worker %d (%s): %w", i, co.clients[i].Addr(), err)
+		}
+	}
+	sources := make([]CheckpointSource, len(bufs))
+	for i, b := range bufs {
+		b := b
+		sources[i] = func() (io.ReadCloser, error) { return io.NopCloser(b), nil }
+	}
+	agg, err := Aggregate(co.cfg.Engine, sources)
+	if err != nil {
+		return err
+	}
+	view := &aggView{eng: agg, updates: cutSum.Load()}
+
+	co.aggMu.Lock()
+	old := co.agg
+	co.agg = view
+	co.aggMu.Unlock()
+	if old != nil {
+		old.eng.Close()
+	}
+	co.merges.Add(1)
+	co.lastMergeNs.Store(uint64(time.Since(start).Nanoseconds()))
+	co.lastMergeUpd.Store(view.updates)
+	return nil
+}
+
+// view returns the current merged view, refreshing first if none exists
+// yet.
+func (co *Coordinator) view(ctx context.Context) (*aggView, func(), error) {
+	co.aggMu.RLock()
+	if co.agg == nil {
+		co.aggMu.RUnlock()
+		if err := co.Refresh(ctx); err != nil {
+			return nil, nil, err
+		}
+		co.aggMu.RLock()
+	}
+	v := co.agg
+	if v == nil {
+		co.aggMu.RUnlock()
+		return nil, nil, errors.New("gzserve: no merged view")
+	}
+	return v, co.aggMu.RUnlock, nil
+}
+
+// ConnectedComponents answers over the last merged checkpoint cut.
+func (co *Coordinator) ConnectedComponents(ctx context.Context) ([]uint32, int, error) {
+	v, release, err := co.view(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer release()
+	return v.eng.ConnectedComponents()
+}
+
+// SpanningForest answers over the last merged checkpoint cut.
+func (co *Coordinator) SpanningForest(ctx context.Context) ([]stream.Edge, error) {
+	v, release, err := co.view(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return v.eng.SpanningForest()
+}
+
+// Connected answers a point query over the last merged checkpoint cut.
+func (co *Coordinator) Connected(ctx context.Context, u, vtx uint32) (bool, error) {
+	v, release, err := co.view(ctx)
+	if err != nil {
+		return false, err
+	}
+	defer release()
+	return v.eng.Connected(u, vtx)
+}
+
+// MergedUpdates returns the summed worker stream positions of the last
+// merged cut (0 before the first refresh).
+func (co *Coordinator) MergedUpdates() uint64 { return co.lastMergeUpd.Load() }
+
+// Stats snapshots the coordinator's /statsz document.
+func (co *Coordinator) Stats() CoordStats {
+	st := CoordStats{
+		Accepted:         co.accepted.Load(),
+		AcceptedBatches:  co.acceptedB.Load(),
+		Merges:           co.merges.Load(),
+		LastMergeNanos:   co.lastMergeNs.Load(),
+		LastMergeUpdates: co.lastMergeUpd.Load(),
+	}
+	for _, cl := range co.clients {
+		st.Workers = append(st.Workers, cl.Stats())
+	}
+	return st
+}
+
+// Close gracefully shuts the coordinator down: it stops the background
+// merge loop, drains every worker's send window, and ships one final
+// refresh so the last merged view covers everything accepted. The final
+// aggregator is then released.
+func (co *Coordinator) Close(ctx context.Context) error {
+	if co.closed.Swap(true) {
+		return nil
+	}
+	if co.loopStop != nil {
+		close(co.loopStop)
+		<-co.loopDone
+	}
+	err := co.Refresh(ctx) // Flush + final checkpoint pull + merge
+	co.lifeCancel()        // abort anything still in flight after the drain
+	co.aggMu.Lock()
+	if co.agg != nil {
+		co.agg.eng.Close()
+		co.agg = nil
+	}
+	co.aggMu.Unlock()
+	return err
+}
+
+// Handler returns the coordinator's HTTP routes: framed ingest (with
+// the same idempotent sequence-number contract workers enforce), query
+// and refresh endpoints, info and statsz.
+func (co *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathIngest, co.handleIngest)
+	mux.HandleFunc("POST "+PathRefresh, co.handleRefresh)
+	mux.HandleFunc("GET "+PathComponents, co.handleComponents)
+	mux.HandleFunc("GET "+PathForest, co.handleForest)
+	mux.HandleFunc("GET "+PathConnected, co.handleConnected)
+	mux.HandleFunc("GET "+PathInfo, co.handleInfo)
+	mux.HandleFunc("GET "+PathStatsz, co.handleStatsz)
+	return mux
+}
+
+func (co *Coordinator) handleIngest(w http.ResponseWriter, r *http.Request) {
+	typ, payload, err := ReadFrame(http.MaxBytesReader(w, r.Body, frameHeaderLen+maxFramePayload))
+	if err != nil {
+		status, code := wireErrorStatus(err)
+		writeWireError(w, status, code, err.Error())
+		return
+	}
+	if typ != MsgIngest {
+		writeWireError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("got %s frame, want %s", typ, MsgIngest))
+		return
+	}
+	seq, ups, err := DecodeIngest(payload)
+	if err != nil {
+		writeWireError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	switch co.gate.Claim(seq) {
+	case claimDup:
+		w.Header().Set("Content-Type", "application/x-gzw1")
+		WriteFrame(w, MsgAck, EncodeAck(seq, false))
+		return
+	case claimBusy:
+		writeWireError(w, http.StatusServiceUnavailable, CodeBusy,
+			fmt.Sprintf("sequence %d is being ingested", seq))
+		return
+	}
+	if err := co.Ingest(ups); err != nil {
+		co.gate.Release(seq)
+		code := CodeInternal
+		status := http.StatusInternalServerError
+		if errors.Is(err, core.ErrClosed) {
+			code, status = CodeClosed, http.StatusServiceUnavailable
+		}
+		writeWireError(w, status, code, err.Error())
+		return
+	}
+	co.gate.Commit(seq)
+	w.Header().Set("Content-Type", "application/x-gzw1")
+	WriteFrame(w, MsgAck, EncodeAck(seq, true))
+}
+
+func (co *Coordinator) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if err := co.Refresh(r.Context()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"merged_updates": co.lastMergeUpd.Load(),
+		"merge_nanos":    co.lastMergeNs.Load(),
+		"wall_nanos":     time.Since(start).Nanoseconds(),
+		"workers":        len(co.clients),
+	})
+}
+
+func (co *Coordinator) handleComponents(w http.ResponseWriter, r *http.Request) {
+	rep, count, err := co.ConnectedComponents(r.Context())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"count":          count,
+		"rep":            rep,
+		"merged_updates": co.lastMergeUpd.Load(),
+	})
+}
+
+func (co *Coordinator) handleForest(w http.ResponseWriter, r *http.Request) {
+	forest, err := co.SpanningForest(r.Context())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	edges := make([][2]uint32, len(forest))
+	for i, e := range forest {
+		edges[i] = [2]uint32{e.U, e.V}
+	}
+	writeJSON(w, map[string]any{
+		"edges":          edges,
+		"merged_updates": co.lastMergeUpd.Load(),
+	})
+}
+
+func (co *Coordinator) handleConnected(w http.ResponseWriter, r *http.Request) {
+	u, err1 := strconv.ParseUint(r.URL.Query().Get("u"), 10, 32)
+	v, err2 := strconv.ParseUint(r.URL.Query().Get("v"), 10, 32)
+	if err1 != nil || err2 != nil {
+		http.Error(w, "u and v query parameters must be node ids", http.StatusBadRequest)
+		return
+	}
+	conn, err := co.Connected(r.Context(), uint32(u), uint32(v))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]any{"connected": conn, "merged_updates": co.lastMergeUpd.Load()})
+}
+
+func (co *Coordinator) handleInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, Info{
+		Role:        "coordinator",
+		WireVersion: WireVersion,
+		NumNodes:    co.cfg.Engine.NumNodes,
+		Seed:        co.cfg.Engine.Seed,
+		Columns:     co.cfg.Engine.Columns,
+		Rounds:      co.cfg.Engine.Rounds,
+		RangeLo:     0,
+		RangeHi:     co.cfg.Engine.NumNodes,
+	})
+}
+
+func (co *Coordinator) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, co.Stats())
+}

@@ -1,0 +1,79 @@
+package gzserve
+
+import "sync"
+
+// claimState is the outcome of seqGate.Claim.
+type claimState int
+
+const (
+	claimNew  claimState = iota // caller owns the apply for this seq
+	claimDup                    // seq already applied; drop and ack duplicate
+	claimBusy                   // seq being applied by another request now
+)
+
+// seqGate is the at-most-once gate behind idempotent ingest: a sequence
+// number must be claimed before its batch is applied, then committed
+// (on success) or released (on failure, making a retry eligible again).
+// Committed numbers compact into a low-water mark — all seq <= low are
+// applied — so memory stays proportional to the reorder window, not the
+// stream.
+type seqGate struct {
+	mu       sync.Mutex
+	applied  map[uint64]struct{}
+	inflight map[uint64]struct{}
+	low      uint64
+}
+
+func newSeqGate() *seqGate {
+	return &seqGate{
+		applied:  make(map[uint64]struct{}),
+		inflight: make(map[uint64]struct{}),
+	}
+}
+
+// Claim reserves seq for application.
+func (g *seqGate) Claim(seq uint64) claimState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if seq <= g.low {
+		return claimDup
+	}
+	if _, ok := g.applied[seq]; ok {
+		return claimDup
+	}
+	if _, ok := g.inflight[seq]; ok {
+		return claimBusy
+	}
+	g.inflight[seq] = struct{}{}
+	return claimNew
+}
+
+// Commit marks a claimed seq applied and advances the low-water mark.
+func (g *seqGate) Commit(seq uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.inflight, seq)
+	g.applied[seq] = struct{}{}
+	for {
+		if _, ok := g.applied[g.low+1]; !ok {
+			return
+		}
+		g.low++
+		delete(g.applied, g.low)
+	}
+}
+
+// Release abandons a claimed seq (the apply failed); a retry may claim
+// it again.
+func (g *seqGate) Release(seq uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.inflight, seq)
+}
+
+// LowWater returns the highest seq below which everything is applied.
+func (g *seqGate) LowWater() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.low
+}

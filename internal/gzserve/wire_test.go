@@ -1,0 +1,245 @@
+package gzserve
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"graphzeppelin/internal/stream"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	ups := []stream.Update{
+		{Edge: stream.Edge{U: 1, V: 2}, Type: stream.Insert},
+		{Edge: stream.Edge{U: 3, V: 9}, Type: stream.Delete},
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgIngest, EncodeIngest(42, ups)); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgIngest {
+		t.Fatalf("type = %v, want ingest", typ)
+	}
+	seq, got, err := DecodeIngest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 42 || len(got) != 2 || got[0] != ups[0] || got[1] != ups[1] {
+		t.Fatalf("decoded seq=%d ups=%v", seq, got)
+	}
+}
+
+func TestFrameAppendMatchesWrite(t *testing.T) {
+	payload := EncodeAck(7, true)
+	var buf bytes.Buffer
+	WriteFrame(&buf, MsgAck, payload)
+	if got := AppendFrame(nil, MsgAck, payload); !bytes.Equal(got, buf.Bytes()) {
+		t.Fatalf("AppendFrame and WriteFrame disagree:\n%x\n%x", got, buf.Bytes())
+	}
+}
+
+func TestFrameBadMagic(t *testing.T) {
+	b := AppendFrame(nil, MsgAck, EncodeAck(1, true))
+	b[0] = 'X'
+	if _, _, err := ReadFrame(bytes.NewReader(b)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestFrameVersionMismatch(t *testing.T) {
+	b := AppendFrame(nil, MsgAck, EncodeAck(1, true))
+	b[4] = WireVersion + 1
+	_, _, err := ReadFrame(bytes.NewReader(b))
+	if !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("err = %v, want ErrVersionMismatch", err)
+	}
+	var ve *VersionError
+	if !errors.As(err, &ve) || ve.Got != WireVersion+1 || ve.Want != WireVersion {
+		t.Fatalf("version error carries %+v", ve)
+	}
+}
+
+func TestFrameReservedFlags(t *testing.T) {
+	b := AppendFrame(nil, MsgAck, EncodeAck(1, true))
+	b[6] = 0xff
+	if _, _, err := ReadFrame(bytes.NewReader(b)); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("err = %v, want ErrBadPayload", err)
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	full := AppendFrame(nil, MsgIngest, EncodeIngest(1, []stream.Update{{Edge: stream.Edge{U: 0, V: 1}}}))
+	// Every proper prefix — inside the header and inside the payload —
+	// must surface ErrTruncatedFrame, the mid-stream connection-drop
+	// signature.
+	for cut := 0; cut < len(full); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(full[:cut]))
+		if !errors.Is(err, ErrTruncatedFrame) {
+			t.Fatalf("cut %d/%d: err = %v, want ErrTruncatedFrame", cut, len(full), err)
+		}
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	b := AppendFrame(nil, MsgCheckpoint, nil)
+	b[8], b[9], b[10], b[11] = 0xff, 0xff, 0xff, 0xff
+	if _, _, err := ReadFrame(bytes.NewReader(b)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestIngestPayloadMalformed(t *testing.T) {
+	// Header shorter than seq+count.
+	if _, _, err := DecodeIngest(make([]byte, 5)); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("short header: err = %v", err)
+	}
+	// Declared count disagrees with body length.
+	p := EncodeIngest(1, []stream.Update{{Edge: stream.Edge{U: 0, V: 1}}})
+	if _, _, err := DecodeIngest(p[:len(p)-1]); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("count mismatch: err = %v", err)
+	}
+	// Corrupt record type byte inside the batch.
+	p = EncodeIngest(1, []stream.Update{{Edge: stream.Edge{U: 0, V: 1}}})
+	p[ingestHeaderLen] = 7
+	if _, _, err := DecodeIngest(p); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("corrupt record: err = %v", err)
+	}
+}
+
+func TestErrorFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, MsgError, EncodeError(CodeBusy, "sequence 9 is being applied"))
+	_, err := expectFrame(&buf, MsgAck)
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != CodeBusy || !re.Retryable() {
+		t.Fatalf("err = %v, want retryable CodeBusy RemoteError", err)
+	}
+	buf.Reset()
+	WriteFrame(&buf, MsgError, EncodeError(CodeIncompatible, "seed mismatch"))
+	_, err = expectFrame(&buf, MsgAck)
+	if !errors.As(err, &re) || re.Retryable() {
+		t.Fatalf("err = %v, want non-retryable RemoteError", err)
+	}
+}
+
+func TestAckPayloadMalformed(t *testing.T) {
+	if _, _, err := DecodeAck(make([]byte, 3)); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("err = %v, want ErrBadPayload", err)
+	}
+}
+
+func TestWriteFrameHeaderStreamedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	body := bytes.Repeat([]byte{0xAB}, 1000)
+	if err := WriteFrameHeader(&buf, MsgCheckpoint, int64(len(body))); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(body)
+	typ, payload, err := ReadFrame(&buf)
+	if err != nil || typ != MsgCheckpoint || !bytes.Equal(payload, body) {
+		t.Fatalf("typ=%v err=%v len=%d", typ, err, len(payload))
+	}
+}
+
+func TestFrameBodyReportsDrop(t *testing.T) {
+	// A frameBody over a stream that ends early must surface
+	// ErrTruncatedFrame, not a clean EOF.
+	fb := &frameBody{r: io.NopCloser(bytes.NewReader(make([]byte, 10))), remaining: 64}
+	_, err := io.ReadAll(fb)
+	if !errors.Is(err, ErrTruncatedFrame) {
+		t.Fatalf("err = %v, want ErrTruncatedFrame", err)
+	}
+}
+
+func TestPartitionerRange(t *testing.T) {
+	p, err := NewRangePartitioner(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ⌈10/3⌉ = 4: ranges [0,4) [4,8) [8,10).
+	wantRanges := [][2]uint32{{0, 4}, {4, 8}, {8, 10}}
+	for i, want := range wantRanges {
+		lo, hi := p.Range(i)
+		if lo != want[0] || hi != want[1] {
+			t.Fatalf("range %d = [%d,%d), want [%d,%d)", i, lo, hi, want[0], want[1])
+		}
+	}
+	// Routing is by lower endpoint.
+	u := stream.Update{Edge: stream.Edge{U: 9, V: 2}}
+	if got := p.Part(u); got != 0 {
+		t.Fatalf("edge (9,2) routed to %d, want 0 (lower endpoint 2)", got)
+	}
+	// Deterministic: a retried batch re-partitions identically.
+	if p.Part(u) != p.Part(u) {
+		t.Fatal("range partitioner not deterministic")
+	}
+}
+
+func TestPartitionerRoundRobin(t *testing.T) {
+	p, err := NewRoundRobinPartitioner(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := stream.Update{Edge: stream.Edge{U: 0, V: 1}}
+	seen := map[int]int{}
+	for i := 0; i < 9; i++ {
+		seen[p.Part(u)]++
+	}
+	for part := 0; part < 3; part++ {
+		if seen[part] != 3 {
+			t.Fatalf("round-robin distribution %v", seen)
+		}
+	}
+}
+
+func TestPartitionerSplit(t *testing.T) {
+	p, _ := NewRangePartitioner(8, 2)
+	ups := []stream.Update{
+		{Edge: stream.Edge{U: 0, V: 5}}, // lower endpoint 0 → part 0
+		{Edge: stream.Edge{U: 6, V: 7}}, // → part 1
+		{Edge: stream.Edge{U: 1, V: 2}}, // → part 0
+	}
+	parts := p.Split(ups, nil)
+	if len(parts[0]) != 2 || len(parts[1]) != 1 {
+		t.Fatalf("split sizes %d/%d, want 2/1", len(parts[0]), len(parts[1]))
+	}
+}
+
+func TestSeqGate(t *testing.T) {
+	g := newSeqGate()
+	if s := g.Claim(1); s != claimNew {
+		t.Fatalf("first claim = %v", s)
+	}
+	if s := g.Claim(1); s != claimBusy {
+		t.Fatalf("claim while in-flight = %v", s)
+	}
+	g.Commit(1)
+	if s := g.Claim(1); s != claimDup {
+		t.Fatalf("claim after commit = %v", s)
+	}
+	// Out-of-order commits compact into the low-water mark.
+	g.Claim(3)
+	g.Commit(3)
+	if g.LowWater() != 1 {
+		t.Fatalf("low water = %d, want 1 (2 missing)", g.LowWater())
+	}
+	g.Claim(2)
+	g.Commit(2)
+	if g.LowWater() != 3 {
+		t.Fatalf("low water = %d, want 3", g.LowWater())
+	}
+	if s := g.Claim(2); s != claimDup {
+		t.Fatalf("claim below low water = %v", s)
+	}
+	// A released claim is retryable.
+	g.Claim(5)
+	g.Release(5)
+	if s := g.Claim(5); s != claimNew {
+		t.Fatalf("claim after release = %v", s)
+	}
+}

@@ -1,0 +1,249 @@
+package gzserve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"graphzeppelin/internal/core"
+)
+
+// Worker endpoints. Request and response bodies on the binary endpoints
+// are GZW1 frames; /v1/info and /statsz speak JSON.
+const (
+	PathIngest     = "/v1/ingest"
+	PathCheckpoint = "/v1/checkpoint"
+	PathInfo       = "/v1/info"
+	PathStatsz     = "/statsz"
+)
+
+// Info describes a server's engine parameters; clients fetch it once to
+// fail fast on incompatible clusters instead of at the first merge.
+type Info struct {
+	Role        string `json:"role"` // "worker" or "coordinator"
+	WireVersion int    `json:"wire_version"`
+	NumNodes    uint32 `json:"num_nodes"`
+	Seed        uint64 `json:"seed"`
+	Columns     int    `json:"columns"`
+	Rounds      int    `json:"rounds"`
+	// RangeLo/RangeHi is the node range the coordinator routes to this
+	// worker (informational — linearity means any update is acceptable).
+	RangeLo uint32 `json:"range_lo"`
+	RangeHi uint32 `json:"range_hi"`
+}
+
+// WorkerStats is the /statsz document of a worker: its engine statistics
+// plus the ingest endpoint's batch accounting.
+type WorkerStats struct {
+	// Batches and Updates count applied (non-duplicate) ingest frames and
+	// the updates they carried; Duplicates counts frames dropped by
+	// sequence-number dedup (retries of already-applied sends).
+	Batches    uint64 `json:"batches"`
+	Updates    uint64 `json:"updates"`
+	Duplicates uint64 `json:"duplicates"`
+	// SeqLowWater is the highest sequence number below which everything
+	// has been applied.
+	SeqLowWater uint64     `json:"seq_low_water"`
+	Engine      core.Stats `json:"engine"`
+}
+
+// Worker owns one partition's engine and serves the batch-ingest,
+// checkpoint, info and stats endpoints. Create with NewWorker, expose
+// via Handler on any http.Server, and Close when done (after the HTTP
+// server has shut down).
+//
+// Idempotency: every ingest frame carries a client-assigned sequence
+// number. The worker applies each sequence number at most once — a
+// retry of a send whose ack was lost is acknowledged as a duplicate
+// without touching the sketches. That is what makes retry safe over XOR
+// sketches, where a double-apply would cancel the batch. Sequence
+// numbers are tracked per worker process (one coordinator per cluster);
+// numbering starts at 1.
+type Worker struct {
+	eng     *core.Engine
+	rangeLo uint32
+	rangeHi uint32
+
+	gate *seqGate
+
+	batches atomic.Uint64
+	updates atomic.Uint64
+	dups    atomic.Uint64
+	closed  atomic.Bool
+}
+
+// NewWorker builds a worker over a fresh engine from cfg. rangeLo/Hi
+// document the node range the coordinator routes here (use 0, NumNodes
+// when standalone).
+func NewWorker(cfg core.Config, rangeLo, rangeHi uint32) (*Worker, error) {
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Worker{
+		eng:     eng,
+		rangeLo: rangeLo,
+		rangeHi: rangeHi,
+		gate:    newSeqGate(),
+	}, nil
+}
+
+// Engine exposes the underlying engine (tests and in-process callers).
+func (wk *Worker) Engine() *core.Engine { return wk.eng }
+
+// Stats snapshots the worker's /statsz document.
+func (wk *Worker) Stats() WorkerStats {
+	return WorkerStats{
+		SeqLowWater: wk.gate.LowWater(),
+		Batches:     wk.batches.Load(),
+		Updates:     wk.updates.Load(),
+		Duplicates:  wk.dups.Load(),
+		Engine:      wk.eng.Stats(),
+	}
+}
+
+// Close drains and releases the engine. Call after the HTTP server
+// serving Handler has stopped.
+func (wk *Worker) Close() error {
+	wk.closed.Store(true)
+	return wk.eng.Close()
+}
+
+// Handler returns the worker's HTTP routes.
+func (wk *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathIngest, wk.handleIngest)
+	mux.HandleFunc("GET "+PathCheckpoint, wk.handleCheckpoint)
+	mux.HandleFunc("GET "+PathInfo, wk.handleInfo)
+	mux.HandleFunc("GET "+PathStatsz, wk.handleStatsz)
+	return mux
+}
+
+// writeWireError sends a typed MsgError frame alongside the HTTP status.
+func writeWireError(w http.ResponseWriter, status int, code ErrorCode, msg string) {
+	w.Header().Set("Content-Type", "application/x-gzw1")
+	w.WriteHeader(status)
+	WriteFrame(w, MsgError, EncodeError(code, msg))
+}
+
+// wireErrorStatus maps a decode failure onto (HTTP status, error code).
+func wireErrorStatus(err error) (int, ErrorCode) {
+	switch {
+	case errors.Is(err, ErrVersionMismatch):
+		return http.StatusBadRequest, CodeIncompatible
+	default:
+		return http.StatusBadRequest, CodeBadRequest
+	}
+}
+
+func (wk *Worker) handleIngest(w http.ResponseWriter, r *http.Request) {
+	typ, payload, err := ReadFrame(http.MaxBytesReader(w, r.Body, frameHeaderLen+maxFramePayload))
+	if err != nil {
+		status, code := wireErrorStatus(err)
+		writeWireError(w, status, code, err.Error())
+		return
+	}
+	if typ != MsgIngest {
+		writeWireError(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Sprintf("got %s frame, want %s", typ, MsgIngest))
+		return
+	}
+	seq, ups, err := DecodeIngest(payload)
+	if err != nil {
+		writeWireError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	if wk.closed.Load() {
+		writeWireError(w, http.StatusServiceUnavailable, CodeClosed, "worker shutting down")
+		return
+	}
+
+	// Dedup gate: claim the sequence number before applying, release or
+	// commit it after, so a retry can never double-apply and a retry
+	// racing its own original gets "busy" instead of a second apply.
+	switch wk.gate.Claim(seq) {
+	case claimDup:
+		wk.dups.Add(1)
+		wk.writeAck(w, seq, false)
+		return
+	case claimBusy:
+		writeWireError(w, http.StatusServiceUnavailable, CodeBusy,
+			fmt.Sprintf("sequence %d is being applied", seq))
+		return
+	}
+
+	if err := wk.eng.UpdateBatch(ups); err != nil {
+		wk.gate.Release(seq)
+		code := CodeInternal
+		status := http.StatusInternalServerError
+		if errors.Is(err, core.ErrClosed) {
+			code, status = CodeClosed, http.StatusServiceUnavailable
+		}
+		writeWireError(w, status, code, err.Error())
+		return
+	}
+
+	wk.gate.Commit(seq)
+	wk.batches.Add(1)
+	wk.updates.Add(uint64(len(ups)))
+	wk.writeAck(w, seq, true)
+}
+
+func (wk *Worker) writeAck(w http.ResponseWriter, seq uint64, applied bool) {
+	w.Header().Set("Content-Type", "application/x-gzw1")
+	WriteFrame(w, MsgAck, EncodeAck(seq, applied))
+}
+
+// handleCheckpoint seals a consistent cut and streams it as one
+// length-prefixed MsgCheckpoint frame. The seal excludes ingestion only
+// for drain + snapshot; the network transfer runs with ingestion live.
+func (wk *Worker) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	cs, err := wk.eng.SealCheckpoint()
+	if err != nil {
+		code := CodeInternal
+		status := http.StatusInternalServerError
+		if errors.Is(err, core.ErrClosed) {
+			code, status = CodeClosed, http.StatusServiceUnavailable
+		}
+		writeWireError(w, status, code, err.Error())
+		return
+	}
+	defer cs.Close()
+	size := cs.Size()
+	w.Header().Set("Content-Type", "application/x-gzw1")
+	w.Header().Set("Content-Length", fmt.Sprintf("%d", int64(frameHeaderLen)+size))
+	w.Header().Set("X-GZ-Updates", fmt.Sprintf("%d", cs.Updates()))
+	if err := WriteFrameHeader(w, MsgCheckpoint, size); err != nil {
+		return
+	}
+	// Errors past this point cannot change the HTTP status; the receiver
+	// detects the short body against the declared frame length.
+	cs.StreamTo(w)
+}
+
+func (wk *Worker) handleInfo(w http.ResponseWriter, r *http.Request) {
+	cfg := wk.eng.Config()
+	writeJSON(w, Info{
+		Role:        "worker",
+		WireVersion: WireVersion,
+		NumNodes:    cfg.NumNodes,
+		Seed:        cfg.Seed,
+		Columns:     cfg.Columns,
+		Rounds:      cfg.Rounds,
+		RangeLo:     wk.rangeLo,
+		RangeHi:     wk.rangeHi,
+	})
+}
+
+func (wk *Worker) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, wk.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

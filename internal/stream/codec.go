@@ -20,6 +20,65 @@ import (
 
 var magic = [4]byte{'G', 'Z', 'S', '1'}
 
+// RecordSize is the fixed wire size of one encoded update: type(1) |
+// u(4) | v(4), little endian. The file codec below and the gzserve wire
+// protocol share this record layout, so a batch captured off the network
+// can be replayed from disk (and vice versa) byte for byte.
+const RecordSize = 9
+
+// AppendUpdate appends u's fixed-width record to dst and returns the
+// extended slice.
+func AppendUpdate(dst []byte, u Update) []byte {
+	var rec [RecordSize]byte
+	rec[0] = byte(u.Type)
+	binary.LittleEndian.PutUint32(rec[1:], u.Edge.U)
+	binary.LittleEndian.PutUint32(rec[5:], u.Edge.V)
+	return append(dst, rec[:]...)
+}
+
+// AppendUpdates appends every update's record to dst.
+func AppendUpdates(dst []byte, ups []Update) []byte {
+	for _, u := range ups {
+		dst = AppendUpdate(dst, u)
+	}
+	return dst
+}
+
+// DecodeUpdate decodes one record from the front of b, validating the
+// type byte.
+func DecodeUpdate(b []byte) (Update, error) {
+	if len(b) < RecordSize {
+		return Update{}, fmt.Errorf("stream: short record: %d bytes", len(b))
+	}
+	if b[0] > 1 {
+		return Update{}, fmt.Errorf("stream: corrupt record: type byte %d", b[0])
+	}
+	return Update{
+		Type: UpdateType(b[0]),
+		Edge: Edge{
+			U: binary.LittleEndian.Uint32(b[1:]),
+			V: binary.LittleEndian.Uint32(b[5:]),
+		},
+	}, nil
+}
+
+// DecodeUpdates decodes a packed run of records; b must be an exact
+// multiple of RecordSize.
+func DecodeUpdates(b []byte) ([]Update, error) {
+	if len(b)%RecordSize != 0 {
+		return nil, fmt.Errorf("stream: %d bytes is not a whole number of %d-byte records", len(b), RecordSize)
+	}
+	out := make([]Update, 0, len(b)/RecordSize)
+	for off := 0; off < len(b); off += RecordSize {
+		u, err := DecodeUpdate(b[off:])
+		if err != nil {
+			return nil, fmt.Errorf("stream: record %d: %w", off/RecordSize, err)
+		}
+		out = append(out, u)
+	}
+	return out, nil
+}
+
 // Header describes a serialized stream.
 type Header struct {
 	NumNodes uint32
@@ -56,11 +115,8 @@ func NewWriter(w io.Writer, numNodes uint32, count uint64) (*Writer, error) {
 
 // Write appends one update record.
 func (w *Writer) Write(u Update) error {
-	var rec [9]byte
-	rec[0] = byte(u.Type)
-	binary.LittleEndian.PutUint32(rec[1:], u.Edge.U)
-	binary.LittleEndian.PutUint32(rec[5:], u.Edge.V)
-	if _, err := w.w.Write(rec[:]); err != nil {
+	var rec [RecordSize]byte
+	if _, err := w.w.Write(AppendUpdate(rec[:0], u)); err != nil {
 		return err
 	}
 	w.written++
@@ -114,7 +170,7 @@ func (r *Reader) Read() (Update, error) {
 	if r.readed >= r.hdr.Count {
 		return Update{}, io.EOF
 	}
-	var rec [9]byte
+	var rec [RecordSize]byte
 	if _, err := io.ReadFull(r.r, rec[:]); err != nil {
 		if errors.Is(err, io.EOF) {
 			err = io.ErrUnexpectedEOF
@@ -122,16 +178,11 @@ func (r *Reader) Read() (Update, error) {
 		return Update{}, fmt.Errorf("stream: truncated at update %d/%d: %w", r.readed, r.hdr.Count, err)
 	}
 	r.readed++
-	if rec[0] > 1 {
-		return Update{}, fmt.Errorf("stream: corrupt record %d: type byte %d", r.readed-1, rec[0])
+	u, err := DecodeUpdate(rec[:])
+	if err != nil {
+		return Update{}, fmt.Errorf("stream: record %d: %w", r.readed-1, err)
 	}
-	return Update{
-		Type: UpdateType(rec[0]),
-		Edge: Edge{
-			U: binary.LittleEndian.Uint32(rec[1:]),
-			V: binary.LittleEndian.Uint32(rec[5:]),
-		},
-	}, nil
+	return u, nil
 }
 
 // ReadAll drains the reader into a slice.
