@@ -77,10 +77,11 @@ type Client struct {
 
 	seq    atomic.Uint64
 	window chan struct{}
-	wg     sync.WaitGroup
 
 	mu      sync.Mutex
-	sendErr error // first abandoned-batch error, surfaced by Drain
+	idle    sync.Cond // signaled when active drops to zero
+	active  int       // sends registered but not yet settled
+	sendErr error     // first abandoned-batch error, surfaced by Drain
 
 	batches  atomic.Uint64
 	updates  atomic.Uint64
@@ -94,11 +95,13 @@ type Client struct {
 // "http://127.0.0.1:7001").
 func NewClient(base string, cfg ClientConfig) *Client {
 	cfg = cfg.withDefaults()
-	return &Client{
+	c := &Client{
 		base:   base,
 		cfg:    cfg,
 		window: make(chan struct{}, cfg.MaxInFlight),
 	}
+	c.idle.L = &c.mu
+	return c
 }
 
 // Addr returns the worker base URL.
@@ -223,37 +226,43 @@ func (c *Client) postIngest(ctx context.Context, seq uint64, frame []byte) (appl
 
 // SendAsync ships the batch through the bounded in-flight window,
 // blocking only when the window is full. Failures surface on Drain.
-// The batch is copied, so the caller may reuse ups.
+// The batch is copied, so the caller may reuse ups. Safe to call
+// concurrently with Drain: a Drain that began before this send
+// registered is not obliged to wait for it.
 func (c *Client) SendAsync(ctx context.Context, ups []stream.Update) {
 	batch := make([]stream.Update, len(ups))
 	copy(batch, ups)
 	seq := c.seq.Add(1) // assign in submission order, before blocking
+	c.mu.Lock()
+	c.active++
+	c.mu.Unlock()
 	c.window <- struct{}{}
-	c.wg.Add(1)
 	c.inflight.Add(1)
 	go func() {
-		defer func() {
-			c.inflight.Add(-1)
-			<-c.window
-			c.wg.Done()
-		}()
-		if err := c.sendSeq(ctx, seq, batch); err != nil {
-			c.mu.Lock()
-			if c.sendErr == nil {
-				c.sendErr = err
-			}
-			c.mu.Unlock()
+		err := c.sendSeq(ctx, seq, batch)
+		c.inflight.Add(-1)
+		<-c.window
+		c.mu.Lock()
+		if err != nil && c.sendErr == nil {
+			c.sendErr = err
 		}
+		if c.active--; c.active == 0 {
+			c.idle.Broadcast()
+		}
+		c.mu.Unlock()
 	}()
 }
 
-// Drain waits for every in-flight send and returns the first abandoned
-// batch's error, if any (sticky until the caller handles it; cleared by
+// Drain waits for every send registered before it was called (and any
+// that register while it waits) and returns the first abandoned batch's
+// error, if any (sticky until the caller handles it; cleared by
 // ClearErr).
 func (c *Client) Drain() error {
-	c.wg.Wait()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for c.active > 0 {
+		c.idle.Wait()
+	}
 	return c.sendErr
 }
 

@@ -172,8 +172,11 @@ func (co *Coordinator) mergeLoop() {
 // Ingest accepts a batch of updates, partitions it by node range, and
 // pipelines full per-worker sub-batches to their workers. Forwarding
 // continues after Ingest returns (it is bounded by the coordinator's
-// lifetime, not the call); send failures surface here (sticky) and on
-// Flush.
+// lifetime, not the call). A non-nil error (ErrClosed) means the batch
+// was NOT accepted and may safely be resent; asynchronous send failures
+// surface on Flush and Refresh instead, never here — an accepted batch
+// must not look retryable, or a resend would double-apply into the XOR
+// sketches.
 func (co *Coordinator) Ingest(ups []stream.Update) error {
 	if co.closed.Load() {
 		return core.ErrClosed
@@ -190,18 +193,6 @@ func (co *Coordinator) Ingest(ups []stream.Update) error {
 		}
 	}
 	co.mu.Unlock()
-	return co.firstSendErr()
-}
-
-func (co *Coordinator) firstSendErr() error {
-	for _, cl := range co.clients {
-		cl.mu.Lock()
-		err := cl.sendErr
-		cl.mu.Unlock()
-		if err != nil {
-			return err
-		}
-	}
 	return nil
 }
 
@@ -423,14 +414,14 @@ func (co *Coordinator) handleIngest(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("sequence %d is being ingested", seq))
 		return
 	}
+	// Ingest fails only when the batch was not accepted (shutting down),
+	// so releasing the seq for a retry is safe; once accepted the batch
+	// will be forwarded, so the seq must commit — any later async send
+	// failure is reported by Refresh, not by failing this (or any
+	// subsequent) ack, where a retryable reply would double-apply.
 	if err := co.Ingest(ups); err != nil {
 		co.gate.Release(seq)
-		code := CodeInternal
-		status := http.StatusInternalServerError
-		if errors.Is(err, core.ErrClosed) {
-			code, status = CodeClosed, http.StatusServiceUnavailable
-		}
-		writeWireError(w, status, code, err.Error())
+		writeWireError(w, http.StatusServiceUnavailable, CodeClosed, err.Error())
 		return
 	}
 	co.gate.Commit(seq)

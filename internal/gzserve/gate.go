@@ -11,6 +11,17 @@ const (
 	claimBusy                   // seq being applied by another request now
 )
 
+// maxSeqGap bounds the applied set. A sequence number that is released
+// and never retried (the sender gave up after MaxAttempts, or died)
+// would stall the low-water mark forever, pinning every later committed
+// seq in the applied map. Once more than maxSeqGap committed numbers
+// pile up above a gap, the gap is declared abandoned and the low-water
+// mark force-advances past it: memory stays bounded at the cost of
+// treating a pathologically late retry of the abandoned seq as a
+// duplicate. The bound is far above any real reorder window
+// (MaxInFlight is single digits).
+const maxSeqGap = 1 << 16
+
 // seqGate is the at-most-once gate behind idempotent ingest: a sequence
 // number must be claimed before its batch is applied, then committed
 // (on success) or released (on failure, making a retry eligible again).
@@ -53,13 +64,32 @@ func (g *seqGate) Commit(seq uint64) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	delete(g.inflight, seq)
+	if seq <= g.low {
+		// The low-water mark force-advanced past this seq while its apply
+		// was in flight; it already counts as applied.
+		return
+	}
 	g.applied[seq] = struct{}{}
 	for {
-		if _, ok := g.applied[g.low+1]; !ok {
+		if _, ok := g.applied[g.low+1]; ok {
+			g.low++
+			delete(g.applied, g.low)
+			continue
+		}
+		if len(g.applied) <= maxSeqGap {
 			return
 		}
-		g.low++
-		delete(g.applied, g.low)
+		// The gap at low+1 has been abandoned (see maxSeqGap): jump the
+		// low-water mark to just below the smallest committed seq and let
+		// compaction resume from there. Every applied key is > low >= 0,
+		// so 0 works as the unset sentinel.
+		var min uint64
+		for s := range g.applied {
+			if min == 0 || s < min {
+				min = s
+			}
+		}
+		g.low = min - 1
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 
 	"graphzeppelin/internal/core"
 	"graphzeppelin/internal/dsu"
+	"graphzeppelin/internal/iomodel"
 	"graphzeppelin/internal/stream"
 )
 
@@ -440,6 +441,171 @@ func TestStatszEndpoints(t *testing.T) {
 	}
 	if cst.Merges == 0 || cst.LastMergeUpdates != uint64(len(ups)) {
 		t.Fatalf("merge accounting: %+v", cst)
+	}
+}
+
+// TestStickySendErrorDoesNotFailIngest pins the fix for the
+// double-apply hazard on the coordinator's ingest endpoint: after one
+// async send fails permanently, the sticky error must surface on
+// Flush/Refresh only — Ingest keeps accepting, and the HTTP handler
+// keeps committing sequence numbers and acking, because the batch WAS
+// enqueued and a retryable reply would make the client resend it into
+// the XOR sketches a second time.
+func TestStickySendErrorDoesNotFailIngest(t *testing.T) {
+	tc := startCluster(t, 32, 5, 1, ClientConfig{
+		MaxAttempts:  1,
+		RetryBackoff: time.Millisecond,
+	}, func(inner http.RoundTripper) http.RoundTripper {
+		// Every worker-bound ingest POST loses its response: the send path
+		// fails permanently after MaxAttempts=1.
+		return &faultTransport{inner: inner, mode: "drop-response", pathMatch: PathIngest, failAfter: 0}
+	})
+	defer func() {
+		// Close without the final refresh (its flush reports the fault).
+		tc.co.closed.Store(true)
+		tc.co.lifeCancel()
+		for _, srv := range tc.servers {
+			srv.Close()
+		}
+		for _, wk := range tc.workers {
+			wk.Close()
+		}
+	}()
+
+	// Trip the sticky error: enough updates to fill a sub-batch (64) and
+	// trigger a doomed async send, then wait for it to settle.
+	ups, _ := randomStream(32, 128, 9)
+	if err := tc.co.Ingest(ups); err != nil {
+		t.Fatalf("Ingest returned %v; accepted batches must not fail", err)
+	}
+	if err := tc.co.clients[0].Drain(); err == nil {
+		t.Fatal("send fault never surfaced on Drain")
+	}
+
+	// Ingest still accepts (the sticky error belongs to Flush/Refresh).
+	if err := tc.co.Ingest(ups[:10]); err != nil {
+		t.Fatalf("Ingest after sticky send error = %v, want nil", err)
+	}
+
+	// The framed endpoint must commit and ack, and dedup the replay.
+	csrv := httptest.NewServer(tc.co.Handler())
+	defer csrv.Close()
+	frame := AppendFrame(nil, MsgIngest, EncodeIngest(5, ups[:4]))
+	for i, wantApplied := range []bool{true, false} {
+		resp, err := http.Post(csrv.URL+PathIngest, "application/x-gzw1", bytes.NewReader(frame))
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, err := expectFrame(resp.Body, MsgAck)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("POST %d: %v, want an ack (a retryable error here double-applies)", i, err)
+		}
+		if _, applied, _ := DecodeAck(payload); applied != wantApplied {
+			t.Fatalf("POST %d: applied = %v, want %v", i, applied, wantApplied)
+		}
+	}
+
+	// The failure is still reported — out-of-band, on Flush.
+	if err := tc.co.Flush(); err == nil {
+		t.Fatal("Flush swallowed the sticky send error")
+	}
+}
+
+// TestWorkerEngineFaultCommitsSeq drives a worker whose engine sits on a
+// faulty device until an ingest fails mid-pipeline. The reply must be
+// the non-retryable CodeFailed with the sequence number committed: the
+// batch may already be buffered, so a replay has to be deduplicated, not
+// applied again.
+func TestWorkerEngineFaultCommitsSeq(t *testing.T) {
+	wk, err := NewWorker(core.Config{
+		NumNodes:       32,
+		Seed:           51,
+		SketchesOnDisk: true,
+		CacheBytes:     -1,      // uncached: every batch round-trips the store
+		BufferFactor:   0.00001, // tiny gutters: every update hits the device
+		DeviceFactory: func(string) (iomodel.Device, error) {
+			return iomodel.NewFault(iomodel.NewMem(512), 200), nil
+		},
+	}, 0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wk.Close()
+	srv := httptest.NewServer(wk.Handler())
+	defer srv.Close()
+	cl := NewClient(srv.URL, ClientConfig{MaxAttempts: 1, RetryBackoff: time.Millisecond})
+
+	ctx := context.Background()
+	var sendErr error
+	for i := 0; i < 3000 && sendErr == nil; i++ {
+		u := uint32(i % 31)
+		sendErr = cl.Send(ctx, []stream.Update{{Edge: stream.Edge{U: u, V: u + 1}, Type: stream.Insert}})
+	}
+	if sendErr == nil {
+		t.Fatal("device fault never surfaced through ingest")
+	}
+	var re *RemoteError
+	if !errors.As(sendErr, &re) || re.Code != CodeFailed || re.Retryable() {
+		t.Fatalf("err = %v, want non-retryable CodeFailed", sendErr)
+	}
+
+	// Replaying the failed sequence number must hit the dedup gate.
+	failSeq := cl.seq.Load()
+	frame := AppendFrame(nil, MsgIngest, EncodeIngest(failSeq, []stream.Update{{Edge: stream.Edge{U: 1, V: 2}, Type: stream.Insert}}))
+	resp, err := http.Post(srv.URL+PathIngest, "application/x-gzw1", bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := expectFrame(resp.Body, MsgAck)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("replay of failed seq: %v, want duplicate ack", err)
+	}
+	if _, applied, _ := DecodeAck(payload); applied {
+		t.Fatal("replay of a committed-but-failed seq was applied again")
+	}
+}
+
+// TestClientDrainConcurrentWithSendAsync overlaps Drain with a stream of
+// SendAsync calls; the old WaitGroup-based accounting could panic with
+// "Add called concurrently with Wait" under exactly this interleaving
+// (Coordinator.Ingest vs Refresh).
+func TestClientDrainConcurrentWithSendAsync(t *testing.T) {
+	wk, err := NewWorker(core.Config{NumNodes: 16, Seed: 2}, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wk.Close()
+	srv := httptest.NewServer(wk.Handler())
+	defer srv.Close()
+	cl := NewClient(srv.URL, ClientConfig{MaxInFlight: 2})
+
+	ctx := context.Background()
+	batch := []stream.Update{{Edge: stream.Edge{U: 0, V: 1}, Type: stream.Insert}}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			cl.SendAsync(ctx, batch)
+		}
+	}()
+	for drained := false; !drained; {
+		select {
+		case <-done:
+			drained = true
+		default:
+		}
+		if err := cl.Drain(); err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	if err := cl.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.Stats().Batches; got != 200 {
+		t.Fatalf("acknowledged %d batches, want 200", got)
 	}
 }
 

@@ -70,9 +70,23 @@ const (
 	// maxFramePayload caps a frame's declared payload so a corrupt or
 	// hostile length field cannot force an arbitrary allocation.
 	maxFramePayload = 1 << 28
+	// maxCheckpointPayload is the cap for MsgCheckpoint frames, which are
+	// streamed on both sides (never allocated whole), so the allocation
+	// argument behind maxFramePayload does not apply. Large engines
+	// (NumNodes × slot size) routinely exceed 1<<28; the cap here is the
+	// largest length that is safe in an int on every platform.
+	maxCheckpointPayload = 1<<31 - 1
 	// ingestHeaderLen is the seq + count prefix of a MsgIngest payload.
 	ingestHeaderLen = 12
 )
+
+// maxPayloadFor returns the payload cap for the frame type.
+func maxPayloadFor(typ MsgType) int64 {
+	if typ == MsgCheckpoint {
+		return maxCheckpointPayload
+	}
+	return maxFramePayload
+}
 
 // MsgType is the frame type tag.
 type MsgType uint8
@@ -166,7 +180,7 @@ func WriteFrame(w io.Writer, typ MsgType, payload []byte) error {
 // known exactly up front (core.CheckpointSnapshot.Size), so the frame is
 // length-prefixed yet streamed.
 func WriteFrameHeader(w io.Writer, typ MsgType, length int64) error {
-	if length < 0 || length > maxFramePayload {
+	if length < 0 || length > maxPayloadFor(typ) {
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, length)
 	}
 	var hdr [frameHeaderLen]byte
@@ -197,11 +211,12 @@ func ReadFrameHeader(r io.Reader) (MsgType, int, error) {
 	if flags := binary.LittleEndian.Uint16(hdr[6:]); flags != 0 {
 		return 0, 0, fmt.Errorf("%w: reserved flags %#x set", ErrBadPayload, flags)
 	}
+	typ := MsgType(hdr[5])
 	length := binary.LittleEndian.Uint32(hdr[8:])
-	if length > maxFramePayload {
+	if int64(length) > maxPayloadFor(typ) {
 		return 0, 0, fmt.Errorf("%w: declared %d bytes", ErrFrameTooLarge, length)
 	}
-	return MsgType(hdr[5]), int(length), nil
+	return typ, int(length), nil
 }
 
 // ReadFrame reads one complete frame, returning its type and payload.
@@ -277,11 +292,17 @@ const (
 	CodeIncompatible ErrorCode = 2
 	// CodeClosed: the server is shutting down and no longer accepts work.
 	CodeClosed ErrorCode = 3
-	// CodeInternal: the engine failed applying the request; retryable.
+	// CodeInternal: the server failed before the request took effect;
+	// retrying the same request is safe and may succeed.
 	CodeInternal ErrorCode = 4
 	// CodeBusy: the same sequence number is currently being applied by
 	// another in-flight request; retry after it settles.
 	CodeBusy ErrorCode = 5
+	// CodeFailed: the request failed after its batch may have entered the
+	// apply pipeline (its sequence number is committed), or failed in a
+	// way a resend cannot fix. Not retryable: a resend would only be
+	// dropped as a duplicate.
+	CodeFailed ErrorCode = 6
 )
 
 // RemoteError is a server-side failure propagated through a MsgError

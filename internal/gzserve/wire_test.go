@@ -243,3 +243,60 @@ func TestSeqGate(t *testing.T) {
 		t.Fatalf("claim after release = %v", s)
 	}
 }
+
+func TestSeqGateAbandonedGapBounded(t *testing.T) {
+	// Seq 1 is claimed, released, and never retried (its sender gave up);
+	// seq 2 stays in flight across the whole pile-up. Without the
+	// force-advance, every later committed seq would be pinned in the
+	// applied map forever.
+	g := newSeqGate()
+	g.Claim(1)
+	g.Release(1)
+	g.Claim(2)
+	last := uint64(maxSeqGap + 4)
+	for seq := uint64(3); seq <= last; seq++ {
+		if s := g.Claim(seq); s != claimNew {
+			t.Fatalf("claim %d = %v", seq, s)
+		}
+		g.Commit(seq)
+	}
+	if g.LowWater() != last {
+		t.Fatalf("low water = %d, want %d (abandoned gap not skipped)", g.LowWater(), last)
+	}
+	if n := len(g.applied); n != 0 {
+		t.Fatalf("applied set holds %d entries after force-advance, want 0", n)
+	}
+	// The abandoned seq now reads as a duplicate: a pathologically late
+	// retry is dropped rather than stalling the gate again.
+	if s := g.Claim(1); s != claimDup {
+		t.Fatalf("claim of abandoned seq = %v, want dup", s)
+	}
+	// The in-flight seq the mark jumped over commits harmlessly.
+	g.Commit(2)
+	if g.LowWater() != last || len(g.applied) != 0 {
+		t.Fatalf("late commit of jumped seq: low=%d applied=%d", g.LowWater(), len(g.applied))
+	}
+	if s := g.Claim(2); s != claimDup {
+		t.Fatalf("claim of jumped seq = %v, want dup", s)
+	}
+}
+
+func TestCheckpointFrameCap(t *testing.T) {
+	// Checkpoint frames are streamed, not allocated, so they get a larger
+	// cap than the generic allocation-bounding one.
+	var buf bytes.Buffer
+	if err := WriteFrameHeader(&buf, MsgCheckpoint, maxFramePayload+1); err != nil {
+		t.Fatalf("checkpoint header over generic cap: %v", err)
+	}
+	typ, length, err := ReadFrameHeader(&buf)
+	if err != nil || typ != MsgCheckpoint || length != maxFramePayload+1 {
+		t.Fatalf("read back typ=%v len=%d err=%v", typ, length, err)
+	}
+	// Generic frames keep the tight cap; checkpoints keep their own.
+	if err := WriteFrameHeader(&buf, MsgIngest, maxFramePayload+1); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("ingest header over cap: err = %v, want ErrFrameTooLarge", err)
+	}
+	if err := WriteFrameHeader(&buf, MsgCheckpoint, maxCheckpointPayload+1); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("checkpoint header over its cap: err = %v, want ErrFrameTooLarge", err)
+	}
+}

@@ -159,6 +159,16 @@ func (wk *Worker) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeWireError(w, http.StatusServiceUnavailable, CodeClosed, "worker shutting down")
 		return
 	}
+	// Validate every edge before touching the gate or the engine, so the
+	// only failures UpdateBatch can hit below are ErrClosed (checked
+	// before anything buffers) or a post-buffer engine error — never a
+	// validation error for a batch that is safe to resend.
+	for _, up := range ups {
+		if err := wk.eng.CheckEdge(up.Edge); err != nil {
+			writeWireError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+			return
+		}
+	}
 
 	// Dedup gate: claim the sequence number before applying, release or
 	// commit it after, so a retry can never double-apply and a retry
@@ -175,13 +185,20 @@ func (wk *Worker) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if err := wk.eng.UpdateBatch(ups); err != nil {
-		wk.gate.Release(seq)
-		code := CodeInternal
-		status := http.StatusInternalServerError
 		if errors.Is(err, core.ErrClosed) {
-			code, status = CodeClosed, http.StatusServiceUnavailable
+			// Nothing was buffered: the closed check precedes buffering, so
+			// the seq can be released for a (futile but harmless) retry.
+			wk.gate.Release(seq)
+			writeWireError(w, http.StatusServiceUnavailable, CodeClosed, err.Error())
+			return
 		}
-		writeWireError(w, status, code, err.Error())
+		// Past validation and the closed check, a failure means the batch
+		// may already sit in the ingest pipeline (the engine's error is a
+		// sticky async worker fault, not proof this batch was dropped).
+		// Commit the seq so a resend is deduplicated instead of XOR-ing
+		// the batch out of the sketches, and tell the client not to retry.
+		wk.gate.Commit(seq)
+		writeWireError(w, http.StatusInternalServerError, CodeFailed, err.Error())
 		return
 	}
 
@@ -212,6 +229,14 @@ func (wk *Worker) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cs.Close()
 	size := cs.Size()
+	if size > maxPayloadFor(MsgCheckpoint) {
+		// Surface a typed error the coordinator can report, rather than an
+		// empty 200 it could only diagnose as a truncated frame. Resending
+		// cannot help: the engine has outgrown the wire format's frame cap.
+		writeWireError(w, http.StatusInternalServerError, CodeFailed,
+			fmt.Sprintf("checkpoint is %d bytes, exceeds the %d-byte frame cap", size, maxPayloadFor(MsgCheckpoint)))
+		return
+	}
 	w.Header().Set("Content-Type", "application/x-gzw1")
 	w.Header().Set("Content-Length", fmt.Sprintf("%d", int64(frameHeaderLen)+size))
 	w.Header().Set("X-GZ-Updates", fmt.Sprintf("%d", cs.Updates()))
