@@ -74,6 +74,10 @@ func main() {
 		maxWeight  = flag.Int("maxweight", 4, "max edge weight for -structure msf")
 		ckptPath   = flag.String("checkpoint", "", "write a checkpoint of the final sketch state to this file")
 		restore    = flag.String("restore", "", "restore the graph from this checkpoint file before ingesting (graph only)")
+		walDir     = flag.String("wal", "", "write-ahead log directory: log every accepted batch before it enters the pipeline (graph only)")
+		fsync      = flag.String("fsync", "batch", "WAL fsync policy: batch, interval, off")
+		fsyncEvery = flag.Duration("fsyncinterval", 0, "WAL sync period for -fsync interval (0 = 50ms default)")
+		walSegB    = flag.Int64("walsegbytes", 0, "WAL segment rotation threshold in bytes (0 = 8 MiB default)")
 		mergeList  = flag.String("merge", "", "comma-separated checkpoint files merged in after ingestion, before the query")
 		noRebal    = flag.Bool("norebalance", false, "disable the skew-aware shard rebalancer (graph)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -88,6 +92,9 @@ func main() {
 	}
 	if *restore != "" && *structure != "graph" {
 		log.Fatal("-restore is only supported with -structure graph")
+	}
+	if *walDir != "" && *structure != "graph" {
+		log.Fatal("-wal is only supported with -structure graph")
 	}
 
 	// Profiles flush on normal completion; a log.Fatal error path exits
@@ -161,6 +168,19 @@ func main() {
 	}
 	if *npg > 0 {
 		opts = append(opts, graphzeppelin.WithNodesPerGroup(*npg))
+	}
+	if *walDir != "" {
+		policy, err := graphzeppelin.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, graphzeppelin.WithWAL(*walDir), graphzeppelin.WithFsyncPolicy(policy))
+		if *fsyncEvery > 0 {
+			opts = append(opts, graphzeppelin.WithFsyncInterval(*fsyncEvery))
+		}
+		if *walSegB > 0 {
+			opts = append(opts, graphzeppelin.WithWALSegmentBytes(*walSegB))
+		}
 	}
 
 	// Build the selected structure; all of them ingest through the one
@@ -314,6 +334,11 @@ func main() {
 	if st.BufferIO.TotalBlocks() > 0 {
 		fmt.Printf("gutter I/O: %d read blocks, %d write blocks\n",
 			st.BufferIO.ReadBlocks, st.BufferIO.WriteBlocks)
+	}
+	if wst := st.WAL; wst.Appends > 0 {
+		fmt.Printf("wal: %d appends (%.1f MiB) in %d group commits, %d fsyncs, %d segments (tail LSN %d, durable %d)\n",
+			wst.Appends, float64(wst.Bytes)/(1<<20), wst.GroupCommits, wst.Fsyncs,
+			wst.Segments, wst.TailLSN, wst.DurableLSN)
 	}
 }
 

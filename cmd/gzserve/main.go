@@ -19,11 +19,22 @@
 // POST /v1/refresh and GET /v1/components (see internal/gzserve for the
 // GZW1 frame layout, or examples/distributed for a complete driver).
 //
+// With -state-dir a worker is durable: every acked ingest batch is in a
+// write-ahead log under the directory before the ack leaves (fsync
+// policy per -fsync), -checkpoint-interval bounds the log with periodic
+// local checkpoints, and a worker restarted after a crash — same
+// -state-dir — auto-recovers its engine and its ingest dedup gate
+// before serving, so coordinator retries of batches the dead process
+// acked are deduplicated instead of double-applied:
+//
+//	gzserve -mode worker -listen 127.0.0.1:7001 -nodes 1024 -seed 7 \
+//	        -state-dir /var/lib/gz/w0 -checkpoint-interval 30s
+//
 // On SIGINT/SIGTERM both modes shut down gracefully: the coordinator
 // drains its send windows and ships one final checkpoint merge before
-// exiting; a worker drains its engine and, with -final-checkpoint,
-// writes a GZE3 file of its final state. Both log their /statsz
-// document on the way out.
+// exiting; a worker drains its engine, writes its -state-dir checkpoint
+// if durable and, with -final-checkpoint, writes a GZE3 file of its
+// final state. Both log their /statsz document on the way out.
 package main
 
 import (
@@ -43,6 +54,7 @@ import (
 
 	"graphzeppelin/internal/core"
 	"graphzeppelin/internal/gzserve"
+	"graphzeppelin/internal/wal"
 )
 
 func main() {
@@ -62,6 +74,11 @@ func run() int {
 		workerIdx = flag.Int("worker-index", -1, "worker: this worker's partition index (with -worker-count, documents the node range in /v1/info)")
 		workerCnt = flag.Int("worker-count", 0, "worker: total workers in the cluster (for -worker-index)")
 		finalCkpt = flag.String("final-checkpoint", "", "worker: write a GZE3 checkpoint here on graceful shutdown")
+		stateDir  = flag.String("state-dir", "", "worker: durable state directory (checkpoint + write-ahead log); every acked batch survives a crash and the worker auto-recovers from it on startup")
+		fsync     = flag.String("fsync", "batch", "worker: WAL fsync policy with -state-dir: batch, interval, off")
+		fsyncIntv = flag.Duration("fsync-interval", 0, "worker: WAL sync period for -fsync interval (0 = 50ms default)")
+		walSegB   = flag.Int64("wal-segment-bytes", 0, "worker: WAL segment rotation threshold (0 = 8 MiB default)")
+		ckptIntv  = flag.Duration("checkpoint-interval", 0, "worker: periodic local checkpoint period with -state-dir (0 = only on shutdown); each checkpoint truncates the covered WAL prefix")
 		workers   = flag.String("workers", "", "coordinator: comma-separated worker base URLs, in partition order (required)")
 		batch     = flag.Int("batch", 4096, "coordinator: per-worker dispatch threshold in updates")
 		window    = flag.Int("window", 4, "coordinator: max in-flight sends per worker")
@@ -106,7 +123,22 @@ func run() int {
 	ecfg := core.Config{NumNodes: uint32(*nodes), Seed: *seed, Shards: *shards}
 	switch *mode {
 	case "worker":
-		return runWorker(ctx, ln, ecfg, *workerIdx, *workerCnt, *finalCkpt)
+		var dur gzserve.Durability
+		if *stateDir != "" {
+			policy, err := wal.ParseFsyncPolicy(*fsync)
+			if err != nil {
+				log.Printf("worker: %v", err)
+				return 2
+			}
+			dur = gzserve.Durability{
+				StateDir:           *stateDir,
+				Fsync:              policy,
+				FsyncInterval:      *fsyncIntv,
+				SegmentBytes:       *walSegB,
+				CheckpointInterval: *ckptIntv,
+			}
+		}
+		return runWorker(ctx, ln, ecfg, *workerIdx, *workerCnt, *finalCkpt, dur)
 	default:
 		return runCoordinator(ctx, ln, ecfg, *workers, *batch, *window, *attempts, *mergeIntv)
 	}
@@ -137,7 +169,7 @@ func logStatsz(role string, v any) {
 	log.Printf("%s final statsz: %s", role, doc)
 }
 
-func runWorker(ctx context.Context, ln net.Listener, ecfg core.Config, idx, cnt int, finalCkpt string) int {
+func runWorker(ctx context.Context, ln net.Listener, ecfg core.Config, idx, cnt int, finalCkpt string, dur gzserve.Durability) int {
 	rangeLo, rangeHi := uint32(0), ecfg.NumNodes
 	if idx >= 0 && cnt > 0 {
 		part, err := gzserve.NewRangePartitioner(ecfg.NumNodes, cnt)
@@ -147,7 +179,19 @@ func runWorker(ctx context.Context, ln net.Listener, ecfg core.Config, idx, cnt 
 		}
 		rangeLo, rangeHi = part.Range(idx)
 	}
-	wk, err := gzserve.NewWorker(ecfg, rangeLo, rangeHi)
+	var wk *gzserve.Worker
+	var err error
+	if dur.StateDir != "" {
+		var rec *core.Recovery
+		wk, rec, err = gzserve.NewDurableWorker(ecfg, rangeLo, rangeHi, dur)
+		if err == nil {
+			log.Printf("worker: durable state in %s (fsync=%s); recovered %d batches / %d updates from the WAL%s",
+				dur.StateDir, dur.Fsync, rec.Records, rec.Updates,
+				map[bool]string{true: " (torn tail truncated)", false: ""}[rec.Torn])
+		}
+	} else {
+		wk, err = gzserve.NewWorker(ecfg, rangeLo, rangeHi)
+	}
 	if err != nil {
 		log.Printf("worker: %v", err)
 		return 1

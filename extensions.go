@@ -2,7 +2,6 @@ package graphzeppelin
 
 import (
 	"io"
-	"os"
 
 	"graphzeppelin/internal/core"
 	"graphzeppelin/internal/sketchext"
@@ -33,17 +32,13 @@ func (g *Graph) WriteCheckpoint(w io.Writer) error {
 	return g.engine.WriteCheckpoint(w)
 }
 
-// SaveCheckpoint writes a checkpoint to a file.
+// SaveCheckpoint writes a checkpoint to a file, crash-atomically: the
+// bytes land in a temporary file that is fsynced and renamed over path,
+// so a crash mid-write leaves the previous checkpoint intact. With
+// WithWAL enabled, a successful save also truncates the log prefix the
+// checkpoint covers.
 func (g *Graph) SaveCheckpoint(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := g.WriteCheckpoint(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return g.engine.WriteCheckpointFile(path)
 }
 
 // MergeCheckpoint XORs a checkpoint into this Graph: the result summarizes
@@ -95,6 +90,38 @@ func OpenCheckpoint(path string, opts ...Option) (*Graph, error) {
 // OpenCheckpoint under its historical name.
 func LoadCheckpoint(path string, opts ...Option) (*Graph, error) {
 	return OpenCheckpoint(path, opts...)
+}
+
+// Recovery reports what Recover replayed beyond the checkpoint; see
+// core.Recovery for field meanings.
+type Recovery = core.Recovery
+
+// Recover rebuilds a Graph after a crash from its durable state: the
+// checkpoint at checkpointPath (an empty or absent path starts from an
+// empty graph over numNodes ids) plus the write-ahead log suffix above
+// the checkpoint's covered position, replayed through the normal ingest
+// path. opts must include the same WithWAL directory the crashed Graph
+// ran with; when a checkpoint exists its sketch parameters win, exactly
+// as for OpenCheckpoint. The result is equivalent to a Graph that
+// ingested every logged batch and never crashed — identical sketches,
+// identical checkpoint bytes.
+//
+// The usual pairing is WithWAL + periodic SaveCheckpoint while running,
+// then Recover at startup:
+//
+//	g, rec, err := graphzeppelin.Recover(1024, "state/ckpt.gze", graphzeppelin.WithWAL("state/wal"))
+//	...
+//	log.Printf("replayed %d batches (%d updates)", rec.Records, rec.Updates)
+func Recover(numNodes uint32, checkpointPath string, opts ...Option) (*Graph, *Recovery, error) {
+	cfg := core.Config{NumNodes: numNodes}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	eng, rec, err := core.Recover(checkpointPath, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Graph{engine: eng, numNodes: eng.Config().NumNodes}, rec, nil
 }
 
 // BipartiteTester tests bipartiteness of a dynamic graph stream in small

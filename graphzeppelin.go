@@ -76,6 +76,7 @@ import (
 	"graphzeppelin/internal/core"
 	"graphzeppelin/internal/gutter"
 	"graphzeppelin/internal/stream"
+	"graphzeppelin/internal/wal"
 )
 
 // ErrClosed is returned by every operation on a closed Graph, Ingestor or
@@ -228,6 +229,62 @@ func WithColumns(cols int) Option {
 // WithRounds overrides the node-sketch depth (default ⌈log2 V⌉+2).
 func WithRounds(r int) Option {
 	return func(c *core.Config) { c.Rounds = r }
+}
+
+// FsyncPolicy selects how eagerly the write-ahead log syncs to stable
+// storage; see the policy constants.
+type FsyncPolicy = wal.FsyncPolicy
+
+// Fsync policies for WithFsyncPolicy.
+const (
+	// FsyncBatch (default) syncs before every ingest call returns: an
+	// acknowledged batch is on stable storage, a crash loses nothing
+	// acked. Group commit batches concurrent producers into shared
+	// fsyncs.
+	FsyncBatch = wal.FsyncBatch
+	// FsyncInterval syncs on a background timer (WithFsyncInterval,
+	// default 50ms): near-RAM ingest speed, a crash loses at most the
+	// last interval.
+	FsyncInterval = wal.FsyncInterval
+	// FsyncOff never syncs; a crash keeps whatever the OS already wrote
+	// back. Recovery still lands on an exact prefix of the stream.
+	FsyncOff = wal.FsyncOff
+)
+
+// ParseFsyncPolicy parses "batch", "interval" or "off" (flag values).
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return wal.ParseFsyncPolicy(s) }
+
+// WithWAL enables continuous durability: every accepted ingest batch is
+// appended to a segmented write-ahead log in dir before it enters the
+// sketch pipeline, and Recover rebuilds a Graph that crashed mid-stream
+// from its latest checkpoint plus the log — bit-identical to one that
+// never crashed. SaveCheckpoint/WriteCheckpoint record the log position
+// they cover and truncate the log behind it, bounding both log size and
+// recovery time. An empty dir keeps the log on in-memory devices
+// (useful in tests; durable only for the process lifetime).
+func WithWAL(dir string) Option {
+	return func(c *core.Config) {
+		c.WAL = true
+		c.WALDir = dir
+	}
+}
+
+// WithFsyncPolicy sets the write-ahead log's durability discipline
+// (default FsyncBatch). Only meaningful together with WithWAL.
+func WithFsyncPolicy(p FsyncPolicy) Option {
+	return func(c *core.Config) { c.WALFsync = p }
+}
+
+// WithFsyncInterval sets the FsyncInterval timer period (default 50ms).
+func WithFsyncInterval(d time.Duration) Option {
+	return func(c *core.Config) { c.WALFsyncInterval = d }
+}
+
+// WithWALSegmentBytes sets the log's segment rotation threshold (default
+// 8 MiB). Smaller segments truncate at finer grain after checkpoints;
+// larger ones touch fewer files.
+func WithWALSegmentBytes(n int64) Option {
+	return func(c *core.Config) { c.WALSegmentBytes = n }
 }
 
 // WithGutterTreeConfig sizes the gutter tree used with GutterTree

@@ -15,18 +15,26 @@ import (
 
 	"graphzeppelin/internal/cubesketch"
 	"graphzeppelin/internal/diskstore"
+	"graphzeppelin/internal/wal"
 )
 
-// Checkpoint format (GZE3):
+// Checkpoint format (GZE4):
 //
-//	magic    [4]byte "GZE3"
-//	header   [32]byte:
+//	magic    [4]byte "GZE4"
+//	header   [48]byte:
 //	  numNodes     uint32
 //	  seed         uint64
 //	  columns      uint32
 //	  rounds       uint32
 //	  updates      uint64
 //	  sectionCount uint32
+//	  walLSN       uint64 — last WAL LSN covered by this checkpoint (0
+//	    with the WAL disabled); Recover replays only records above it,
+//	    and a successful checkpoint truncates the log up to it
+//	  metaLen      uint32, metaCRC uint32 (CRC-32C of the meta blob)
+//	meta     metaLen bytes — opaque caller metadata sealed with the cut
+//	  (gzserve stores its ingest-gate snapshot here so at-most-once
+//	  state survives a restart together with the data it describes)
 //	sections, each:
 //	  section header [20]byte: startNode uint32, count uint32,
 //	    payloadLen uint64 (= count × slotSize), crc uint32 (CRC-32C of
@@ -52,7 +60,8 @@ import (
 // are per section, so corruption is detected before any state is merged
 // and is localized to a node range.
 //
-// Legacy GZE2 streams (flat numNodes × slotSize slots, no sections, no
+// Legacy GZE3 streams (32-byte header, no WAL position, no meta) and
+// GZE2 streams (flat numNodes × slotSize slots, no sections, no
 // checksums) remain readable and mergeable behind the magic check.
 //
 // Linearity makes checkpoints composable: because sketches are mergeable,
@@ -61,16 +70,21 @@ import (
 // direction of the paper's conclusion; see MergeCheckpoint).
 
 var (
-	checkpointMagic   = [4]byte{'G', 'Z', 'E', '3'}
+	checkpointMagic   = [4]byte{'G', 'Z', 'E', '4'}
+	checkpointMagicV3 = [4]byte{'G', 'Z', 'E', '3'}
 	checkpointMagicV2 = [4]byte{'G', 'Z', 'E', '2'}
 	footerMagic       = [4]byte{'G', 'Z', 'F', '3'}
 )
 
 const (
-	checkpointHeaderLen = 32
-	sectionHeaderLen    = 20
-	footerEntryLen      = 16
-	footerTrailerLen    = 16
+	checkpointHeaderLenV3 = 32
+	checkpointHeaderLen   = 48 // GZE4: V3's 32 + walLSN(8) + metaLen(4) + metaCRC(4)
+	sectionHeaderLen      = 20
+	footerEntryLen        = 16
+	footerTrailerLen      = 16
+	// maxCheckpointMeta bounds the meta blob; a scanned metaLen above it
+	// is corruption, not metadata.
+	maxCheckpointMeta = 1 << 24
 	// sectionTargetBytes is the payload size sections aim for: big enough
 	// that disk-mode section I/O is a few large sequential accesses, small
 	// enough that the encode fan-out has real parallelism on modest graphs.
@@ -256,7 +270,68 @@ func (e *Engine) WriteCheckpoint(w io.Writer) error {
 		return err
 	}
 	defer cs.Close()
-	return cs.StreamTo(w)
+	if err := cs.StreamTo(w); err != nil {
+		return err
+	}
+	// The stream succeeded, so every record up to the covered LSN is
+	// redundant with the checkpoint — segment truncation is what turns
+	// "continuous durability" into bounded log growth. Callers handing in
+	// a writer whose durability lags the return (a network peer, an
+	// unsynced file) should prefer WriteCheckpointFile or the
+	// SealCheckpoint/StreamTo pair, which never truncates.
+	e.truncateWAL(cs.walLSN)
+	return nil
+}
+
+// truncateWAL drops WAL segments wholly covered by a checkpoint at lsn.
+// Best-effort: a truncation failure never fails the checkpoint that
+// triggered it (the log is merely longer than necessary).
+func (e *Engine) truncateWAL(lsn uint64) {
+	if e.log == nil || lsn == 0 {
+		return
+	}
+	if err := e.log.Truncate(lsn); err != nil && !errors.Is(err, wal.ErrClosed) {
+		e.setErr(fmt.Errorf("core: truncating wal at %d: %w", lsn, err))
+	}
+}
+
+// WriteCheckpointFile writes a checkpoint to path with crash-safe
+// ordering: stream to a temporary file in the same directory, fsync it,
+// rename over path, and only then truncate the WAL. A crash anywhere in
+// the sequence leaves either the old checkpoint plus the full log or the
+// new checkpoint plus the (possibly already shortened) log — never a
+// state that cannot recover.
+func (e *Engine) WriteCheckpointFile(path string) error {
+	cs, err := e.SealCheckpoint()
+	if err != nil {
+		return err
+	}
+	defer cs.Close()
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := cs.StreamTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	e.truncateWAL(cs.walLSN)
+	return nil
 }
 
 // CheckpointSnapshot is a sealed, consistent cut of an engine's sketch
@@ -269,6 +344,8 @@ func (e *Engine) WriteCheckpoint(w io.Writer) error {
 type CheckpointSnapshot struct {
 	e         *Engine
 	updates   uint64
+	walLSN    uint64 // last WAL LSN the cut covers (0 with the WAL off)
+	meta      []byte // caller metadata sealed with the cut
 	nSections int
 	nps       uint32
 	snap      *ckptSnap // non-nil iff disk mode
@@ -302,6 +379,17 @@ func (e *Engine) sealCheckpointLocked() (*CheckpointSnapshot, error) {
 		return nil, err
 	}
 	cs := &CheckpointSnapshot{e: e, updates: e.updates.Load()}
+	// Both reads happen under the quiesce write lock after the drain:
+	// every WAL append belongs to an ingest call that also finished its
+	// buffer insert (same read-lock hold), so the drained sketch state
+	// covers exactly the LSNs up to this tail; and the meta supplier
+	// observes precisely the committed-gate state of the same cut.
+	if e.log != nil {
+		cs.walLSN = e.log.TailLSN()
+	}
+	if e.ckptMeta != nil {
+		cs.meta = e.ckptMeta()
+	}
 	cs.nSections, cs.nps = e.checkpointSections()
 	if e.store == nil {
 		if err := e.sealSlabs(); err != nil {
@@ -352,17 +440,21 @@ func (e *Engine) sealCheckpointLocked() (*CheckpointSnapshot, error) {
 // update across its workers.
 func (cs *CheckpointSnapshot) Updates() uint64 { return cs.updates }
 
-// Size returns the exact byte length StreamTo will produce. The GZE3
-// layout is fully determined by the engine parameters and section plan
-// (header + per-section header + numNodes fixed-width slots + footer),
-// so a server can emit a length-prefixed frame or Content-Length and
-// stream the checkpoint directly, without buffering it first.
+// Size returns the exact byte length StreamTo will produce. The GZE4
+// layout is fully determined by the engine parameters, the sealed meta
+// blob and the section plan (header + meta + per-section header +
+// numNodes fixed-width slots + footer), so a server can emit a
+// length-prefixed frame or Content-Length and stream the checkpoint
+// directly, without buffering it first.
 func (cs *CheckpointSnapshot) Size() int64 {
 	e := cs.e
-	return int64(4+checkpointHeaderLen+footerTrailerLen) +
+	return int64(4+checkpointHeaderLen+footerTrailerLen) + int64(len(cs.meta)) +
 		int64(cs.nSections)*int64(sectionHeaderLen+footerEntryLen) +
 		int64(e.cfg.NumNodes)*int64(e.slotSize)
 }
+
+// WALPos returns the last WAL LSN the sealed cut covers.
+func (cs *CheckpointSnapshot) WALPos() uint64 { return cs.walLSN }
 
 // StreamTo streams the sealed snapshot to w; ingestion is live throughout.
 func (cs *CheckpointSnapshot) StreamTo(w io.Writer) error {
@@ -370,7 +462,7 @@ func (cs *CheckpointSnapshot) StreamTo(w io.Writer) error {
 		return errors.New("core: checkpoint snapshot already streamed or closed")
 	}
 	cs.written = true
-	return cs.e.streamCheckpoint(w, cs.updates, cs.nSections, cs.nps, cs.snap)
+	return cs.e.streamCheckpoint(w, cs)
 }
 
 // Close releases the snapshot: the disk-mode capture is retired (waking
@@ -417,7 +509,8 @@ func (e *Engine) sealSlabs() error {
 // worker pool (one goroutine per shard worker, work-stealing over
 // sections) and writes them to w in order, followed by the footer. Runs
 // without the quiesce lock; ingestion is live throughout.
-func (e *Engine) streamCheckpoint(w io.Writer, updates uint64, nSections int, nps uint32, snap *ckptSnap) error {
+func (e *Engine) streamCheckpoint(w io.Writer, cs *CheckpointSnapshot) error {
+	updates, nSections, nps, snap := cs.updates, cs.nSections, cs.nps, cs.snap
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.Write(checkpointMagic[:]); err != nil {
 		return err
@@ -429,7 +522,13 @@ func (e *Engine) streamCheckpoint(w io.Writer, updates uint64, nSections int, np
 	binary.LittleEndian.PutUint32(hdr[16:], uint32(e.cfg.Rounds))
 	binary.LittleEndian.PutUint64(hdr[20:], updates)
 	binary.LittleEndian.PutUint32(hdr[28:], uint32(nSections))
+	binary.LittleEndian.PutUint64(hdr[32:], cs.walLSN)
+	binary.LittleEndian.PutUint32(hdr[40:], uint32(len(cs.meta)))
+	binary.LittleEndian.PutUint32(hdr[44:], crc32.Checksum(cs.meta, crcTable))
 	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(cs.meta); err != nil {
 		return err
 	}
 
@@ -473,7 +572,7 @@ func (e *Engine) streamCheckpoint(w io.Writer, updates uint64, nSections int, np
 	}
 
 	offsets := make([]uint64, nSections)
-	off := uint64(4 + checkpointHeaderLen)
+	off := uint64(4+checkpointHeaderLen) + uint64(len(cs.meta))
 	var firstErr error
 	for i := 0; i < nSections; i++ {
 		<-done[i]
@@ -556,15 +655,18 @@ func (e *Engine) encodeSection(sec int, start uint32, count int, payload []byte,
 	return nil
 }
 
-// checkpointHeader is the decoded fixed header of either format version.
+// checkpointHeader is the decoded fixed header of any format version.
 type checkpointHeader struct {
-	version  int // 2 or 3
+	version  int // 2, 3 or 4
 	numNodes uint32
 	seed     uint64
 	columns  int
 	rounds   int
 	updates  uint64
-	sections int // GZE3 only
+	sections int // GZE3+
+	walLSN   uint64
+	metaLen  int
+	metaCRC  uint32
 }
 
 // asBufReader reuses r when it already buffers (the extension container
@@ -596,13 +698,19 @@ func readCheckpointHeader(br *bufio.Reader) (checkpointHeader, error) {
 			rounds:   int(binary.LittleEndian.Uint32(hdr[16:])),
 			updates:  binary.LittleEndian.Uint64(hdr[20:]),
 		}, nil
-	case checkpointMagic:
+	case checkpointMagicV3, checkpointMagic:
+		n := checkpointHeaderLenV3
+		version := 3
+		if m == checkpointMagic {
+			n = checkpointHeaderLen
+			version = 4
+		}
 		var hdr [checkpointHeaderLen]byte
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if _, err := io.ReadFull(br, hdr[:n]); err != nil {
 			return checkpointHeader{}, fmt.Errorf("core: reading checkpoint header: %w", err)
 		}
 		h := checkpointHeader{
-			version:  3,
+			version:  version,
 			numNodes: binary.LittleEndian.Uint32(hdr[0:]),
 			seed:     binary.LittleEndian.Uint64(hdr[4:]),
 			columns:  int(binary.LittleEndian.Uint32(hdr[12:])),
@@ -610,13 +718,40 @@ func readCheckpointHeader(br *bufio.Reader) (checkpointHeader, error) {
 			updates:  binary.LittleEndian.Uint64(hdr[20:]),
 			sections: int(binary.LittleEndian.Uint32(hdr[28:])),
 		}
+		if version == 4 {
+			h.walLSN = binary.LittleEndian.Uint64(hdr[32:])
+			h.metaLen = int(binary.LittleEndian.Uint32(hdr[40:]))
+			h.metaCRC = binary.LittleEndian.Uint32(hdr[44:])
+			if h.metaLen > maxCheckpointMeta {
+				return checkpointHeader{}, fmt.Errorf("%w: %d-byte meta blob", ErrCorruptCheckpoint, h.metaLen)
+			}
+		}
 		if h.sections <= 0 || uint32(h.sections) > h.numNodes {
 			return checkpointHeader{}, fmt.Errorf("%w: %d sections for %d nodes", ErrCorruptCheckpoint, h.sections, h.numNodes)
 		}
 		return h, nil
 	default:
-		return checkpointHeader{}, fmt.Errorf("%w: not a GZE2/GZE3 checkpoint", ErrCorruptCheckpoint)
+		return checkpointHeader{}, fmt.Errorf("%w: not a GZE2/GZE3/GZE4 checkpoint", ErrCorruptCheckpoint)
 	}
+}
+
+// readCheckpointMeta reads and verifies the GZE4 meta blob following the
+// header (nil for earlier versions or an empty blob).
+func readCheckpointMeta(br *bufio.Reader, h checkpointHeader) ([]byte, error) {
+	if h.version < 4 || h.metaLen == 0 {
+		if h.version >= 4 && h.metaCRC != 0 {
+			return nil, fmt.Errorf("%w: empty meta with nonzero checksum", ErrCorruptCheckpoint)
+		}
+		return nil, nil
+	}
+	meta := make([]byte, h.metaLen)
+	if _, err := io.ReadFull(br, meta); err != nil {
+		return nil, fmt.Errorf("core: checkpoint truncated in meta blob: %w", err)
+	}
+	if crc32.Checksum(meta, crcTable) != h.metaCRC {
+		return nil, fmt.Errorf("%w: meta blob checksum mismatch", ErrCorruptCheckpoint)
+	}
+	return meta, nil
 }
 
 // sectionHeader is one decoded inline section header.
@@ -709,10 +844,16 @@ func ReadCheckpoint(r io.Reader, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	meta, err := readCheckpointMeta(br, h)
+	if err != nil {
+		return nil, err
+	}
 	e, err := NewEngine(configFromHeader(cfg, h))
 	if err != nil {
 		return nil, err
 	}
+	e.restoredWALPos = h.walLSN
+	e.restoredMeta = meta
 	if h.version == 2 {
 		if err := e.readLegacyBody(br, h); err != nil {
 			e.Close()
@@ -826,6 +967,17 @@ func ReadCheckpointAt(ra io.ReaderAt, size int64, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	var meta []byte
+	if h.version >= 4 && h.metaLen > 0 {
+		metaOff := int64(4 + checkpointHeaderLen)
+		if metaOff+int64(h.metaLen) > size {
+			return nil, fmt.Errorf("%w: meta blob overruns checkpoint", ErrCorruptCheckpoint)
+		}
+		meta, err = readCheckpointMeta(bufio.NewReader(io.NewSectionReader(ra, metaOff, int64(h.metaLen))), h)
+		if err != nil {
+			return nil, err
+		}
+	}
 	var trailer [footerTrailerLen]byte
 	if _, err := ra.ReadAt(trailer[:], size-footerTrailerLen); err != nil {
 		return nil, fmt.Errorf("core: reading checkpoint trailer: %w", err)
@@ -867,6 +1019,8 @@ func ReadCheckpointAt(ra io.ReaderAt, size int64, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.restoredWALPos = h.walLSN
+	e.restoredMeta = meta
 	workers := len(e.shards)
 	if workers > h.sections {
 		workers = h.sections
@@ -985,6 +1139,12 @@ func (e *Engine) MergeCheckpoint(r io.Reader) error {
 		return err
 	}
 	if err := e.checkCompatible(h); err != nil {
+		return err
+	}
+	// The source's meta blob and WAL position describe the *remote*
+	// worker's log and gate, meaningless to the merging engine — verify
+	// and discard.
+	if _, err := readCheckpointMeta(br, h); err != nil {
 		return err
 	}
 	if h.version == 2 {

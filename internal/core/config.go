@@ -16,6 +16,7 @@ import (
 	"graphzeppelin/internal/gutter"
 	"graphzeppelin/internal/iomodel"
 	"graphzeppelin/internal/stream"
+	"graphzeppelin/internal/wal"
 )
 
 // BufferingKind selects the ingestion buffering structure.
@@ -147,6 +148,28 @@ type Config struct {
 	// and gutter tree. Nil uses files under Dir (or in-memory devices when
 	// Dir is empty). Tests use it to inject faulty devices.
 	DeviceFactory func(name string) (iomodel.Device, error)
+	// WAL enables the write-ahead log: every accepted ingest batch is
+	// appended (and, per WALFsync, synced) to a segmented log before it
+	// enters the pipeline, so a crash loses at most the un-acked suffix
+	// and Recover rebuilds the engine from the latest checkpoint plus the
+	// log (wal.go, recover.go).
+	WAL bool
+	// WALDir is the segment directory (default Dir+"/wal"; with Dir empty
+	// the log lives on in-memory power-cut devices, which still exercises
+	// the full append/replay machinery).
+	WALDir string
+	// WALStorage overrides the segment storage outright (tests inject
+	// power-cut storage through this). Non-nil wins over WALDir.
+	WALStorage wal.Storage
+	// WALSegmentBytes is the segment rotation threshold (default 8 MiB).
+	WALSegmentBytes int64
+	// WALFsync picks the log's durability discipline: FsyncBatch (default;
+	// an ingest return implies the batch is on stable storage),
+	// FsyncInterval (synced by a background timer, losing at most
+	// WALFsyncInterval on a crash), or FsyncOff.
+	WALFsync wal.FsyncPolicy
+	// WALFsyncInterval is the FsyncInterval period (default 50ms).
+	WALFsyncInterval time.Duration
 }
 
 func (c Config) withDefaults() (Config, error) {

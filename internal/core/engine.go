@@ -12,6 +12,7 @@ import (
 	"graphzeppelin/internal/gutter"
 	"graphzeppelin/internal/iomodel"
 	"graphzeppelin/internal/stream"
+	"graphzeppelin/internal/wal"
 )
 
 // roundSeedSalt separates the hash seeds of the per-round CubeSketches;
@@ -75,6 +76,10 @@ type Stats struct {
 	// write-back cache; DiskBytes the on-device footprint (sketch slots +
 	// gutter tree).
 	MemoryBytes, DiskBytes int64
+	// WAL reports write-ahead-log activity (appends, bytes, fsyncs,
+	// group commits, truncations, recovery scan results). All zero with
+	// the WAL disabled.
+	WAL wal.Stats
 }
 
 // Engine is a GraphZeppelin instance, safe for fully concurrent use: any
@@ -182,6 +187,23 @@ type Engine struct {
 	ckptBuf       sync.Pool
 	lastCkptStall atomic.Int64
 	cowBudget     int // 0 = checkpointCOWBudget; tests shrink it
+
+	// Durability state (recover.go). log, when non-nil, is the write-ahead
+	// log every accepted batch is appended to before buffering — the
+	// commit point of the durable ingest path. loggedHook, when set, is
+	// invoked with the batch's sequence number right after a successful
+	// append, still under the quiesce read lock: a checkpoint seal (write
+	// lock) therefore observes either neither the record nor the hook's
+	// effect, or both — gzserve hangs its at-most-once gate commit here so
+	// the gate snapshot in the checkpoint meta can never lag the covered
+	// WAL position. ckptMeta, when set, supplies the opaque meta blob
+	// sealed into each checkpoint. restoredWALPos/restoredMeta are what a
+	// checkpoint restore found in its footer fields.
+	log            *wal.Log
+	loggedHook     func(seq uint64)
+	ckptMeta       func() []byte
+	restoredWALPos uint64
+	restoredMeta   []byte
 
 	workerErr atomic.Pointer[error]
 	closed    atomic.Bool
@@ -428,6 +450,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("core: unknown buffering kind %d", cfg.Buffering)
 	}
 
+	if cfg.WAL {
+		if e.log, err = e.openWAL(); err != nil {
+			return nil, err
+		}
+	}
+
 	for _, sh := range e.shards {
 		e.wg.Add(1)
 		go e.worker(sh)
@@ -437,6 +465,55 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	return e, nil
 }
+
+// openWAL opens (or creates) the engine's write-ahead log, scanning any
+// existing segments so appends resume after the last intact record.
+func (e *Engine) openWAL() (*wal.Log, error) {
+	st := e.cfg.WALStorage
+	if st == nil {
+		if e.cfg.Dir == "" && e.cfg.WALDir == "" {
+			st = wal.NewMemStorage(e.cfg.BlockSize)
+		} else {
+			dir := e.cfg.WALDir
+			if dir == "" {
+				dir = filepath.Join(e.cfg.Dir, "wal")
+			}
+			ds, err := wal.NewDirStorage(dir, e.cfg.BlockSize)
+			if err != nil {
+				return nil, err
+			}
+			st = ds
+		}
+	}
+	return wal.Open(wal.Options{
+		Storage:      st,
+		SegmentBytes: e.cfg.WALSegmentBytes,
+		Policy:       e.cfg.WALFsync,
+		Interval:     e.cfg.WALFsyncInterval,
+	})
+}
+
+// SetLoggedHook installs fn to run after every successful WAL append,
+// with the batch's sequence number, under the same quiesce read lock as
+// the append (see the field comment). Call it before any concurrent
+// ingest; nil removes the hook. No-op state aside, the hook only fires
+// when the WAL is enabled.
+func (e *Engine) SetLoggedHook(fn func(seq uint64)) { e.loggedHook = fn }
+
+// SetCheckpointMeta installs fn as the supplier of the opaque metadata
+// blob sealed into each checkpoint (gzserve persists its ingest-gate
+// snapshot through this). fn runs under the quiesce write lock after the
+// drain, so the blob is exactly consistent with the checkpoint's cut.
+// Call before any checkpoint; nil removes the supplier.
+func (e *Engine) SetCheckpointMeta(fn func() []byte) { e.ckptMeta = fn }
+
+// RestoredWALPos returns the WAL position (last covered LSN) recorded in
+// the checkpoint this engine was restored from, or 0.
+func (e *Engine) RestoredWALPos() uint64 { return e.restoredWALPos }
+
+// RestoredMeta returns the metadata blob of the checkpoint this engine
+// was restored from (nil if none).
+func (e *Engine) RestoredMeta() []byte { return e.restoredMeta }
 
 func (e *Engine) openDevice(name string) (iomodel.Device, error) {
 	if e.cfg.DeviceFactory != nil {
@@ -489,6 +566,14 @@ func (e *Engine) Update(up stream.Update) error {
 	if err != nil {
 		return err
 	}
+	if e.log != nil {
+		// The durable path funnels through ingestEdges so the WAL append
+		// happens exactly once, before buffering, like every batch path.
+		scratch := e.getEdgeScratch(1)
+		defer e.putEdgeScratch(scratch)
+		*scratch = append(*scratch, eg)
+		return e.ingestEdges(*scratch, 0)
+	}
 	e.quiesce.RLock()
 	defer e.quiesce.RUnlock()
 	if e.closed.Load() {
@@ -511,6 +596,15 @@ func (e *Engine) Update(up stream.Update) error {
 // InsertEdges call, amortizing per-call overhead — the bulk path behind
 // Graph.ApplyBatch and Ingestor flushes. Safe for concurrent use.
 func (e *Engine) UpdateBatch(ups []stream.Update) error {
+	return e.UpdateBatchSeq(ups, 0)
+}
+
+// UpdateBatchSeq is UpdateBatch carrying a client sequence number into
+// the WAL record (0 means none): after a crash, Recover reports the
+// replayed seqs so a networked ingest front end can rebuild its
+// at-most-once state and refuse a retry of a batch that survived. With
+// the WAL disabled seq is ignored.
+func (e *Engine) UpdateBatchSeq(ups []stream.Update, seq uint64) error {
 	if len(ups) == 0 {
 		return nil
 	}
@@ -523,7 +617,7 @@ func (e *Engine) UpdateBatch(ups []stream.Update) error {
 		}
 		*edges = append(*edges, eg)
 	}
-	return e.ingestEdges(*edges)
+	return e.ingestEdges(*edges, seq)
 }
 
 // InsertEdges ingests a batch of edge insertions (equivalently, toggles).
@@ -541,11 +635,40 @@ func (e *Engine) InsertEdges(edges []stream.Edge) error {
 		}
 		*scratch = append(*scratch, n)
 	}
-	return e.ingestEdges(*scratch)
+	return e.ingestEdges(*scratch, 0)
 }
 
 // ingestEdges hands validated, normalized edges to the buffering layer.
-func (e *Engine) ingestEdges(edges []stream.Edge) error {
+// With the WAL enabled the append is the commit point: it precedes the
+// buffer insert inside the same quiesce read-lock hold, so any record
+// the log accepted is also in the pipeline by the time a drain (write
+// lock) completes — a sealed checkpoint's state covers exactly the LSNs
+// up to its recorded WAL position, never fewer.
+func (e *Engine) ingestEdges(edges []stream.Edge, seq uint64) error {
+	e.quiesce.RLock()
+	defer e.quiesce.RUnlock()
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if e.log != nil {
+		if _, err := e.log.AppendEdges(seq, edges); err != nil {
+			return fmt.Errorf("core: wal append: %w", err)
+		}
+		if h := e.loggedHook; h != nil {
+			h(seq)
+		}
+	}
+	if err := e.buf.InsertEdges(edges); err != nil {
+		return err
+	}
+	e.updates.Add(uint64(len(edges)))
+	e.epoch.Add(1)
+	return e.err()
+}
+
+// replayEdges is the recovery-time ingest: identical to ingestEdges but
+// without logging (the records being replayed are already in the WAL).
+func (e *Engine) replayEdges(edges []stream.Edge) error {
 	e.quiesce.RLock()
 	defer e.quiesce.RUnlock()
 	if e.closed.Load() {
@@ -754,6 +877,9 @@ func (e *Engine) Stats() Stats {
 	if e.leaf != nil {
 		st.MemoryBytes += int64(e.leaf.Capacity()) * 4 * int64(e.cfg.NumNodes)
 	}
+	if e.log != nil {
+		st.WAL = e.log.Stats()
+	}
 	return st
 }
 
@@ -784,6 +910,12 @@ func (e *Engine) Close() error {
 		}
 		e.wg.Wait()
 		errs := []error{drainErr, e.buf.Close()}
+		if e.log != nil {
+			// Flush and sync the log tail before releasing it; every
+			// accepted-but-unsynced record becomes durable on a clean
+			// shutdown regardless of fsync policy.
+			errs = append(errs, e.log.Close())
+		}
 		if e.cache != nil {
 			// Spill dirty cached groups before the device goes away, so
 			// the on-device state reflects every applied update.

@@ -1,0 +1,609 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"graphzeppelin/internal/core"
+	"graphzeppelin/internal/gzserve"
+	"graphzeppelin/internal/kron"
+	"graphzeppelin/internal/wal"
+)
+
+// WALOverhead measures what continuous durability costs: the same stream
+// ingested with the write-ahead log off and then at each fsync policy,
+// logging to real files. The interval policy is the deployment default
+// story — group-committed appends with a background sync timer — and
+// should stay within a few percent of the no-WAL baseline; fsync=batch
+// buys ack-implies-durable at the price of one (group-shared) fsync per
+// ingest call.
+func WALOverhead(o Options) (*Table, error) {
+	o = o.withDefaults()
+	scale := o.MaxScale - 1
+	if scale < 8 {
+		scale = 8
+	}
+	res := KronStream(scale, o.Seed)
+	dir, err := os.MkdirTemp("", "gzwal")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Repeat the stream until each trial ingests enough updates to
+	// measure: sub-100ms runs drown the policy difference in noise and
+	// never even fire the interval sync timer.
+	reps := 1
+	for reps*len(res.Updates) < 500_000 {
+		reps++
+	}
+	total := reps * len(res.Updates)
+
+	t := &Table{
+		ID:     "wal",
+		Title:  fmt.Sprintf("Write-ahead log ingest overhead by fsync policy (kron%d ×%d, %d updates)", scale, reps, total),
+		Header: []string{"wal", "ingest rate", "overhead", "appends", "logged", "fsyncs"},
+		Notes: []string{
+			"batched ingest (2048-update batches), log segments on real files; best of 3 trials per policy after a warm-up pass",
+			"overhead = rate drop vs the no-WAL baseline; batch = fsync before every ingest ack (ack implies durable)",
+			"interval = 50ms background sync timer (a crash loses at most one interval); off = OS write-back only",
+		},
+	}
+
+	policies := []struct {
+		name    string
+		enabled bool
+		policy  wal.FsyncPolicy
+	}{
+		{"none", false, wal.FsyncBatch},
+		{"fsync=off", true, wal.FsyncOff},
+		{"fsync=interval", true, wal.FsyncInterval},
+		{"fsync=batch", true, wal.FsyncBatch},
+	}
+	const batch = 2048
+	ingest := func(cfg core.Config) (time.Duration, core.Stats, error) {
+		eng, err := core.NewEngine(cfg)
+		if err != nil {
+			return 0, core.Stats{}, err
+		}
+		start := time.Now()
+		for rep := 0; rep < reps; rep++ {
+			for off := 0; off < len(res.Updates); off += batch {
+				end := off + batch
+				if end > len(res.Updates) {
+					end = len(res.Updates)
+				}
+				if err := eng.UpdateBatch(res.Updates[off:end]); err != nil {
+					eng.Close()
+					return 0, core.Stats{}, err
+				}
+			}
+		}
+		if err := eng.Drain(); err != nil {
+			eng.Close()
+			return 0, core.Stats{}, err
+		}
+		d := time.Since(start)
+		st := eng.Stats()
+		return d, st, eng.Close()
+	}
+
+	// Warm-up pass (page cache, lazy init, CPU spin-up) so the first
+	// measured policy isn't handicapped by cold-start costs.
+	if _, _, err := ingest(core.Config{NumNodes: res.NumNodes, Seed: o.Seed}); err != nil {
+		return nil, err
+	}
+
+	var baseRate float64
+	for pi, p := range policies {
+		var best time.Duration
+		var st core.Stats
+		for trial := 0; trial < 3; trial++ {
+			cfg := core.Config{NumNodes: res.NumNodes, Seed: o.Seed}
+			if p.enabled {
+				cfg.WAL = true
+				cfg.WALDir = filepath.Join(dir, fmt.Sprintf("p%d-t%d", pi, trial))
+				cfg.WALFsync = p.policy
+			}
+			d, s, err := ingest(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if best == 0 || d < best {
+				best, st = d, s
+			}
+		}
+		r := float64(total) / best.Seconds()
+		overhead := "baseline"
+		if !p.enabled {
+			baseRate = r
+		} else if baseRate > 0 {
+			overhead = fmt.Sprintf("%.1f%%", 100*(baseRate-r)/baseRate)
+		}
+		appends, logged, fsyncs := "-", "-", "-"
+		if p.enabled {
+			appends = fmt.Sprintf("%d", st.WAL.Appends)
+			logged = mib(int64(st.WAL.Bytes))
+			fsyncs = fmt.Sprintf("%d", st.WAL.Fsyncs)
+		}
+		t.Rows = append(t.Rows, []string{
+			p.name, rate(total, best), overhead, appends, logged, fsyncs,
+		})
+		o.logf("wal: %s done (%s)", p.name, rate(total, best))
+	}
+	return t, nil
+}
+
+// CrashRecover is the durability end-to-end: a 2-worker gzserve cluster
+// in which worker 0 runs with a durable state directory, is killed
+// mid-stream while ingest sends are still in flight, and is restarted
+// on the same address and state directory. The coordinator's retrying
+// clients ride out the outage; the restarted worker recovers its engine
+// and dedup gate from checkpoint + WAL before serving, so retried
+// batches the dead process had already logged are deduplicated, not
+// double-applied. The final merged answer must match a single engine
+// over the whole stream. With Options.GzserveBin set the durable worker
+// is a real gzserve process and the kill is SIGKILL; otherwise the
+// crash is simulated in-process (server torn down abruptly, in-memory
+// gate state discarded).
+func CrashRecover(o Options) (*Table, error) {
+	o = o.withDefaults()
+	scale := o.MaxScale - 1
+	if scale < 8 {
+		scale = 8
+	}
+	res := KronStream(scale, o.Seed)
+
+	ref, _, err := runGZ(res, core.Config{Seed: o.Seed})
+	if err != nil {
+		return nil, err
+	}
+	refRep, refCount, err := ref.ConnectedComponents()
+	ref.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	mode := "in-process crash"
+	if o.GzserveBin != "" {
+		mode = "SIGKILL on a gzserve process"
+	}
+	t := &Table{
+		ID:     "crashrecover",
+		Title:  fmt.Sprintf("Crash recovery under load, durable gzserve worker (kron%d, %s)", scale, mode),
+		Header: []string{"workers", "killed after", "recovered batches", "retries", "dups", "merged updates", "vs reference"},
+		Notes: []string{
+			"worker 0 runs with a durable state dir (WAL fsync=batch); it is killed with sends in flight and restarted on the same address and state dir",
+			"recovered batches = WAL records the restarted worker replayed before serving",
+			"dups count retried batches whose original the dead process had already logged: dropped by the recovered dedup gate, not double-applied",
+			"vs reference = coordinator's merged component partition equals a single engine over the whole stream",
+		},
+	}
+	row, err := runCrashRecoverTrial(res, o, refRep, refCount)
+	if err != nil {
+		return nil, fmt.Errorf("crashrecover: %w", err)
+	}
+	t.Rows = append(t.Rows, row)
+	return t, nil
+}
+
+// crashWorker abstracts "worker 0" across the two launch modes: it can
+// be killed abruptly and restarted on the same address and state dir.
+type crashWorker interface {
+	url() string
+	kill() error
+	restart() error
+	shutdown()
+}
+
+func runCrashRecoverTrial(res kron.Result, o Options, refRep []uint32, refCount int) ([]string, error) {
+	const k = 2
+	part, err := gzserve.NewRangePartitioner(res.NumNodes, k)
+	if err != nil {
+		return nil, err
+	}
+	stateDir, err := os.MkdirTemp("", "gzcrash")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(stateDir)
+
+	// Worker 0: durable and killable (a gzserve process when a binary is
+	// provided). Worker 1: a plain in-process worker — its durability is
+	// not under test, and everything speaks the same loopback HTTP.
+	var w0 crashWorker
+	lo0, hi0 := part.Range(0)
+	if o.GzserveBin != "" {
+		w0, err = newProcCrashWorker(o, res.NumNodes, filepath.Join(stateDir, "w0"))
+	} else {
+		w0, err = newInprocCrashWorker(o, res.NumNodes, lo0, hi0, filepath.Join(stateDir, "w0"))
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer w0.shutdown()
+
+	lo1, hi1 := part.Range(1)
+	wk1, err := gzserve.NewWorker(core.Config{NumNodes: res.NumNodes, Seed: o.Seed}, lo1, hi1)
+	if err != nil {
+		return nil, err
+	}
+	defer wk1.Close()
+	srv1, url1, err := serveOn(wk1.Handler())
+	if err != nil {
+		return nil, err
+	}
+	defer srv1.Shutdown(context.Background())
+
+	co, err := gzserve.NewCoordinator(gzserve.CoordinatorConfig{
+		Engine:  core.Config{NumNodes: res.NumNodes, Seed: o.Seed},
+		Workers: []string{w0.url(), url1},
+		// Small dispatch batches so the kill lands with real sends behind
+		// it, and a generous retry budget: the exponential backoff (25ms
+		// doubling, 1s cap) must outlast the worker restart window.
+		BatchSize: 512,
+		Client:    gzserve.ClientConfig{MaxInFlight: 4, MaxAttempts: 12},
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	defer co.Close(ctx)
+	coSrv, coURL, err := serveOn(co.Handler())
+	if err != nil {
+		return nil, err
+	}
+	defer coSrv.Shutdown(context.Background())
+
+	drv := gzserve.NewClient(coURL, gzserve.ClientConfig{MaxInFlight: 4})
+	if _, err := drv.Info(ctx); err != nil {
+		return nil, fmt.Errorf("coordinator handshake: %w", err)
+	}
+
+	// First half of the stream async, then the kill lands while send
+	// windows are still full — some batches are acked, some are logged
+	// but unacknowledged, some never arrived. All three classes must
+	// resolve correctly through restart + retry.
+	const batch = 2048
+	half := len(res.Updates) / 2
+	for off := 0; off < half; off += batch {
+		end := off + batch
+		if end > half {
+			end = half
+		}
+		drv.SendAsync(ctx, res.Updates[off:end])
+	}
+	// Don't kill into an empty log: wait until worker 0 has actually
+	// applied (and logged) a few batches, so the restart has a WAL suffix
+	// to replay.
+	applied := waitForBatches(w0.url(), 2, 15*time.Second)
+	killedAt := fmt.Sprintf("%d/%d updates dispatched, %d batches applied", half, len(res.Updates), applied)
+	if err := w0.kill(); err != nil {
+		return nil, fmt.Errorf("kill: %w", err)
+	}
+	// Restart immediately: the first-half sends still in flight at the
+	// kill fail against the dead worker and sit in retry backoff until
+	// the restarted process comes back on the same address. (The restart
+	// must not wait for more ingest — the coordinator's bounded send
+	// windows stall against a dead worker, so a producer-side pause here
+	// would outlast the retry budget on larger streams.)
+	if err := w0.restart(); err != nil {
+		return nil, fmt.Errorf("restart: %w", err)
+	}
+	for off := half; off < len(res.Updates); off += batch {
+		end := off + batch
+		if end > len(res.Updates) {
+			end = len(res.Updates)
+		}
+		drv.SendAsync(ctx, res.Updates[off:end])
+	}
+	if err := drv.Drain(); err != nil {
+		return nil, fmt.Errorf("drain: %w", err)
+	}
+
+	resp, err := http.Post(coURL+gzserve.PathRefresh, "application/json", nil)
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("refresh: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("refresh: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var refresh struct {
+		MergedUpdates uint64 `json:"merged_updates"`
+	}
+	if err := json.Unmarshal(body, &refresh); err != nil {
+		return nil, fmt.Errorf("refresh: %w (body %q)", err, body)
+	}
+
+	resp, err = http.Get(coURL + gzserve.PathComponents)
+	if err != nil {
+		return nil, err
+	}
+	var comp struct {
+		Count int      `json:"count"`
+		Rep   []uint32 `json:"rep"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&comp)
+	resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("components: %w", err)
+	}
+
+	resp, err = http.Get(coURL + gzserve.PathStatsz)
+	if err != nil {
+		return nil, err
+	}
+	var st gzserve.CoordStats
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("statsz: %w", err)
+	}
+	var retries, dups uint64
+	for _, w := range st.Workers {
+		retries += w.Retries
+		dups += w.Duplicates
+	}
+	var recovered uint64
+	if wst, werr := fetchWorkerStats(w0.url()); werr == nil {
+		recovered = wst.RecoveredBatches
+	}
+
+	match := "MATCH"
+	if comp.Count != refCount || !samePartition(comp.Rep, refRep) {
+		match = "MISMATCH"
+	}
+	if refresh.MergedUpdates != uint64(len(res.Updates)) {
+		match = fmt.Sprintf("LOST UPDATES (%d/%d)", refresh.MergedUpdates, len(res.Updates))
+	}
+	return []string{
+		fmt.Sprintf("%d", k),
+		killedAt,
+		fmt.Sprintf("%d", recovered),
+		fmt.Sprintf("%d", retries),
+		fmt.Sprintf("%d", dups),
+		fmt.Sprintf("%d", refresh.MergedUpdates),
+		match,
+	}, nil
+}
+
+// waitForBatches polls a worker's /statsz until it has applied at least
+// min ingest batches (or the deadline passes) and returns the count seen.
+func waitForBatches(url string, min uint64, timeout time.Duration) uint64 {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := fetchWorkerStats(url)
+		if err == nil && st.Batches >= min {
+			return st.Batches
+		}
+		if time.Now().After(deadline) {
+			return st.Batches
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func fetchWorkerStats(url string) (gzserve.WorkerStats, error) {
+	resp, err := http.Get(url + gzserve.PathStatsz)
+	if err != nil {
+		return gzserve.WorkerStats{}, err
+	}
+	defer resp.Body.Close()
+	var st gzserve.WorkerStats
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// ---- in-process crash worker ----
+
+type inprocCrashWorker struct {
+	o        Options
+	numNodes uint32
+	lo, hi   uint32
+	dur      gzserve.Durability
+	addr     string
+	wk       *gzserve.Worker
+	srv      *http.Server
+}
+
+func newInprocCrashWorker(o Options, numNodes, lo, hi uint32, stateDir string) (*inprocCrashWorker, error) {
+	w := &inprocCrashWorker{
+		o: o, numNodes: numNodes, lo: lo, hi: hi,
+		dur: gzserve.Durability{StateDir: stateDir, Fsync: wal.FsyncBatch},
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	w.addr = ln.Addr().String()
+	if err := w.start(ln); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *inprocCrashWorker) start(ln net.Listener) error {
+	wk, _, err := gzserve.NewDurableWorker(core.Config{NumNodes: w.numNodes, Seed: w.o.Seed}, w.lo, w.hi, w.dur)
+	if err != nil {
+		return err
+	}
+	w.wk = wk
+	w.srv = &http.Server{Handler: wk.Handler()}
+	go w.srv.Serve(ln)
+	return nil
+}
+
+func (w *inprocCrashWorker) url() string { return "http://" + w.addr }
+
+// kill tears the server down abruptly (open connections are closed, not
+// drained) and discards the worker without its graceful-shutdown
+// checkpoint — the closest an in-process harness gets to SIGKILL. The
+// engine is closed only to stop its goroutines; the worker's in-memory
+// dedup gate dies unused, exactly as in a real crash.
+func (w *inprocCrashWorker) kill() error {
+	w.srv.Close()
+	return w.wk.Engine().Close()
+}
+
+func (w *inprocCrashWorker) restart() error {
+	ln, err := listenRetry(w.addr)
+	if err != nil {
+		return err
+	}
+	if err := w.start(ln); err != nil {
+		ln.Close()
+		return err
+	}
+	return nil
+}
+
+func (w *inprocCrashWorker) shutdown() {
+	if w.srv != nil {
+		w.srv.Close()
+	}
+	if w.wk != nil {
+		w.wk.Close()
+	}
+}
+
+// listenRetry binds addr, retrying briefly while the previous socket
+// finishes closing.
+func listenRetry(addr string) (net.Listener, error) {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ln, err := net.Listen("tcp", addr)
+		if err == nil {
+			return ln, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// ---- gzserve-process crash worker ----
+
+type procCrashWorker struct {
+	o        Options
+	numNodes uint32
+	stateDir string
+	dir      string
+	addr     string
+	cmd      *exec.Cmd
+}
+
+func newProcCrashWorker(o Options, numNodes uint32, stateDir string) (*procCrashWorker, error) {
+	dir, err := os.MkdirTemp("", "gzcrashproc")
+	if err != nil {
+		return nil, err
+	}
+	w := &procCrashWorker{o: o, numNodes: numNodes, stateDir: stateDir, dir: dir}
+	cmd, url, err := launchProc(o, o.GzserveBin, dir, "w0", w.args())
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	w.cmd = cmd
+	w.addr = strings.TrimPrefix(url, "http://")
+	return w, nil
+}
+
+func (w *procCrashWorker) args() []string {
+	return []string{
+		"-mode", "worker",
+		"-nodes", fmt.Sprintf("%d", w.numNodes),
+		"-seed", fmt.Sprintf("%d", w.o.Seed),
+		"-worker-index", "0", "-worker-count", "2",
+		"-state-dir", w.stateDir,
+	}
+}
+
+func (w *procCrashWorker) url() string { return "http://" + w.addr }
+
+func (w *procCrashWorker) kill() error {
+	if err := w.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		return err
+	}
+	// Reap; SIGKILL makes Wait report an exit error, which is expected.
+	w.cmd.Wait()
+	return nil
+}
+
+// restart relaunches gzserve on the exact same address: the coordinator's
+// client keeps retrying against the URL it was born with. The new process
+// recovers from the same -state-dir before it starts serving.
+func (w *procCrashWorker) restart() error {
+	os.Remove(filepath.Join(w.dir, "w0.addr"))
+	cmd, _, err := launchProcAt(w.o, w.o.GzserveBin, w.dir, "w0", w.addr, w.args())
+	if err != nil {
+		return err
+	}
+	w.cmd = cmd
+	return nil
+}
+
+func (w *procCrashWorker) shutdown() {
+	if w.cmd != nil && w.cmd.ProcessState == nil {
+		w.cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { w.cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(20 * time.Second):
+			w.cmd.Process.Kill()
+			<-done
+		}
+	}
+	os.RemoveAll(w.dir)
+}
+
+// launchProcAt is launchProc with a fixed listen address instead of port
+// 0 — for restarting a killed process where its clients expect it. The
+// whole launch is retried in case the dead process's socket is still
+// closing when the new process tries to bind.
+func launchProcAt(o Options, bin, dir, name, addr string, args []string) (*exec.Cmd, string, error) {
+	addrFile := filepath.Join(dir, name+".addr")
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		cmd := exec.Command(bin, append(args, "-listen", addr, "-addr-file", addrFile)...)
+		if o.Verbose {
+			cmd.Stderr = o.Progress
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, "", err
+		}
+		for time.Now().Before(deadline) {
+			if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+				return cmd, "http://" + string(b), nil
+			}
+			if cmd.ProcessState != nil {
+				break
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		cmd.Process.Kill()
+		cmd.Wait()
+		if time.Now().After(deadline) {
+			return nil, "", fmt.Errorf("gzserve %s did not come back on %s", name, addr)
+		}
+		os.Remove(addrFile)
+		time.Sleep(50 * time.Millisecond)
+	}
+}

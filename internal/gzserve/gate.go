@@ -1,6 +1,11 @@
 package gzserve
 
-import "sync"
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
 
 // claimState is the outcome of seqGate.Claim.
 type claimState int
@@ -106,4 +111,93 @@ func (g *seqGate) LowWater() uint64 {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.low
+}
+
+// settleFailed resolves a claimed seq after a failed apply on a durable
+// worker. If the logged hook already committed the seq (the batch
+// reached the WAL before the failure) it stays applied and the caller
+// must report a non-retryable failure — a resend would be deduplicated,
+// never re-applied. Otherwise nothing durable happened: the claim is
+// released and the caller may invite a retry.
+func (g *seqGate) settleFailed(seq uint64) (committed bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.inflight[seq]; ok {
+		delete(g.inflight, seq)
+		return false
+	}
+	return true
+}
+
+// markApplied commits a set of sequence numbers replayed from the WAL
+// at recovery: their batches are back in the sketches, so retries must
+// dedup exactly as if the crash never happened.
+func (g *seqGate) markApplied(seqs []uint64) {
+	for _, s := range seqs {
+		if s != 0 {
+			g.Commit(s)
+		}
+	}
+}
+
+// Gate snapshot codec (GZG1): the gate's durable state, sealed into
+// checkpoint metadata so the dedup watermark survives a restart —
+//
+//	magic "GZG1" | low uint64 | count uint32 | count × seq uint64
+//
+// where the seqs are the committed numbers above the low-water mark
+// (the out-of-order tail), sorted ascending. All little endian.
+var gateMagic = [4]byte{'G', 'Z', 'G', '1'}
+
+const gateSnapshotHeaderLen = 16
+
+// snapshot serializes the gate. Sequence numbers still in flight are
+// deliberately excluded: an in-flight batch has not been acked, so after
+// a restart its retry must be applied, not deduplicated. (On the durable
+// worker the logged hook commits a seq the instant its record is in the
+// WAL, and the checkpoint seal excludes ingestion, so a seq that is
+// "in flight but already logged" cannot be observed here.)
+func (g *seqGate) snapshot() []byte {
+	g.mu.Lock()
+	seqs := make([]uint64, 0, len(g.applied))
+	for s := range g.applied {
+		seqs = append(seqs, s)
+	}
+	low := g.low
+	g.mu.Unlock()
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	p := make([]byte, gateSnapshotHeaderLen, gateSnapshotHeaderLen+8*len(seqs))
+	copy(p[:4], gateMagic[:])
+	binary.LittleEndian.PutUint64(p[4:], low)
+	binary.LittleEndian.PutUint32(p[12:], uint32(len(seqs)))
+	for _, s := range seqs {
+		p = binary.LittleEndian.AppendUint64(p, s)
+	}
+	return p
+}
+
+// restore loads a snapshot produced by snapshot. A nil blob (checkpoint
+// written by a non-durable worker, or no checkpoint at all) leaves the
+// gate fresh.
+func (g *seqGate) restore(p []byte) error {
+	if len(p) == 0 {
+		return nil
+	}
+	if len(p) < gateSnapshotHeaderLen || [4]byte(p[:4]) != gateMagic {
+		return fmt.Errorf("gzserve: checkpoint metadata is not a GZG1 gate snapshot")
+	}
+	low := binary.LittleEndian.Uint64(p[4:])
+	count := binary.LittleEndian.Uint32(p[12:])
+	if uint64(len(p)-gateSnapshotHeaderLen) != uint64(count)*8 {
+		return fmt.Errorf("gzserve: gate snapshot declares %d seqs but carries %d bytes", count, len(p)-gateSnapshotHeaderLen)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.low = low
+	for off := gateSnapshotHeaderLen; off < len(p); off += 8 {
+		if s := binary.LittleEndian.Uint64(p[off:]); s > low {
+			g.applied[s] = struct{}{}
+		}
+	}
+	return nil
 }

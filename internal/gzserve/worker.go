@@ -5,9 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"graphzeppelin/internal/core"
+	"graphzeppelin/internal/wal"
 )
 
 // Worker endpoints. Request and response bodies on the binary endpoints
@@ -45,8 +50,14 @@ type WorkerStats struct {
 	Duplicates uint64 `json:"duplicates"`
 	// SeqLowWater is the highest sequence number below which everything
 	// has been applied.
-	SeqLowWater uint64     `json:"seq_low_water"`
-	Engine      core.Stats `json:"engine"`
+	SeqLowWater uint64 `json:"seq_low_water"`
+	// Durable reports whether the worker logs to a WAL; on a durable
+	// worker RecoveredBatches/RecoveredUpdates count the WAL suffix the
+	// current process replayed at startup (zero after a clean restart).
+	Durable          bool       `json:"durable,omitempty"`
+	RecoveredBatches uint64     `json:"recovered_batches,omitempty"`
+	RecoveredUpdates uint64     `json:"recovered_updates,omitempty"`
+	Engine           core.Stats `json:"engine"`
 }
 
 // Worker owns one partition's engine and serves the batch-ingest,
@@ -68,11 +79,49 @@ type Worker struct {
 
 	gate *seqGate
 
+	// Durable-worker state (NewDurableWorker): the checkpoint file the
+	// periodic loop and graceful shutdown write, and the startup recovery
+	// summary. Nil/zero on plain workers.
+	durable   bool
+	ckptPath  string
+	ckptMu    sync.Mutex // serializes CheckpointLocal callers
+	stopCkpt  chan struct{}
+	ckptWG    sync.WaitGroup
+	closeOnce sync.Once
+	recovered core.Recovery
+
 	batches atomic.Uint64
 	updates atomic.Uint64
 	dups    atomic.Uint64
 	closed  atomic.Bool
 }
+
+// Durability configures a worker that survives crashes: every acked
+// ingest batch is in the write-ahead log before the ack leaves, and
+// NewDurableWorker rebuilds the worker from checkpoint + log on restart.
+type Durability struct {
+	// StateDir holds the worker's durable state: CheckpointFileName plus
+	// a wal/ segment directory. Required; created if absent. Each worker
+	// needs its own directory.
+	StateDir string
+	// Fsync is the log's fsync policy (default wal.FsyncBatch: an ingest
+	// ack implies the batch is on stable storage). See wal.FsyncPolicy.
+	Fsync wal.FsyncPolicy
+	// FsyncInterval is the wal.FsyncInterval period (default 50ms).
+	FsyncInterval time.Duration
+	// SegmentBytes is the log segment rotation threshold (default 8 MiB).
+	SegmentBytes int64
+	// CheckpointInterval, when positive, checkpoints the engine to
+	// StateDir on a background timer; each checkpoint truncates the
+	// covered log prefix, bounding both log growth and recovery time.
+	// Zero means checkpoints happen only on Close (and via
+	// CheckpointLocal).
+	CheckpointInterval time.Duration
+}
+
+// CheckpointFileName is the checkpoint file a durable worker maintains
+// inside its state directory.
+const CheckpointFileName = "checkpoint.gze"
 
 // NewWorker builds a worker over a fresh engine from cfg. rangeLo/Hi
 // document the node range the coordinator routes here (use 0, NumNodes
@@ -90,25 +139,139 @@ func NewWorker(cfg core.Config, rangeLo, rangeHi uint32) (*Worker, error) {
 	}, nil
 }
 
+// NewDurableWorker builds (or, after a crash, rebuilds) a worker whose
+// accepted batches survive process death. It recovers the engine from
+// d.StateDir — latest checkpoint plus the WAL suffix — and restores the
+// ingest dedup gate from the checkpoint's metadata plus the client
+// sequence numbers carried by the replayed log records, so a client
+// retrying a batch the dead process had acked is answered with a
+// duplicate ack instead of XOR-cancelling the original apply. The
+// returned Recovery reports what was replayed.
+//
+// cfg's WAL fields are overridden from d; everything else (NumNodes,
+// Seed, sharding, buffering) must match what the crashed worker ran
+// with, exactly as for core.Recover.
+func NewDurableWorker(cfg core.Config, rangeLo, rangeHi uint32, d Durability) (*Worker, *core.Recovery, error) {
+	if d.StateDir == "" {
+		return nil, nil, fmt.Errorf("gzserve: Durability.StateDir is required")
+	}
+	if err := os.MkdirAll(d.StateDir, 0o777); err != nil {
+		return nil, nil, err
+	}
+	cfg.WAL = true
+	if cfg.WALStorage == nil {
+		cfg.WALDir = filepath.Join(d.StateDir, "wal")
+	}
+	cfg.WALFsync = d.Fsync
+	if d.FsyncInterval > 0 {
+		cfg.WALFsyncInterval = d.FsyncInterval
+	}
+	if d.SegmentBytes > 0 {
+		cfg.WALSegmentBytes = d.SegmentBytes
+	}
+	ckptPath := filepath.Join(d.StateDir, CheckpointFileName)
+	eng, rec, err := core.Recover(ckptPath, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	gate := newSeqGate()
+	if err := gate.restore(rec.Meta); err != nil {
+		eng.Close()
+		return nil, nil, err
+	}
+	gate.markApplied(rec.Seqs)
+	wk := &Worker{
+		eng:       eng,
+		rangeLo:   rangeLo,
+		rangeHi:   rangeHi,
+		gate:      gate,
+		durable:   true,
+		ckptPath:  ckptPath,
+		stopCkpt:  make(chan struct{}),
+		recovered: *rec,
+	}
+	// The hook runs inside the engine's ingest path, after the batch's
+	// WAL append succeeds and before the quiesce lock is released — the
+	// one place where "logged" and "marked applied" are atomic with
+	// respect to a checkpoint seal, so a sealed gate snapshot covers
+	// exactly the seqs whose records the checkpoint's WAL position does.
+	eng.SetLoggedHook(func(seq uint64) {
+		if seq != 0 {
+			gate.Commit(seq)
+		}
+	})
+	eng.SetCheckpointMeta(gate.snapshot)
+	if d.CheckpointInterval > 0 {
+		wk.ckptWG.Add(1)
+		go wk.checkpointLoop(d.CheckpointInterval)
+	}
+	return wk, rec, nil
+}
+
+// CheckpointLocal writes the worker's checkpoint file (atomically, via
+// rename) and truncates the WAL prefix it covers. Durable workers only.
+func (wk *Worker) CheckpointLocal() error {
+	if !wk.durable {
+		return fmt.Errorf("gzserve: worker has no durable state directory")
+	}
+	wk.ckptMu.Lock()
+	defer wk.ckptMu.Unlock()
+	return wk.eng.WriteCheckpointFile(wk.ckptPath)
+}
+
+// checkpointLoop is the periodic local-checkpoint goroutine.
+func (wk *Worker) checkpointLoop(every time.Duration) {
+	defer wk.ckptWG.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-wk.stopCkpt:
+			return
+		case <-t.C:
+			if err := wk.CheckpointLocal(); errors.Is(err, core.ErrClosed) {
+				return
+			}
+		}
+	}
+}
+
 // Engine exposes the underlying engine (tests and in-process callers).
 func (wk *Worker) Engine() *core.Engine { return wk.eng }
+
+// Recovered reports what NewDurableWorker replayed at startup (zero
+// value for plain workers).
+func (wk *Worker) Recovered() core.Recovery { return wk.recovered }
 
 // Stats snapshots the worker's /statsz document.
 func (wk *Worker) Stats() WorkerStats {
 	return WorkerStats{
-		SeqLowWater: wk.gate.LowWater(),
-		Batches:     wk.batches.Load(),
-		Updates:     wk.updates.Load(),
-		Duplicates:  wk.dups.Load(),
-		Engine:      wk.eng.Stats(),
+		SeqLowWater:      wk.gate.LowWater(),
+		Batches:          wk.batches.Load(),
+		Updates:          wk.updates.Load(),
+		Duplicates:       wk.dups.Load(),
+		Durable:          wk.durable,
+		RecoveredBatches: wk.recovered.Records,
+		RecoveredUpdates: wk.recovered.Updates,
+		Engine:           wk.eng.Stats(),
 	}
 }
 
-// Close drains and releases the engine. Call after the HTTP server
-// serving Handler has stopped.
+// Close drains and releases the engine. A durable worker first stops
+// the checkpoint loop and writes a final checkpoint, so a graceful
+// restart recovers from the checkpoint alone with an empty log suffix.
+// Call after the HTTP server serving Handler has stopped.
 func (wk *Worker) Close() error {
 	wk.closed.Store(true)
-	return wk.eng.Close()
+	var ckptErr error
+	if wk.durable {
+		wk.closeOnce.Do(func() { close(wk.stopCkpt) })
+		wk.ckptWG.Wait()
+		if err := wk.CheckpointLocal(); err != nil && !errors.Is(err, core.ErrClosed) {
+			ckptErr = fmt.Errorf("gzserve: shutdown checkpoint: %w", err)
+		}
+	}
+	return errors.Join(ckptErr, wk.eng.Close())
 }
 
 // Handler returns the worker's HTTP routes.
@@ -184,12 +347,28 @@ func (wk *Worker) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if err := wk.eng.UpdateBatch(ups); err != nil {
+	// On a durable worker the batch goes through the sequence-carrying
+	// path: the engine appends it (with seq) to the WAL before buffering,
+	// and the logged hook commits the gate the instant the record is
+	// durable — so the ack below really means "logged".
+	if wk.durable {
+		err = wk.eng.UpdateBatchSeq(ups, seq)
+	} else {
+		err = wk.eng.UpdateBatch(ups)
+	}
+	if err != nil {
 		if errors.Is(err, core.ErrClosed) {
-			// Nothing was buffered: the closed check precedes buffering, so
-			// the seq can be released for a (futile but harmless) retry.
+			// Nothing was buffered or logged: the closed check precedes both,
+			// so the seq can be released for a (futile but harmless) retry.
 			wk.gate.Release(seq)
 			writeWireError(w, http.StatusServiceUnavailable, CodeClosed, err.Error())
+			return
+		}
+		if wk.durable && !wk.gate.settleFailed(seq) {
+			// The failure happened before the WAL append: nothing durable,
+			// nothing buffered, and the claim is released — a retry is safe
+			// and may succeed (e.g. after a transient I/O error).
+			writeWireError(w, http.StatusInternalServerError, CodeInternal, err.Error())
 			return
 		}
 		// Past validation and the closed check, a failure means the batch

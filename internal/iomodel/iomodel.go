@@ -53,6 +53,24 @@ type Device interface {
 	Close() error
 }
 
+// Syncer is the optional durability face of a Device: Sync returns only
+// after every prior WriteAt is on stable storage. File devices map it to
+// fsync; in-memory devices treat it as a no-op (or, for the power-cut
+// fault model, as the point that moves buffered writes into the
+// "survives a cut" state).
+type Syncer interface {
+	Sync() error
+}
+
+// Sync flushes d if it supports durability and is a no-op otherwise, so
+// callers can demand persistence without type-switching on every device.
+func Sync(d Device) error {
+	if s, ok := d.(Syncer); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
 type counters struct {
 	readOps, writeOps       atomic.Uint64
 	readBlocks, writeBlocks atomic.Uint64
@@ -108,6 +126,29 @@ func OpenFile(path string, blockSize int) (*FileDevice, error) {
 	}
 	return &FileDevice{f: f, block: blockSize}, nil
 }
+
+// OpenFileKeep opens (creating if absent, never truncating) a
+// file-backed device at path and returns it with the file's current
+// size — the reopen path for structures that must survive a restart,
+// like write-ahead-log segments.
+func OpenFileKeep(path string, blockSize int) (*FileDevice, int64, error) {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, 0, fmt.Errorf("iomodel: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("iomodel: stat %s: %w", path, err)
+	}
+	return &FileDevice{f: f, block: blockSize}, st.Size(), nil
+}
+
+// Sync implements Syncer (fsync).
+func (d *FileDevice) Sync() error { return d.f.Sync() }
 
 // ReadAt implements Device. Only bytes actually transferred are charged to
 // the statistics: a failed read that moved no data does not count as an
@@ -205,6 +246,9 @@ func (d *MemDevice) Stats() Stats { return d.counters.stats() }
 
 // BlockSize implements Device.
 func (d *MemDevice) BlockSize() int { return d.block }
+
+// Sync implements Syncer; RAM needs no flushing.
+func (d *MemDevice) Sync() error { return nil }
 
 // Close implements Device.
 func (d *MemDevice) Close() error { return nil }

@@ -1,0 +1,140 @@
+package iomodel
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPowerCutLosesUnsynced pins the core contract: synced writes survive
+// a cut, unsynced writes vanish, and reads before the cut still observe
+// everything (the page-cache illusion).
+func TestPowerCutLosesUnsynced(t *testing.T) {
+	d := NewPowerCut(16)
+	if _, err := d.WriteAt([]byte("durable!"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.WriteAt([]byte("volatile"), 8); err != nil {
+		t.Fatal(err)
+	}
+	// Pre-cut reads see the unsynced write.
+	got := make([]byte, 16)
+	if _, err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "durable!volatile" {
+		t.Fatalf("pre-cut read = %q", got)
+	}
+	if n := d.UnsyncedWrites(); n != 1 {
+		t.Fatalf("UnsyncedWrites = %d, want 1", n)
+	}
+	d.Cut(0, 0)
+	if _, err := d.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:8]) != "durable!" || !bytes.Equal(got[8:], make([]byte, 8)) {
+		t.Fatalf("post-cut read = %q, want durable prefix and zeroed tail", got)
+	}
+}
+
+// TestPowerCutKeepAndTornPrefix verifies the keep count and the
+// block-granular torn prefix: the first keep unsynced writes persist in
+// full, the next write persists only whole blocks of its prefix.
+func TestPowerCutKeepAndTornPrefix(t *testing.T) {
+	d := NewPowerCut(4)
+	w1 := []byte("aaaabbbb")
+	w2 := []byte("ccccddddeeee")
+	if _, err := d.WriteAt(w1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.WriteAt(w2, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Keep write 1 fully; write 2 asked to tear at 7 bytes → rounds down
+	// to one 4-byte block.
+	img := d.CutImage(1, 7)
+	want := append(append([]byte(nil), w1...), []byte("cccc")...)
+	if !bytes.Equal(img, want) {
+		t.Fatalf("CutImage = %q, want %q", img, want)
+	}
+	// CutImage must not disturb the live device.
+	if n := d.UnsyncedWrites(); n != 2 {
+		t.Fatalf("UnsyncedWrites after CutImage = %d, want 2", n)
+	}
+	// Torn request below one block persists nothing of the lost write.
+	if img := d.CutImage(0, 3); len(img) != 0 {
+		t.Fatalf("sub-block torn prefix persisted %d bytes", len(img))
+	}
+}
+
+// TestPowerCutSyncFaults exercises the two sync sabotage modes: a failed
+// sync errors and persists nothing; a lost sync reports success, persists
+// nothing, and leaves the journal intact so a later honest sync works.
+func TestPowerCutSyncFaults(t *testing.T) {
+	d := NewPowerCut(8)
+	if _, err := d.WriteAt([]byte("payload."), 0); err != nil {
+		t.Fatal(err)
+	}
+	d.FailSyncs(1)
+	if err := d.Sync(); err == nil {
+		t.Fatal("armed failed sync returned nil")
+	}
+	d.LoseSyncs(1)
+	if err := d.Sync(); err != nil {
+		t.Fatalf("lost sync must report success, got %v", err)
+	}
+	if img := d.CutImage(0, 0); len(img) != 0 {
+		t.Fatalf("lost sync persisted %d bytes", len(img))
+	}
+	// The journal survived the lie: an honest sync persists.
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if img := d.CutImage(0, 0); string(img) != "payload." {
+		t.Fatalf("honest sync persisted %q", img)
+	}
+}
+
+// TestPowerCutReopenFrom models the restart path: a device reopened from
+// a cut image starts with that image both persisted and visible.
+func TestPowerCutReopenFrom(t *testing.T) {
+	d := NewPowerCut(8)
+	d.WriteAt([]byte("state"), 0)
+	d.Sync()
+	d.WriteAt([]byte("lost"), 5)
+	img := d.CutImage(0, 0)
+	re := NewPowerCutFrom(img, 8)
+	if re.Size() != int64(len("state")) {
+		t.Fatalf("reopened size = %d", re.Size())
+	}
+	got := make([]byte, 5)
+	if _, err := re.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "state" {
+		t.Fatalf("reopened read = %q", got)
+	}
+	// And the reopened device survives its own cut without the old journal.
+	re.Cut(0, 0)
+	if img := re.CutImage(0, 0); string(img) != "state" {
+		t.Fatalf("image after reopen+cut = %q", img)
+	}
+}
+
+// TestSyncHelper covers the package-level Sync dispatch: devices with a
+// Syncer flush, devices without are a no-op.
+func TestSyncHelper(t *testing.T) {
+	if err := Sync(NewMem(8)); err != nil {
+		t.Fatal(err)
+	}
+	d := NewPowerCut(8)
+	d.WriteAt([]byte("x"), 0)
+	if err := Sync(d); err != nil {
+		t.Fatal(err)
+	}
+	if img := d.CutImage(0, 0); string(img) != "x" {
+		t.Fatal("Sync helper did not reach the device's Sync")
+	}
+}

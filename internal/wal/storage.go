@@ -1,0 +1,152 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"graphzeppelin/internal/iomodel"
+)
+
+// Storage is where a Log keeps its segment files. Segments are named by
+// the Log (wal-XXXXXXXX.gzl); the storage only has to open a named
+// device without truncating it, report its current size, enumerate what
+// exists, and delete what a checkpoint has made redundant. Two
+// implementations cover every deployment: DirStorage puts segments in a
+// directory as real files (fsync-honest durability), MemStorage keeps
+// them on power-cut fault devices so crash-recovery tests can cut the
+// power at arbitrary points without a process kill.
+type Storage interface {
+	// Open returns the device holding name (created empty if absent) and
+	// its current byte size.
+	Open(name string) (iomodel.Device, int64, error)
+	// Remove deletes name. Removing an absent name is not an error.
+	Remove(name string) error
+	// List returns the names present, in any order.
+	List() ([]string, error)
+}
+
+// DirStorage stores segments as files under Dir.
+type DirStorage struct {
+	Dir   string
+	Block int
+}
+
+// NewDirStorage creates (if needed) dir and returns file-backed storage
+// with the given device block size.
+func NewDirStorage(dir string, block int) (DirStorage, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return DirStorage{}, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	return DirStorage{Dir: dir, Block: block}, nil
+}
+
+// Open implements Storage without truncating an existing segment.
+func (s DirStorage) Open(name string) (iomodel.Device, int64, error) {
+	return iomodel.OpenFileKeep(filepath.Join(s.Dir, name), s.Block)
+}
+
+// Remove implements Storage.
+func (s DirStorage) Remove(name string) error {
+	err := os.Remove(filepath.Join(s.Dir, name))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// List implements Storage.
+func (s DirStorage) List() ([]string, error) {
+	ents, err := os.ReadDir(s.Dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+// MemStorage keeps segments on in-memory power-cut devices. It outlives
+// any Log opened over it, so a test can close a "crashed" log, take the
+// crash image, and reopen a new log over what would have survived.
+type MemStorage struct {
+	mu    sync.Mutex
+	block int
+	devs  map[string]*iomodel.PowerCutDevice
+}
+
+// NewMemStorage returns empty in-memory storage with the given device
+// block size (the granularity of torn writes under a power cut).
+func NewMemStorage(block int) *MemStorage {
+	return &MemStorage{block: block, devs: make(map[string]*iomodel.PowerCutDevice)}
+}
+
+// Open implements Storage; reopening a name returns the same device.
+func (s *MemStorage) Open(name string) (iomodel.Device, int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.devs[name]
+	if !ok {
+		d = iomodel.NewPowerCut(s.block)
+		s.devs[name] = d
+	}
+	return d, d.Size(), nil
+}
+
+// Remove implements Storage.
+func (s *MemStorage) Remove(name string) error {
+	s.mu.Lock()
+	delete(s.devs, name)
+	s.mu.Unlock()
+	return nil
+}
+
+// List implements Storage.
+func (s *MemStorage) List() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.devs))
+	for n := range s.devs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Device exposes a segment's power-cut device so tests can arm sync
+// faults on it. Nil if the name does not exist.
+func (s *MemStorage) Device(name string) *iomodel.PowerCutDevice {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.devs[name]
+}
+
+// Crash simulates a power cut across the whole storage: for every
+// segment, decide picks how many of its unsynced writes persist in full
+// (keep) and how many extra bytes of the next write persist as a
+// block-granular torn prefix (torn). The result is a NEW storage holding
+// only what survived; the original keeps running, so the "dying" process
+// can still be shut down cleanly after the snapshot without polluting
+// the crash image.
+func (s *MemStorage) Crash(decide func(name string, unsynced int) (keep, torn int)) *MemStorage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := NewMemStorage(s.block)
+	for name, d := range s.devs {
+		keep, torn := 0, 0
+		if decide != nil {
+			keep, torn = decide(name, d.UnsyncedWrites())
+		}
+		out.devs[name] = iomodel.NewPowerCutFrom(d.CutImage(keep, torn), s.block)
+	}
+	return out
+}
