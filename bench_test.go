@@ -16,6 +16,7 @@ import (
 	"graphzeppelin/internal/experiments"
 	"graphzeppelin/internal/kron"
 	"graphzeppelin/internal/l0"
+	"graphzeppelin/internal/stream"
 )
 
 // --- Figure 4: sketch update throughput ---
@@ -354,6 +355,118 @@ func BenchmarkSpanningForest(b *testing.B) {
 			}
 			if queryReads > 0 {
 				b.ReportMetric(float64(queryReads)/float64(b.N), "readOps/query")
+			}
+		})
+	}
+}
+
+// BenchmarkConnectedAfterDelta measures the query-latency spectrum the
+// incremental maintenance path creates: a cold full query (delta disabled,
+// cache invalidated before every run), the O(1) epoch-cached answer on a
+// quiet graph, and delta queries after dirtying 0.1%, 1% and 10% of the
+// nodes — the delta path reuses the cached forest and re-solves only the
+// affected components, so latency scales with the dirty fraction instead
+// of the graph. Uses a kron scale-10 stream (1024 nodes) so the ratios
+// are robust. Recorded in BENCH_query.json and smoke-run in CI.
+func BenchmarkConnectedAfterDelta(b *testing.B) {
+	res := experiments.KronStream(10, 1)
+	n := res.NumNodes
+	modes := []struct {
+		name string
+		// frac is the node fraction dirtied before each timed query;
+		// -1 runs cold full queries, 0 queries a quiet warm cache.
+		frac float64
+	}{
+		{"cold", -1},
+		{"cached", 0},
+		{"dirty=0.1%", 0.001},
+		{"dirty=1%", 0.01},
+		{"dirty=10%", 0.1},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := []graphzeppelin.Option{graphzeppelin.WithSeed(1), graphzeppelin.WithWorkers(2)}
+			if mode.frac < 0 {
+				opts = append(opts, graphzeppelin.WithDeltaQueries(false))
+			}
+			g, err := graphzeppelin.New(n, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer g.Close()
+			for _, u := range res.Updates {
+				if err := g.Apply(u); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := g.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := g.SpanningForest(); err != nil { // warm the cache
+				b.Fatal(err)
+			}
+			// Each inserted edge dirties exactly its two endpoints. The
+			// pair walk hands out fresh non-edges only — never an edge of
+			// the graph (whose deletion could void a cached forest edge
+			// and legitimately demote the delta to the slow path) and
+			// never the same pair twice (whose second toggle would be that
+			// deletion) — so the measured delta is the trickle-of-new-edges
+			// regime the incremental path is built for.
+			present := make(map[stream.Edge]bool, len(res.FinalEdges))
+			for _, eg := range res.FinalEdges {
+				present[eg.Normalize()] = true
+			}
+			pu, stride := uint32(0), uint32(1)
+			nextPair := func() stream.Edge {
+				for {
+					if pu+stride >= n {
+						pu, stride = 0, stride+1
+						if stride >= n {
+							b.Fatal("pair walk exhausted the non-edges")
+						}
+					}
+					eg := stream.Edge{U: pu, V: pu + stride}
+					pu += 2
+					if !present[eg] {
+						present[eg] = true
+						return eg
+					}
+				}
+			}
+			k := int(mode.frac * float64(n) / 2)
+			if mode.frac > 0 && k < 1 {
+				k = 1
+			}
+			b.ResetTimer()
+			b.StopTimer()
+			for i := 0; i < b.N; i++ {
+				if mode.frac != 0 {
+					toggles := k
+					if mode.frac < 0 {
+						toggles = 1 // cold mode: any toggle invalidates the cache
+					}
+					for j := 0; j < toggles; j++ {
+						eg := nextPair()
+						if err := g.Insert(eg.U, eg.V); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if err := g.Flush(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+				if _, err := g.SpanningForest(); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+			}
+			st := g.Stats()
+			if mode.frac > 0 {
+				if st.DeltaQueries == 0 {
+					b.Fatalf("no delta queries ran (fallbacks=%d)", st.DeltaFallbacks)
+				}
+				b.ReportMetric(float64(st.DeltaFallbacks), "fallbacks")
 			}
 		})
 	}

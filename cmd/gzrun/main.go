@@ -80,6 +80,7 @@ func main() {
 		walSegB    = flag.Int64("walsegbytes", 0, "WAL segment rotation threshold in bytes (0 = 8 MiB default)")
 		mergeList  = flag.String("merge", "", "comma-separated checkpoint files merged in after ingestion, before the query")
 		noRebal    = flag.Bool("norebalance", false, "disable the skew-aware shard rebalancer (graph)")
+		noDelta    = flag.Bool("nodeltaquery", false, "disable incremental query maintenance (every cache miss runs a from-scratch Boruvka)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -150,6 +151,9 @@ func main() {
 	}
 	if *noRebal {
 		opts = append(opts, graphzeppelin.WithRebalancing(false))
+	}
+	if *noDelta {
+		opts = append(opts, graphzeppelin.WithDeltaQueries(false))
 	}
 	switch *buffering {
 	case "leaf":
@@ -330,6 +334,10 @@ func main() {
 		fmt.Printf("sketch cache: %d hits, %d misses (%.1f%% hit rate), %d evictions, %d write-backs, %d groups (%.1f MiB) resident\n",
 			c.Hits, c.Misses, 100*float64(c.Hits)/float64(c.Hits+c.Misses),
 			c.Evictions, c.WriteBacks, c.CachedGroups, float64(c.CachedBytes)/(1<<20))
+	}
+	if st.DeltaQueries+st.DeltaFallbacks > 0 {
+		fmt.Printf("delta queries: %d incremental, %d fallbacks to full, %d nodes dirty at exit\n",
+			st.DeltaQueries, st.DeltaFallbacks, st.DirtyNodes)
 	}
 	if st.BufferIO.TotalBlocks() > 0 {
 		fmt.Printf("gutter I/O: %d read blocks, %d write blocks\n",

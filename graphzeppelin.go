@@ -37,13 +37,18 @@
 // cached groups with zero device reads. See the README's "Out-of-core
 // architecture".
 //
-// Queries are epoch-cached and lazily materialized: the first query after
-// an update runs the Boruvka emulation (materializing each round's
-// supernode sketches on demand, with candidate sampling fanned across the
-// shard worker pool, and — out of core — one sequential scan per round),
-// and every query until the next update is answered from the cached
-// result, making Connected/ConnectedMany point queries O(1) on a quiet
-// graph. See the README's "Query cost model" for the full picture.
+// Queries are epoch-cached, incrementally maintained, and lazily
+// materialized: while the graph is unchanged, every query is answered from
+// the cached result (Connected/ConnectedMany point queries are O(1) on a
+// quiet graph); after a small delta, the next query re-solves only the
+// components whose nodes' sketches changed — tracked in per-shard dirty
+// bit vectors on the apply path — and carries the rest of the cached
+// forest over (WithDeltaQueries, on by default; WithDeltaQueryThreshold
+// bounds the dirty fraction before it falls back to a from-scratch run).
+// A from-scratch query runs the Boruvka emulation, materializing each
+// round's supernode sketches on demand, with candidate sampling fanned
+// across the shard worker pool, and — out of core — one sequential scan
+// per round. See the README's "Query cost model" for the full picture.
 //
 // Basic use:
 //
@@ -219,6 +224,31 @@ func WithCacheBytes(n int64) Option {
 // (the paper's max{1, B / sketch bytes}). No effect in RAM mode.
 func WithNodesPerGroup(n int) Option {
 	return func(c *core.Config) { c.NodesPerGroup = n }
+}
+
+// WithDeltaQueries enables or disables incremental query maintenance
+// (default enabled). When on, a query that misses the epoch cache but has
+// a previous cached result reuses it: the apply path tracks which nodes'
+// sketches changed since that result in per-shard dirty bit vectors, the
+// untouched components' forest edges carry over wholesale, and only the
+// components containing dirty nodes are re-solved from sketches — so a
+// query after a small delta costs sketch work proportional to the
+// affected components, not the graph. When the dirty fraction exceeds
+// WithDeltaQueryThreshold (or after a checkpoint merge, which can change
+// any sketch), the query falls back to the from-scratch Boruvka run; the
+// answer contract is identical either way (see Stats.DeltaQueries,
+// Stats.DeltaFallbacks, Stats.DirtyNodes). Disabling restores the
+// pre-incremental all-or-nothing cache, kept for ablation.
+func WithDeltaQueries(enabled bool) Option {
+	return func(c *core.Config) { c.NoDeltaQuery = !enabled }
+}
+
+// WithDeltaQueryThreshold sets the incremental query's fallback
+// threshold: a delta query runs only while at most frac of all nodes are
+// dirty (default 0.10). Above it, re-solving most of the graph through
+// the delta path would cost more than the from-scratch run it shadows.
+func WithDeltaQueryThreshold(frac float64) Option {
+	return func(c *core.Config) { c.DeltaQueryMaxDirtyFrac = frac }
 }
 
 // WithColumns overrides the per-sketch column count log(1/δ) (default 7).

@@ -1158,7 +1158,10 @@ func (e *Engine) MergeCheckpoint(r io.Reader) error {
 	}
 	e.updates.Add(h.updates)
 	// The sketched graph changed without an ingest call; invalidate any
-	// cached query answer.
+	// cached query answer. The merge bypassed the batch path's per-node
+	// dirty tracking, so every node's sketches may have changed — dirty
+	// everything and let the next query run from scratch.
+	e.dirtyAll.Store(true)
 	e.epoch.Add(1)
 	return nil
 }

@@ -138,6 +138,19 @@ type Config struct {
 	// routable to any shard (default 16). More slices mean finer-grained
 	// rebalancing at slightly more routing state.
 	SlicesPerShard int
+	// NoDeltaQuery disables incremental query maintenance. By default a
+	// full query whose previous result is still cached reuses that forest:
+	// only the components containing nodes whose sketches changed since
+	// (tracked in per-shard dirty vectors on the apply path) are re-solved
+	// from sketches, and the untouched components' forest edges carry
+	// over. With it set, every cache miss runs the from-scratch parallel
+	// Boruvka, the pre-incremental behavior (kept for ablation).
+	NoDeltaQuery bool
+	// DeltaQueryMaxDirtyFrac is the incremental query's fallback
+	// threshold: when more than this fraction of nodes is dirty, the delta
+	// path would re-solve most of the graph anyway while paying its extra
+	// bookkeeping, so the query runs from scratch instead (default 0.10).
+	DeltaQueryMaxDirtyFrac float64
 	// QueryScanBytes is the target size of one sequential ReadRange the
 	// disk-mode query scan issues (default 1 MiB): each Boruvka round
 	// reads the still-live stretch of the sketch store in chunks of this
@@ -208,6 +221,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.QueryScanBytes <= 0 {
 		c.QueryScanBytes = 1 << 20
+	}
+	if c.DeltaQueryMaxDirtyFrac <= 0 {
+		c.DeltaQueryMaxDirtyFrac = 0.10
+	}
+	if c.DeltaQueryMaxDirtyFrac > 1 {
+		c.DeltaQueryMaxDirtyFrac = 1
 	}
 	if c.RebalanceInterval <= 0 {
 		c.RebalanceInterval = 2 * time.Millisecond

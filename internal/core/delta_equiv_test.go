@@ -1,0 +1,405 @@
+package core
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"graphzeppelin/internal/stream"
+	"graphzeppelin/internal/wal"
+)
+
+// The randomized equivalence harness for incremental query maintenance:
+// every sub-test interleaves small edge deltas, larger batches, and one
+// structural event family (rebalancer migrations, disk placement,
+// checkpoint restore + merge, WAL crash/recover cycles), querying after
+// every step and asserting the engine's partition matches a parity-map
+// reference computed from scratch. The point is that a delta query — the
+// cached forest plus a re-solve of only the dirtied components — is
+// indistinguishable from a full Boruvka no matter which apply path set
+// the dirty bits.
+
+// equivHarness drives one engine against an exact parity reference.
+type equivHarness struct {
+	t       *testing.T
+	eng     *Engine
+	n       uint32
+	rng     *rand.Rand
+	present map[stream.Edge]bool
+	// deltaTotal carries DeltaQueries counts across engine replacements
+	// (checkpoint restores, crash recoveries) so the vacuity check sees
+	// the whole run, not just the last engine's life.
+	deltaTotal uint64
+}
+
+// retire accumulates the outgoing engine's counters before a replacement.
+func (h *equivHarness) retire() {
+	h.deltaTotal += h.eng.Stats().DeltaQueries
+}
+
+// randEdge picks a random normalized edge; with skew set, one endpoint is
+// drawn from a small hot range so a few shard slices absorb most pushes
+// (the rebalancer's trigger condition).
+func (h *equivHarness) randEdge(skew bool) stream.Edge {
+	for {
+		var u uint32
+		if skew {
+			u = uint32(h.rng.Uint64N(uint64(h.n / 8)))
+		} else {
+			u = uint32(h.rng.Uint64N(uint64(h.n)))
+		}
+		v := uint32(h.rng.Uint64N(uint64(h.n)))
+		eg := stream.Edge{U: u, V: v}.Normalize()
+		if eg.U != eg.V {
+			return eg
+		}
+	}
+}
+
+// toggle applies k random edge toggles through the public insert/delete
+// API and mirrors them in the parity map.
+func (h *equivHarness) toggle(k int, skew bool) {
+	h.t.Helper()
+	for i := 0; i < k; i++ {
+		eg := h.randEdge(skew)
+		if h.present[eg] {
+			delete(h.present, eg)
+			if err := h.eng.DeleteEdge(eg.U, eg.V); err != nil {
+				h.t.Fatal(err)
+			}
+		} else {
+			h.present[eg] = true
+			if err := h.eng.InsertEdge(eg.U, eg.V); err != nil {
+				h.t.Fatal(err)
+			}
+		}
+	}
+}
+
+// check queries the engine and compares its partition against the exact
+// reference over the parity map.
+func (h *equivHarness) check() {
+	h.t.Helper()
+	edges := make([]stream.Edge, 0, len(h.present))
+	for eg := range h.present {
+		edges = append(edges, eg)
+	}
+	checkAgainstExact(h.t, h.eng, h.n, edges)
+}
+
+// step runs one randomized step: usually a small delta (the incremental
+// path's bread and butter), sometimes a burst past the dirty-fraction
+// threshold (forcing the documented fallback), always followed by a
+// query-and-compare.
+func (h *equivHarness) step(skew bool) {
+	h.t.Helper()
+	switch h.rng.Uint64N(10) {
+	case 0, 1:
+		h.toggle(12+int(h.rng.Uint64N(30)), skew) // burst: over threshold
+	default:
+		h.toggle(1+int(h.rng.Uint64N(3)), skew) // small delta
+	}
+	h.check()
+}
+
+// requireDeltas fails the harness if no incremental query ever ran — the
+// equivalence assertions would be vacuous.
+func (h *equivHarness) requireDeltas() {
+	h.t.Helper()
+	st := h.eng.Stats()
+	if st.DeltaQueries+h.deltaTotal == 0 {
+		h.t.Fatalf("no delta queries ran (fallbacks=%d): harness is vacuous", st.DeltaFallbacks)
+	}
+}
+
+func TestDeltaQueryEquivalenceRebalanced(t *testing.T) {
+	t.Parallel()
+	const n = 128
+	eng, err := NewEngine(Config{
+		NumNodes: n, Seed: 11, Shards: 4, Workers: 4,
+		Buffering: BufferNone, // apply immediately so every step's query sees its toggles
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	h := &equivHarness{t: t, eng: eng, n: n,
+		rng: rand.New(rand.NewPCG(11, 1)), present: map[stream.Edge]bool{}}
+	for i := 0; i < 150; i++ {
+		h.step(true) // skewed stream: migrations move applies across shards
+	}
+	h.requireDeltas()
+}
+
+func TestDeltaQueryEquivalenceDisk(t *testing.T) {
+	t.Parallel()
+	const n = 128
+	eng, err := NewEngine(Config{
+		NumNodes: n, Seed: 23, Shards: 2, Workers: 2,
+		SketchesOnDisk: true, Buffering: BufferNone,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	h := &equivHarness{t: t, eng: eng, n: n,
+		rng: rand.New(rand.NewPCG(23, 2)), present: map[stream.Edge]bool{}}
+	for i := 0; i < 60; i++ {
+		h.step(false)
+	}
+	h.requireDeltas()
+}
+
+// TestDeltaQueryEquivalenceCheckpoint interleaves deltas with checkpoint
+// round trips (restore forgets the cache: next query is cold) and
+// checkpoint merges (XOR of another engine's state: dirty-everything, so
+// the next query must fall back to a full run, never serve a stale
+// baseline).
+func TestDeltaQueryEquivalenceCheckpoint(t *testing.T) {
+	t.Parallel()
+	const n = 128
+	cfg := Config{NumNodes: n, Seed: 31, Shards: 2, Workers: 2, Buffering: BufferNone}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &equivHarness{t: t, eng: eng, n: n,
+		rng: rand.New(rand.NewPCG(31, 3)), present: map[stream.Edge]bool{}}
+	defer func() { h.eng.Close() }()
+
+	for i := 0; i < 120; i++ {
+		h.step(false)
+		switch {
+		case i%40 == 19:
+			// Round trip: serialize, restore into a fresh engine, drop the old.
+			var buf bytes.Buffer
+			if err := h.eng.WriteCheckpoint(&buf); err != nil {
+				t.Fatal(err)
+			}
+			back, err := ReadCheckpoint(&buf, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.retire()
+			h.eng.Close()
+			h.eng = back
+			h.check()
+		case i%40 == 39:
+			// Merge a side engine's sketches in. XOR semantics: edges the
+			// side engine holds toggle in the merged graph, so the parity
+			// map toggles the same set.
+			side, err := NewEngine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < 8; j++ {
+				eg := h.randEdge(false)
+				if err := side.InsertEdge(eg.U, eg.V); err != nil {
+					t.Fatal(err)
+				}
+				if h.present[eg] {
+					delete(h.present, eg)
+				} else {
+					h.present[eg] = true
+				}
+			}
+			var buf bytes.Buffer
+			if err := side.WriteCheckpoint(&buf); err != nil {
+				t.Fatal(err)
+			}
+			side.Close()
+			if err := h.eng.MergeCheckpoint(&buf); err != nil {
+				t.Fatal(err)
+			}
+			h.check()
+		}
+	}
+	h.requireDeltas()
+}
+
+// TestDeltaQueryEquivalenceWAL interleaves deltas with full
+// crash/recover cycles: the WAL replays through the normal batch path,
+// so the recovered engine's first query is cold and subsequent deltas
+// pick up from its fresh cache.
+func TestDeltaQueryEquivalenceWAL(t *testing.T) {
+	t.Parallel()
+	const n = 128
+	st := wal.NewMemStorage(64)
+	cfg := Config{
+		NumNodes: n, Seed: 41, Shards: 2, Workers: 2, Buffering: BufferNone,
+		WAL: true, WALStorage: st, WALSegmentBytes: 1 << 14,
+	}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &equivHarness{t: t, eng: eng, n: n,
+		rng: rand.New(rand.NewPCG(41, 4)), present: map[stream.Edge]bool{}}
+	defer func() { h.eng.Close() }()
+
+	for i := 0; i < 90; i++ {
+		h.step(false)
+		if i%30 == 29 {
+			crashed := st.Crash(nil) // FsyncBatch: every acked toggle survives
+			h.retire()
+			h.eng.Close()
+			rcfg := cfg
+			rcfg.WALStorage = crashed
+			rec, _, err := Recover("", rcfg)
+			if err != nil {
+				t.Fatalf("Recover at step %d: %v", i, err)
+			}
+			st = crashed
+			h.eng = rec
+			h.check()
+		}
+	}
+	h.requireDeltas()
+}
+
+// TestDeltaStatsCounters pins the observable counter semantics: small
+// deltas count as DeltaQueries, an over-threshold burst counts as a
+// fallback, and DirtyNodes reports the union of the per-shard vectors
+// (an edge toggle dirties both endpoints; re-toggling adds nothing).
+func TestDeltaStatsCounters(t *testing.T) {
+	const n = 64
+	eng, err := NewEngine(Config{NumNodes: n, Seed: 5, Shards: 2, Workers: 2, Buffering: BufferNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	mustUpdate(t, eng, 0, 1)
+	if _, _, err := eng.ConnectedComponents(); err != nil { // cold: no prior cache
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.DeltaQueries != 0 || st.DeltaFallbacks != 0 {
+		t.Fatalf("cold query counted as delta: %+v", st)
+	}
+
+	mustUpdate(t, eng, 2, 3)
+	mustUpdate(t, eng, 2, 3) // same edge again: same two dirty nodes
+	if err := eng.Drain(); err != nil { // Stats does not drain; the workers must land first
+		t.Fatal(err)
+	}
+	if got := eng.Stats().DirtyNodes; got != 2 {
+		t.Fatalf("DirtyNodes = %d, want 2 (union, not sum)", got)
+	}
+	if _, _, err := eng.ConnectedComponents(); err != nil {
+		t.Fatal(err)
+	}
+	st = eng.Stats()
+	if st.DeltaQueries != 1 || st.DeltaFallbacks != 0 {
+		t.Fatalf("after small delta: DeltaQueries=%d DeltaFallbacks=%d, want 1/0",
+			st.DeltaQueries, st.DeltaFallbacks)
+	}
+	if st.DirtyNodes != 0 {
+		t.Fatalf("DirtyNodes = %d after successful query, want 0", st.DirtyNodes)
+	}
+
+	// Dirty more than DeltaQueryMaxDirtyFrac of the nodes: fallback.
+	for u := uint32(0); u < n/2; u += 2 {
+		mustUpdate(t, eng, u, u+1)
+	}
+	if _, _, err := eng.ConnectedComponents(); err != nil {
+		t.Fatal(err)
+	}
+	st = eng.Stats()
+	if st.DeltaFallbacks != 1 {
+		t.Fatalf("over-threshold query: DeltaFallbacks=%d, want 1", st.DeltaFallbacks)
+	}
+
+	// A query on a quiet engine with zero dirty nodes that misses the
+	// epoch fast path is still incremental (trivially: carry everything).
+	if _, err := eng.SpanningForest(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdoptQueryBaseline covers the coordinator-refresh seeding path: a
+// fresh engine rebuilt from checkpoint merges adopts the outgoing
+// engine's cached result, and its next query runs the delta path over
+// exactly the nodes whose sketches differ.
+func TestAdoptQueryBaseline(t *testing.T) {
+	const n = 64
+	cfg := Config{NumNodes: n, Seed: 9, Workers: 2, Buffering: BufferNone}
+	old, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer old.Close()
+	var edges []stream.Edge
+	for u := uint32(0); u < 30; u++ {
+		mustUpdate(t, old, u, u+1)
+		edges = append(edges, stream.Edge{U: u, V: u + 1})
+	}
+	if _, _, err := old.ConnectedComponents(); err != nil { // cache a baseline
+		t.Fatal(err)
+	}
+
+	// Rebuild "the next refresh": same state plus a couple of new edges,
+	// arriving via checkpoint merge (which marks everything dirty).
+	var buf bytes.Buffer
+	if err := old.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if err := fresh.MergeCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	mustUpdate(t, fresh, 40, 41)
+	edges = append(edges, stream.Edge{U: 40, V: 41})
+
+	if st := fresh.Stats(); st.DirtyNodes != n {
+		t.Fatalf("pre-adoption DirtyNodes = %d, want %d (merge dirties everything)", st.DirtyNodes, n)
+	}
+	if !fresh.AdoptQueryBaseline(old) {
+		t.Fatal("AdoptQueryBaseline refused compatible engines")
+	}
+	if st := fresh.Stats(); st.DirtyNodes != 2 {
+		t.Fatalf("post-adoption DirtyNodes = %d, want 2 (only the new edge's endpoints differ)", st.DirtyNodes)
+	}
+	checkAgainstExact(t, fresh, n, edges)
+	if st := fresh.Stats(); st.DeltaQueries != 1 {
+		t.Fatalf("adopted baseline query: DeltaQueries=%d, want 1", st.DeltaQueries)
+	}
+
+	// Geometry mismatch and disk placement are refused without touching state.
+	other, err := NewEngine(Config{NumNodes: n, Seed: 10, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if fresh.AdoptQueryBaseline(other) {
+		t.Fatal("adopted a baseline with a different seed")
+	}
+	if fresh.AdoptQueryBaseline(nil) || fresh.AdoptQueryBaseline(fresh) {
+		t.Fatal("adopted nil or self")
+	}
+}
+
+// TestDeltaDisabledAblation pins the NoDeltaQuery knob: with it set the
+// engine answers identically but never takes the incremental path.
+func TestDeltaDisabledAblation(t *testing.T) {
+	const n = 64
+	eng, err := NewEngine(Config{NumNodes: n, Seed: 13, Buffering: BufferNone, NoDeltaQuery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	var edges []stream.Edge
+	for i := 0; i < 6; i++ {
+		u := uint32(i * 2)
+		mustUpdate(t, eng, u, u+1)
+		edges = append(edges, stream.Edge{U: u, V: u + 1})
+		checkAgainstExact(t, eng, n, edges)
+	}
+	if st := eng.Stats(); st.DeltaQueries != 0 || st.DeltaFallbacks != 0 {
+		t.Fatalf("NoDeltaQuery engine took the delta path: %+v", st)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"graphzeppelin/internal/bitset"
 	"graphzeppelin/internal/cubesketch"
 	"graphzeppelin/internal/diskstore"
 	"graphzeppelin/internal/gutter"
@@ -62,6 +63,20 @@ type Stats struct {
 	// issued while no new update batch has been applied since the last
 	// full query is a hit.
 	QueryCacheHits uint64
+	// DeltaQueries counts full queries answered by the incremental path:
+	// the cached forest of the previous query was reused, with only the
+	// components touched by dirty nodes re-solved from sketches.
+	// DeltaFallbacks counts queries that were delta-eligible (a cached
+	// baseline existed) but ran the from-scratch path instead — the dirty
+	// fraction exceeded DeltaQueryMaxDirtyFrac, a checkpoint merge dirtied
+	// everything, or the delta rounds failed to certify (rare; the full
+	// run is the correctness backstop).
+	DeltaQueries, DeltaFallbacks uint64
+	// DirtyNodes is the number of nodes whose sketches changed since the
+	// last successfully cached query result (the union across shards'
+	// dirty vectors; NumNodes after a checkpoint merge, which dirties
+	// everything).
+	DirtyNodes uint64
 	// SketchFailures counts CubeSketch sampling failures observed across
 	// all queries (§6.3 observed zero in 5000 trials; so do we, but we
 	// count anyway).
@@ -173,6 +188,23 @@ type Engine struct {
 	queryCache atomic.Pointer[queryResult]
 	cacheHits  atomic.Uint64
 
+	// Incremental-query state (query.go). Each shard tracks, in a padded
+	// single-writer bit vector, the nodes whose sketches its worker changed
+	// since the last cached query; dirtyAll is the coarse bit for changes
+	// that bypass the batch path entirely (checkpoint merges). Both are
+	// cleared only when a query result is cached, under the quiesce write
+	// lock with the workers idle — a failed query (never cached) leaves
+	// them intact. deltaQueries/deltaFallbacks back the Stats counters.
+	dirtyAll       atomic.Bool
+	deltaQueries   atomic.Uint64
+	deltaFallbacks atomic.Uint64
+	// beforeNodes counts nodes holding a captured before-image across all
+	// shards' maps; beforeLimit stops capture just past the delta query's
+	// fallback threshold, where the images could no longer pay for
+	// themselves (captureBefore).
+	beforeNodes atomic.Uint64
+	beforeLimit uint64
+
 	// Checkpoint subsystem state (checkpoint.go). ckptMu serializes whole
 	// checkpoint operations and orders strictly before the quiesce lock
 	// (every path that needs both takes ckptMu first, including Close).
@@ -238,7 +270,26 @@ type shard struct {
 	scratch *cubesketch.Slab
 
 	indices []uint64 // batch → characteristic-vector index scratch
-	_       [gutter.CacheLine]byte
+
+	// dirty marks the nodes whose sketches this *executing* worker changed
+	// since the last cached query (whole node universe, not just this
+	// shard's storage slice: under a migrated assignment this worker
+	// applies batches homed elsewhere, and two workers writing packed bits
+	// of one shared home-shard vector would race on whole words). Single
+	// writer (this worker), concurrent readers (Stats); cleared by queries
+	// under the quiesce write lock with the workers idle. The Atomic's own
+	// padding isolates its words; see bitset.NewAtomic.
+	dirty *bitset.Atomic
+
+	// before maps each node this worker *first*-dirtied since the last
+	// cached query to the node's serialized pre-change sketch stack (RAM
+	// mode only). The delta query's diff materialization XORs these against
+	// the live slabs to rebuild an affected supernode's cut from its dirty
+	// members alone (query.go). Single writer (this worker — apply
+	// exclusivity covers migrated slices); read, replaced and cleared only
+	// under the quiesce write lock with the workers idle.
+	before map[uint32][]byte
+	_      [gutter.CacheLine]byte
 
 	// Worker-written counters, padded off the read-mostly fields above so
 	// per-batch increments never invalidate a neighbor's hot line.
@@ -272,6 +323,10 @@ func NewEngine(cfg Config) (*Engine, error) {
 	proto := cubesketch.New(e.vecLen, cfg.Columns, cfg.Seed)
 	e.sketchSize = proto.SerializedSize()
 	e.slotSize = e.sketchSize * cfg.Rounds
+	// One past the fallback threshold: while every first-dirtying below the
+	// limit captured an image, a refused capture implies the dirty count
+	// already exceeds the threshold and the next query falls back anyway.
+	e.beforeLimit = uint64(cfg.DeltaQueryMaxDirtyFrac*float64(cfg.NumNodes)) + 1
 
 	// Resolve the disk-tier geometry: group slots sized toward the device
 	// block (the paper's max{1, B / sketch bytes} node grouping), and the
@@ -351,7 +406,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 		queueCap = 1
 	}
 	for s := range e.shards {
-		sh := &shard{id: s, queue: gutter.NewSPSC(queueCap)}
+		sh := &shard{
+			id:    s,
+			queue: gutter.NewSPSC(queueCap),
+			dirty: bitset.NewAtomic(uint64(cfg.NumNodes)),
+		}
 		if cfg.SketchesOnDisk {
 			if e.cache == nil {
 				sh.blob = make([]byte, e.slotSize)
@@ -744,6 +803,17 @@ func (e *Engine) applyBatch(sh *shard, b gutter.Batch) {
 		sh.indices = append(sh.indices, stream.EdgeIndex(uint64(e.cfg.NumNodes), eg))
 	}
 	sh.batches.Add(1)
+	// A node's first dirtying since the last cached query snapshots its
+	// pre-change sketch bytes (RAM mode): that state is exactly what the
+	// cached result observed, and the delta query's diff materialization
+	// is built on the difference from it.
+	if e.store == nil {
+		e.captureBefore(sh, b.Node)
+	}
+	// Record the delta before touching the sketches: once set, the bit is
+	// only cleared after a query observed (and cached over) the applied
+	// state, so the incremental query path can never miss this change.
+	sh.dirty.Set(uint64(b.Node))
 	if h := e.testApplyHook; h != nil {
 		defer h(b.Node)()
 	}
@@ -801,6 +871,46 @@ func (e *Engine) applyBatch(sh *shard, b gutter.Batch) {
 	}
 }
 
+// captureBefore snapshots node's pre-change serialized sketch stack into
+// the executing shard's before-image map if this is the node's first
+// dirtying since the last cached query (no shard's dirty vector has it
+// yet). Because no apply touched the node in between, the image is the
+// state the cached result observed — which is what lets a delta query
+// materialize an affected supernode's cut from its dirty members alone: a
+// cached component's round aggregate is the zero sketch (its cut was
+// certified empty), so XORing each dirty member's current-⊕-before diff
+// into zero reproduces the component's true current cut (query.go).
+//
+// Capture stops once beforeLimit nodes hold images: the limit sits just
+// past the delta query's fallback threshold, so a refusal here implies the
+// next query runs from scratch regardless. The coarse dirty-all state
+// (checkpoint merges) forces a from-scratch run too, so it skips capture
+// outright. The cross-shard dirty test is safe concurrently: bits are
+// only ever set by appliers and apply exclusivity serializes all applies
+// of one node, so the one goroutine executing this node's first apply
+// observes every earlier apply's bit.
+func (e *Engine) captureBefore(sh *shard, node uint32) {
+	if e.dirtyAll.Load() {
+		return
+	}
+	for _, s := range e.shards {
+		if s.dirty.Test(uint64(node)) {
+			return // not the first dirtying: the image, if any, is already right
+		}
+	}
+	if e.beforeNodes.Load() >= e.beforeLimit {
+		return
+	}
+	buf := make([]byte, e.slotSize)
+	home, local := e.shardOf(node)
+	home.slab.MarshalNode(local, buf)
+	if sh.before == nil {
+		sh.before = make(map[uint32][]byte)
+	}
+	sh.before[node] = buf
+	e.beforeNodes.Add(1)
+}
+
 func (e *Engine) setErr(err error) {
 	e.workerErr.CompareAndSwap(nil, &err)
 }
@@ -846,18 +956,28 @@ func (e *Engine) Stats() Stats {
 		ShardBatches:         make([]uint64, len(e.shards)),
 		QueryRounds:          int(e.lastRounds.Load()),
 		QueryCacheHits:       e.cacheHits.Load(),
+		DeltaQueries:         e.deltaQueries.Load(),
+		DeltaFallbacks:       e.deltaFallbacks.Load(),
 		SketchFailures:       e.sketchFailures.Load(),
 		CheckpointStallNanos: uint64(e.lastCkptStall.Load()),
 	}
 	st.Rebalances = e.rebalances.Load()
+	// The dirty count is the union, not the sum, across shards: a node can
+	// be marked in several shards' vectors (home apply, then a rebalanced
+	// foreign apply).
+	dirtyUnion := bitset.New(uint64(e.cfg.NumNodes))
 	for i, sh := range e.shards {
 		b := sh.batches.Load()
 		st.ShardBatches[i] = b
 		st.Batches += b
 		st.ForeignBatches += sh.foreign.Load()
+		st.DirtyNodes += sh.dirty.OrInto(dirtyUnion)
 		if sh.slab != nil {
 			st.MemoryBytes += int64(sh.slab.Bytes())
 		}
+	}
+	if e.dirtyAll.Load() {
+		st.DirtyNodes = uint64(e.cfg.NumNodes)
 	}
 	if e.storeDev != nil {
 		st.SketchIO = e.storeDev.Stats()

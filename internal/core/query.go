@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"graphzeppelin/internal/bitset"
 	"graphzeppelin/internal/cubesketch"
 	"graphzeppelin/internal/dsu"
 	"graphzeppelin/internal/stream"
@@ -31,6 +32,25 @@ import (
 //     the epoch it answered at. While the epoch is unchanged, Connected /
 //     ConnectedMany / ConnectedComponents / SpanningForest are served
 //     from the cached result — point queries cost O(1) between updates.
+//
+//  4. Incremental maintenance between epochs. When the cache is stale but
+//     a previous result exists, the query consults the per-shard dirty
+//     vectors the apply path maintains (engine.go): a component of the
+//     cached forest with no dirty member had no incident edge toggled
+//     since that result — any toggle lands a batch on both endpoints'
+//     sketches, dirtying them — so its forest edges are still genuine and
+//     its cut is still empty. Those components carry over wholesale. An
+//     affected component whose cached forest is still intact (no forest
+//     edge has both endpoints dirty, so none can have been toggled away)
+//     is re-certified from its dirty members' sketch *diffs* against
+//     before-images the apply path captured at first dirtying: its cached
+//     aggregate was the zero sketch, so the diffs alone reproduce its
+//     current cut — O(dirty) sketch work, independent of component size.
+//     Only suspect components (a forest edge possibly deleted) split back
+//     to singletons and re-solve with full materialization. Above
+//     DeltaQueryMaxDirtyFrac dirty nodes (or after a checkpoint merge,
+//     which dirties everything) the query falls back to the from-scratch
+//     run; either way the caller sees an identical contract.
 
 // ErrQueryFailed is returned when Boruvka emulation exhausts the per-node
 // sketch rounds before every component's spanning tree is certified
@@ -51,7 +71,16 @@ var ErrQueryFailed = errors.New("core: connectivity query ran out of sketch roun
 // slices, so the public accessors copy anything they hand to callers that
 // could mutate it.
 type queryResult struct {
-	epoch  uint64
+	epoch uint64
+	// watermark is the dirty-epoch watermark: the ingest epoch whose
+	// sketch state this result actually observed, at which the dirty
+	// vectors were reset. Normally equal to epoch; an adopted baseline
+	// (AdoptQueryBaseline) keeps its observed watermark while its epoch is
+	// deliberately staled so the fast path cannot serve it.
+	watermark uint64
+	// delta marks a result produced by the incremental path (including a
+	// zero-dirty re-tag of the previous result).
+	delta  bool
 	forest []stream.Edge
 	rep    []uint32 // node -> component representative
 	count  int      // number of components
@@ -89,12 +118,69 @@ func (e *Engine) query() (*queryResult, error) {
 		e.cacheHits.Add(1)
 		return r, nil
 	}
-	res, err := e.runBoruvka(epoch)
+	res, err := e.runQueryLocked(epoch)
 	if err != nil {
 		return res, err
 	}
-	e.queryCache.Store(res)
+	e.cacheResultLocked(res)
 	return res, nil
+}
+
+// runQueryLocked answers a cache-missed query, incrementally off the
+// previous cached result when the dirty set allows it and from scratch
+// otherwise. The caller holds the quiesce write lock with the workers
+// drained (so shard state, the dirty vectors included, is stable).
+func (e *Engine) runQueryLocked(epoch uint64) (*queryResult, error) {
+	prev := e.queryCache.Load()
+	if !e.cfg.NoDeltaQuery && prev != nil && !e.dirtyAll.Load() {
+		dirty := bitset.New(uint64(e.cfg.NumNodes))
+		var nDirty uint64
+		for _, sh := range e.shards {
+			nDirty += sh.dirty.OrInto(dirty)
+		}
+		if nDirty == 0 {
+			// The epoch moved but no sketch changed since prev was cached
+			// (e.g. an adopted baseline whose diff came up empty): prev's
+			// answer is exactly current — re-tag it at the new epoch.
+			e.deltaQueries.Add(1)
+			return &queryResult{
+				epoch: epoch, watermark: epoch, delta: true,
+				forest: prev.forest, rep: prev.rep, count: prev.count,
+			}, nil
+		}
+		if float64(nDirty) <= e.cfg.DeltaQueryMaxDirtyFrac*float64(e.cfg.NumNodes) {
+			res, ok, err := e.runDeltaBoruvka(epoch, prev, dirty)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				e.deltaQueries.Add(1)
+				return res, nil
+			}
+			// The affected components failed to certify within the sketch
+			// depth; the from-scratch run is the correctness backstop.
+		}
+		e.deltaFallbacks.Add(1)
+	}
+	return e.runBoruvka(epoch)
+}
+
+// cacheResultLocked publishes a successful query result and resets the
+// dirty tracking: the result observed every change the dirty bits
+// recorded, so the next query's delta starts from here. Failed results
+// are never cached, which is exactly why their callers must not clear
+// anything. The caller holds the quiesce write lock with the workers
+// idle.
+func (e *Engine) cacheResultLocked(res *queryResult) {
+	e.queryCache.Store(res)
+	for _, sh := range e.shards {
+		sh.dirty.ClearAll()
+		// The before-images' baseline is superseded by res: the next first
+		// dirtying of a node captures a fresh image relative to it.
+		sh.before = nil
+	}
+	e.dirtyAll.Store(false)
+	e.beforeNodes.Store(0)
 }
 
 // SpanningForest flushes all buffered updates and recovers a spanning
@@ -182,6 +268,24 @@ type candidate struct {
 	edge stream.Edge
 }
 
+// How a node contributes to its supernode's round aggregates during the
+// RAM-mode delta query's materialization (querySession.material).
+const (
+	// matNone: a clean member of a non-suspect affected component. Its
+	// sketch is unchanged since the cached result, whose component
+	// aggregate was the zero sketch — so it contributes nothing and is
+	// skipped entirely, which is what makes the delta's sketch work scale
+	// with the dirty set rather than the component size.
+	matNone = uint8(iota)
+	// matSlab: a suspect-component member; contributes its live sketch
+	// (the from-scratch materialization).
+	matSlab
+	// matDiff: a dirty member of a non-suspect component; contributes its
+	// live sketch XOR its before-image — the diff of its state since the
+	// cached result.
+	matDiff
+)
+
 // querySession is the per-query scratch of lazy Boruvka. The caller holds
 // the quiesce write lock with the workers idle, so shard state may be read
 // freely (and concurrently) for the duration.
@@ -192,8 +296,15 @@ type querySession struct {
 	slot     []int32  // root -> index into roots this round, -1 otherwise
 	roots    []uint32 // live roots this round, in deterministic order
 	starts   []int    // prefix offsets into order, len(roots)+1
-	order    []uint32 // live nodes grouped by root, ascending within a group
+	order    []uint32 // contributing live nodes grouped by root, ascending
 	scanBuf  []byte   // disk mode: sequential-scan chunk buffer
+
+	// material and before drive the delta query's diff materialization
+	// (runDeltaBoruvka): per-node contribution tags and the before-images
+	// backing matDiff. material == nil means every live node merges its
+	// live sketch (full queries and the disk-mode delta).
+	material []uint8
+	before   map[uint32][]byte
 }
 
 // prepareRound refreshes rep from the DSU and rebuilds the live-root index
@@ -217,11 +328,17 @@ func (q *querySession) prepareRound() int {
 		q.slot[r] = int32(len(q.roots))
 		q.roots = append(q.roots, r)
 	}
-	// Group live nodes by root (counting sort over slot): members of
-	// roots[i] are order[starts[i]:starts[i+1]], ascending.
+	// Group live contributing nodes by root (counting sort over slot):
+	// members of roots[i] are order[starts[i]:starts[i+1]], ascending.
+	// Under a material tagging, matNone nodes contribute nothing to any
+	// aggregate and are left out of the grouping entirely (their roots are
+	// still discovered above, off the full node scan).
 	q.starts = append(q.starts[:0], make([]int, len(q.roots)+1)...)
 	live := 0
 	for i := 0; i < n; i++ {
+		if q.material != nil && q.material[i] == matNone {
+			continue
+		}
 		if s := q.slot[q.rep[i]]; s >= 0 {
 			q.starts[s+1]++
 			live++
@@ -236,6 +353,9 @@ func (q *querySession) prepareRound() int {
 	q.order = q.order[:live]
 	fill := append([]int(nil), q.starts[:len(q.roots)]...)
 	for i := 0; i < n; i++ {
+		if q.material != nil && q.material[i] == matNone {
+			continue
+		}
 		if s := q.slot[q.rep[i]]; s >= 0 {
 			q.order[fill[s]] = uint32(i)
 			fill[s]++
@@ -244,20 +364,38 @@ func (q *querySession) prepareRound() int {
 	return len(q.roots)
 }
 
-// runBoruvka executes the lazy Boruvka rounds and returns the full query
-// result tagged with epoch. On ErrQueryFailed the partial result is still
-// returned.
-func (e *Engine) runBoruvka(epoch uint64) (*queryResult, error) {
-	n := int(e.cfg.NumNodes)
-	q := &querySession{
+// newQuerySession allocates the per-query scratch for an n-node session.
+func newQuerySession(n int) *querySession {
+	return &querySession{
 		d:        dsu.New(n),
 		rep:      make([]uint32, n),
 		finished: make([]bool, n),
 		slot:     make([]int32, n),
 	}
-	var forest []stream.Edge
-	live := n
-	rounds := 0
+}
+
+// buildRep refreshes the representative vector off the DSU one final time
+// and returns it with the component count.
+func (q *querySession) buildRep() ([]uint32, int) {
+	n := len(q.rep)
+	rep := make([]uint32, n)
+	count := 0
+	for i := 0; i < n; i++ {
+		rep[i] = q.d.Find(uint32(i))
+		if rep[i] == uint32(i) {
+			count++
+		}
+	}
+	return rep, count
+}
+
+// boruvkaRounds runs the lazy Boruvka rounds over q's current state —
+// pristine singletons for a full query, the carried-over clean components
+// pre-merged and pre-finished for a delta query — until every component
+// certifies complete or the sketch depth runs out, appending recovered
+// edges to *forest. It returns the number of still-live components (zero
+// on success) and the rounds executed.
+func (e *Engine) boruvkaRounds(q *querySession, forest *[]stream.Edge) (live, rounds int, err error) {
 	for round := 0; round < e.cfg.Rounds; round++ {
 		if live = q.prepareRound(); live == 0 {
 			break
@@ -265,7 +403,7 @@ func (e *Engine) runBoruvka(epoch uint64) (*queryResult, error) {
 		rounds++
 		cands, emptied, err := e.sampleRound(q, round)
 		if err != nil {
-			return nil, err
+			return live, rounds, err
 		}
 		for _, r := range emptied {
 			q.finished[r] = true
@@ -286,26 +424,153 @@ func (e *Engine) runBoruvka(epoch uint64) (*queryResult, error) {
 			// no cut edges to be sampled), but never let a stale flag
 			// silence the new component.
 			q.finished[root] = false
-			forest = append(forest, c.edge)
+			*forest = append(*forest, c.edge)
 			live--
 		}
 	}
-	e.lastRounds.Store(int64(rounds))
-	rep := make([]uint32, n)
-	count := 0
-	for i := 0; i < n; i++ {
-		rep[i] = q.d.Find(uint32(i))
-		if rep[i] == uint32(i) {
-			count++
-		}
+	return live, rounds, nil
+}
+
+// runBoruvka executes the from-scratch lazy Boruvka rounds and returns
+// the full query result tagged with epoch. On ErrQueryFailed the partial
+// result is still returned.
+func (e *Engine) runBoruvka(epoch uint64) (*queryResult, error) {
+	n := int(e.cfg.NumNodes)
+	q := newQuerySession(n)
+	var forest []stream.Edge
+	live, rounds, err := e.boruvkaRounds(q, &forest)
+	if err != nil {
+		return nil, err
 	}
-	res := &queryResult{epoch: epoch, forest: forest, rep: rep, count: count}
+	e.lastRounds.Store(int64(rounds))
+	rep, count := q.buildRep()
+	res := &queryResult{epoch: epoch, watermark: epoch, forest: forest, rep: rep, count: count}
 	if live > 0 {
 		// Rounds exhausted with uncertified components left: the forest
 		// may be incomplete and fresh sketches do not exist to extend it.
 		return res, ErrQueryFailed
 	}
 	return res, nil
+}
+
+// runDeltaBoruvka answers a query incrementally off the previous cached
+// result. A component of prev's partition containing no dirty node is
+// clean: every edge toggle since prev landed batches on both endpoints'
+// sketches, so a clean component had no incident toggle — its forest
+// edges are still genuine and its (empty) cut is unchanged. Clean
+// components carry over pre-merged and pre-finished. No candidate edge
+// can cross from an affected component into a clean one (such an edge
+// either existed at prev time, putting both sides in one prev component,
+// or was toggled since, dirtying both endpoints), so the carried-over
+// partition is never disturbed.
+//
+// Affected components split two ways in RAM mode. A cached component's
+// round aggregates are the ZERO sketch (its cut was certified empty), so
+// if its cached forest is still trustworthy its current round-r aggregate
+// equals the XOR of its dirty members' current-⊕-before diffs — the
+// before-images the apply path captured at each node's first dirtying.
+// Toggles internal to the component enter two members' diffs and cancel;
+// a toggle crossing its boundary enters one and survives; so the diff
+// aggregate IS the component's current cut, at O(dirty members) sketch
+// work. The forest is trustworthy unless one of its edges may itself have
+// been toggled away: a forest edge with both endpoints dirty is such a
+// suspect (a deletion dirties exactly its two endpoints), and it demotes
+// its whole component to the slow path — split back to singletons, full
+// member materialization — because a lost forest edge can disconnect it.
+// A dirty node with no before-image (capture stopped at the overflow
+// limit, which only happens past the fallback threshold) demotes its
+// component the same way. Non-forest deletions cannot disconnect a
+// non-suspect component: its forest still spans it. Disk mode captures no
+// images, so every affected component takes the slow path there.
+//
+// ok=false (with no error) means the affected components failed to
+// certify within the sketch depth; the caller falls back to the
+// from-scratch run rather than surfacing a partial delta, keeping the
+// result contract identical to a full query.
+func (e *Engine) runDeltaBoruvka(epoch uint64, prev *queryResult, dirty *bitset.Set) (res *queryResult, ok bool, err error) {
+	n := int(e.cfg.NumNodes)
+	affected := make([]bool, n) // indexed by prev representative
+	dirty.ForEach(func(i uint64) bool {
+		affected[prev.rep[i]] = true
+		return true
+	})
+
+	ramMode := e.store == nil
+	var suspect []bool // indexed by prev representative; nil in disk mode
+	var before map[uint32][]byte
+	if ramMode {
+		suspect = make([]bool, n)
+		for _, eg := range prev.forest {
+			if dirty.Test(uint64(eg.U)) && dirty.Test(uint64(eg.V)) {
+				suspect[prev.rep[eg.U]] = true
+			}
+		}
+		// The images live in per-executing-shard maps (a node's first
+		// dirtying can happen on any worker under a migrated assignment);
+		// flatten them for per-node lookup. The maps are disjoint by
+		// construction — only the first dirtying captures.
+		before = make(map[uint32][]byte, e.beforeNodes.Load())
+		for _, sh := range e.shards {
+			for node, img := range sh.before {
+				before[node] = img
+			}
+		}
+		dirty.ForEach(func(i uint64) bool {
+			if r := prev.rep[i]; !suspect[r] {
+				if _, have := before[uint32(i)]; !have {
+					suspect[r] = true
+				}
+			}
+			return true
+		})
+	}
+
+	q := newQuerySession(n)
+	var forest []stream.Edge
+	for _, eg := range prev.forest {
+		r := prev.rep[eg.U]
+		if !affected[r] || (ramMode && !suspect[r]) {
+			// Clean components keep their trees — and so do affected but
+			// non-suspect ones, whose intactness the suspect scan just
+			// certified: they stay pre-merged but live, to be re-certified
+			// (or extended) from their members' diffs.
+			q.d.Union(eg.U, eg.V)
+			forest = append(forest, eg)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !affected[prev.rep[i]] {
+			q.finished[q.d.Find(uint32(i))] = true
+		}
+	}
+	if ramMode {
+		q.before = before
+		q.material = make([]uint8, n) // matNone unless tagged below
+		for i := 0; i < n; i++ {
+			if r := prev.rep[i]; affected[r] && suspect[r] {
+				q.material[i] = matSlab
+			}
+		}
+		dirty.ForEach(func(i uint64) bool {
+			if !suspect[prev.rep[i]] {
+				q.material[i] = matDiff
+			}
+			return true
+		})
+	}
+	live, rounds, err := e.boruvkaRounds(q, &forest)
+	if err != nil {
+		return nil, false, err
+	}
+	if live > 0 {
+		return nil, false, nil
+	}
+	e.lastRounds.Store(int64(rounds))
+	rep, count := q.buildRep()
+	return &queryResult{
+		epoch: epoch, watermark: epoch, delta: true,
+		forest: forest, rep: rep, count: count,
+	}, true, nil
 }
 
 // sampleRound materializes the round-r supernode sketch of every live root
@@ -352,18 +617,30 @@ func (e *Engine) sampleRound(q *querySession, round int) (cands []candidate, emp
 		go func(out *workerOut, lo, hi int) {
 			defer wg.Done()
 			var acc, view cubesketch.Sketch
+			roundOff := round * e.sketchSize
 			for i := lo; i < hi; i++ {
 				arena.View(i, 0, &acc)
 				if ramMode {
-					// Materialize: XOR every member's round-r sketch view
-					// straight out of the owning shard's slab (read-only;
-					// the workers are quiescent under the write lock).
+					// Materialize: XOR every contributing member's round-r
+					// sketch view straight out of the owning shard's slab
+					// (read-only; the workers are quiescent under the write
+					// lock). A matDiff member additionally XORs its
+					// before-image's round-r bytes, turning its contribution
+					// into the diff since the cached result — against which
+					// its component's cached aggregate is the zero sketch.
 					for _, node := range q.order[q.starts[i]:q.starts[i+1]] {
 						sh, local := e.shardOf(node)
 						sh.slab.View(local, round, &view)
 						if err := acc.Merge(&view); err != nil {
 							out.err = err
 							return
+						}
+						if q.material != nil && q.material[node] == matDiff {
+							img := q.before[node]
+							if err := acc.MergeBinary(img[roundOff : roundOff+e.sketchSize]); err != nil {
+								out.err = err
+								return
+							}
 						}
 					}
 				}

@@ -315,6 +315,65 @@ func TestConnectedManyMatchesExact(t *testing.T) {
 	}
 }
 
+// TestConnectedManySingleEpoch pins the batch contract: one ConnectedMany
+// call answers every pair off ONE query result, never interleaving two
+// epochs. Producers toggle the edges of a path a-b-c while queriers ask
+// {a,b}, {b,c}, {a,c} (plus duplicates and both orientations) — in any
+// single snapshot the answers are transitively consistent and duplicates
+// agree, while an implementation that re-resolved the cache per pair
+// would eventually mix epochs and break both.
+func TestConnectedManySingleEpoch(t *testing.T) {
+	const n = 64
+	const a, b, c = 10, 20, 30
+	e, err := NewEngine(Config{NumNodes: n, Seed: 78, Shards: 2, Buffering: BufferNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			eg := stream.Edge{U: a, V: b}
+			if i%2 == 1 {
+				eg = stream.Edge{U: b, V: c}
+			}
+			if err := e.InsertEdge(eg.U, eg.V); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	pairs := []stream.Pair{
+		{U: a, V: b}, {U: b, V: a}, // same pair, both orientations
+		{U: b, V: c}, {U: c, V: b},
+		{U: a, V: c}, {U: a, V: c}, // duplicate
+	}
+	for i := 0; i < 300; i++ {
+		out, err := e.ConnectedMany(pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != out[1] || out[2] != out[3] || out[4] != out[5] {
+			t.Fatalf("iteration %d: duplicate pairs disagree within one call: %v", i, out)
+		}
+		if out[0] && out[2] && !out[4] {
+			t.Fatalf("iteration %d: transitivity violated within one call: %v (answers span epochs)", i, out)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
 // TestQueryCacheUnderConcurrentProducers hammers the cache fast path
 // while producers invalidate it, for the race detector's benefit.
 func TestQueryCacheUnderConcurrentProducers(t *testing.T) {

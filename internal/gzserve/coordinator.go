@@ -268,12 +268,27 @@ func (co *Coordinator) Refresh(ctx context.Context) error {
 	}
 	view := &aggView{eng: agg, updates: cutSum.Load()}
 
-	co.aggMu.Lock()
+	// Seed the fresh aggregator's incremental-query state from the
+	// outgoing view before publishing: the merges above dirtied every
+	// node, but if the old aggregator holds a current cached result, the
+	// slot-level diff replaces that with the precise set of nodes whose
+	// merged sketches actually changed — so the first query on the new
+	// view after a trickle of worker ingest runs the delta path instead of
+	// a cold full Boruvka. Done outside aggMu's write lock (the diff is an
+	// O(n) byte compare) so queries keep flowing off the old view.
+	co.aggMu.RLock()
 	old := co.agg
+	co.aggMu.RUnlock()
+	if old != nil {
+		agg.AdoptQueryBaseline(old.eng)
+	}
+
+	co.aggMu.Lock()
+	retired := co.agg
 	co.agg = view
 	co.aggMu.Unlock()
-	if old != nil {
-		old.eng.Close()
+	if retired != nil {
+		retired.eng.Close()
 	}
 	co.merges.Add(1)
 	co.lastMergeNs.Store(uint64(time.Since(start).Nanoseconds()))

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -274,14 +275,93 @@ func (wk *Worker) Close() error {
 	return errors.Join(ckptErr, wk.eng.Close())
 }
 
-// Handler returns the worker's HTTP routes.
+// Handler returns the worker's HTTP routes. Beyond ingest, checkpoint,
+// info and stats, a worker serves the query endpoints over its own
+// partition-local engine: the answers cover only the updates routed to
+// this worker (the coordinator's merged view answers for the cluster),
+// which is what makes them useful — a per-partition connectivity probe
+// with the engine's full query stack behind it, incremental maintenance
+// included.
 func (wk *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+PathIngest, wk.handleIngest)
 	mux.HandleFunc("GET "+PathCheckpoint, wk.handleCheckpoint)
+	mux.HandleFunc("GET "+PathComponents, wk.handleComponents)
+	mux.HandleFunc("GET "+PathForest, wk.handleForest)
+	mux.HandleFunc("GET "+PathConnected, wk.handleConnected)
 	mux.HandleFunc("GET "+PathInfo, wk.handleInfo)
 	mux.HandleFunc("GET "+PathStatsz, wk.handleStatsz)
 	return mux
+}
+
+// queryMeta annotates a worker-local query response with how the answer
+// was produced, surfacing the incremental-query counters next to the
+// result they explain.
+func (wk *Worker) queryMeta() map[string]any {
+	st := wk.eng.Stats()
+	return map[string]any{
+		"updates":          st.Updates,
+		"delta_queries":    st.DeltaQueries,
+		"delta_fallbacks":  st.DeltaFallbacks,
+		"query_cache_hits": st.QueryCacheHits,
+	}
+}
+
+func (wk *Worker) handleComponents(w http.ResponseWriter, r *http.Request) {
+	rep, count, err := wk.eng.ConnectedComponents()
+	if err != nil {
+		http.Error(w, err.Error(), queryErrStatus(err))
+		return
+	}
+	doc := wk.queryMeta()
+	doc["count"] = count
+	doc["rep"] = rep
+	writeJSON(w, doc)
+}
+
+func (wk *Worker) handleForest(w http.ResponseWriter, r *http.Request) {
+	forest, err := wk.eng.SpanningForest()
+	if err != nil {
+		http.Error(w, err.Error(), queryErrStatus(err))
+		return
+	}
+	edges := make([][2]uint32, len(forest))
+	for i, e := range forest {
+		edges[i] = [2]uint32{e.U, e.V}
+	}
+	doc := wk.queryMeta()
+	doc["edges"] = edges
+	writeJSON(w, doc)
+}
+
+func (wk *Worker) handleConnected(w http.ResponseWriter, r *http.Request) {
+	u, err1 := strconv.ParseUint(r.URL.Query().Get("u"), 10, 32)
+	v, err2 := strconv.ParseUint(r.URL.Query().Get("v"), 10, 32)
+	if err1 != nil || err2 != nil {
+		http.Error(w, "u and v query parameters must be node ids", http.StatusBadRequest)
+		return
+	}
+	conn, err := wk.eng.Connected(uint32(u), uint32(v))
+	if err != nil {
+		status := queryErrStatus(err)
+		if !errors.Is(err, core.ErrClosed) && !errors.Is(err, core.ErrQueryFailed) {
+			// Out-of-range node ids are the caller's mistake.
+			status = http.StatusBadRequest
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	doc := wk.queryMeta()
+	doc["connected"] = conn
+	writeJSON(w, doc)
+}
+
+// queryErrStatus maps an engine query error onto an HTTP status.
+func queryErrStatus(err error) int {
+	if errors.Is(err, core.ErrClosed) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
 }
 
 // writeWireError sends a typed MsgError frame alongside the HTTP status.
