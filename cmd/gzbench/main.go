@@ -35,7 +35,7 @@ func main() {
 // process exits with a status code.
 func run() int {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig4, fig5, table10, fig11, fig12, fig13, fig14, fig15, fig16, query, shards, producers, scaling, cache, distmerge, distserve, wal, crashrecover, reliability, all")
+		exp        = flag.String("exp", "all", "experiment: fig4, fig5, table10, fig11, fig12, fig13, fig14, fig15, fig16, query, shards, producers, scaling, cache, distmerge, distserve, refresh, wal, crashrecover, reliability, all")
 		maxScale   = flag.Int("max-scale", 10, "largest Kronecker scale for system experiments")
 		trials     = flag.Int("trials", 25, "correctness checks per dataset (reliability)")
 		seed       = flag.Uint64("seed", 1, "generator/sketch seed")
@@ -96,6 +96,7 @@ func run() int {
 		{"cache", func() (*experiments.Table, error) { return experiments.CacheSweep(o) }},
 		{"distmerge", func() (*experiments.Table, error) { return experiments.DistributedMerge(o) }},
 		{"distserve", func() (*experiments.Table, error) { return experiments.DistServe(o) }},
+		{"refresh", func() (*experiments.Table, error) { return experiments.RefreshSweep(o) }},
 		{"wal", func() (*experiments.Table, error) { return experiments.WALOverhead(o) }},
 		{"crashrecover", func() (*experiments.Table, error) { return experiments.CrashRecover(o) }},
 		{"reliability", func() (*experiments.Table, error) {

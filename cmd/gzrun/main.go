@@ -73,7 +73,8 @@ func main() {
 		k          = flag.Int("k", 2, "layers for -structure kforests")
 		maxWeight  = flag.Int("maxweight", 4, "max edge weight for -structure msf")
 		ckptPath   = flag.String("checkpoint", "", "write a checkpoint of the final sketch state to this file")
-		restore    = flag.String("restore", "", "restore the graph from this checkpoint file before ingesting (graph only)")
+		restore    = flag.String("restore", "", "restore the graph before ingesting (graph only): one checkpoint file, or a comma-separated chain \"base.gze,delta1.gzd,...\" applied in order")
+		deltaThr   = flag.Float64("deltathreshold", 0, "dirty-node fraction above which a delta checkpoint seal falls back to full (0 = 0.20 default, negative disables delta checkpoints)")
 		walDir     = flag.String("wal", "", "write-ahead log directory: log every accepted batch before it enters the pipeline (graph only)")
 		fsync      = flag.String("fsync", "batch", "WAL fsync policy: batch, interval, off")
 		fsyncEvery = flag.Duration("fsyncinterval", 0, "WAL sync period for -fsync interval (0 = 50ms default)")
@@ -155,6 +156,9 @@ func main() {
 	if *noDelta {
 		opts = append(opts, graphzeppelin.WithDeltaQueries(false))
 	}
+	if *deltaThr != 0 {
+		opts = append(opts, graphzeppelin.WithDeltaCheckpointThreshold(*deltaThr))
+	}
 	switch *buffering {
 	case "leaf":
 	case "tree":
@@ -200,14 +204,30 @@ func main() {
 		var err error
 		if *restore != "" {
 			start := time.Now()
-			g, err = graphzeppelin.OpenCheckpoint(*restore, opts...)
+			chain := strings.Split(*restore, ",")
+			g, err = graphzeppelin.OpenCheckpoint(chain[0], opts...)
 			if err != nil {
 				log.Fatal(err)
 			}
-			if g.NumNodes() != hdr.NumNodes {
-				log.Fatalf("checkpoint %s is over %d nodes, stream over %d", *restore, g.NumNodes(), hdr.NumNodes)
+			for _, p := range chain[1:] {
+				f, err := os.Open(p)
+				if err != nil {
+					log.Fatal(err)
+				}
+				err = g.ApplyDeltaCheckpoint(f)
+				f.Close()
+				if err != nil {
+					log.Fatalf("applying delta %s: %v", p, err)
+				}
 			}
-			fmt.Printf("restored %s (%d nodes) in %.3fs\n", *restore, g.NumNodes(), time.Since(start).Seconds())
+			if g.NumNodes() != hdr.NumNodes {
+				log.Fatalf("checkpoint %s is over %d nodes, stream over %d", chain[0], g.NumNodes(), hdr.NumNodes)
+			}
+			if len(chain) > 1 {
+				fmt.Printf("restored %s + %d deltas (%d nodes) in %.3fs\n", chain[0], len(chain)-1, g.NumNodes(), time.Since(start).Seconds())
+			} else {
+				fmt.Printf("restored %s (%d nodes) in %.3fs\n", chain[0], g.NumNodes(), time.Since(start).Seconds())
+			}
 		} else {
 			g, err = graphzeppelin.New(hdr.NumNodes, opts...)
 			if err != nil {

@@ -78,12 +78,16 @@ func run() int {
 		fsync     = flag.String("fsync", "batch", "worker: WAL fsync policy with -state-dir: batch, interval, off")
 		fsyncIntv = flag.Duration("fsync-interval", 0, "worker: WAL sync period for -fsync interval (0 = 50ms default)")
 		walSegB   = flag.Int64("wal-segment-bytes", 0, "worker: WAL segment rotation threshold (0 = 8 MiB default)")
-		ckptIntv  = flag.Duration("checkpoint-interval", 0, "worker: periodic local checkpoint period with -state-dir (0 = only on shutdown); each checkpoint truncates the covered WAL prefix")
+		ckptIntv  = flag.Duration("checkpoint-interval", 0, "worker: periodic local checkpoint period with -state-dir (0 = only on shutdown); full checkpoints truncate the covered WAL prefix")
+		deltaCkpt = flag.Bool("delta-checkpoints", true, "worker: allow sparse delta checkpoints (local chain files and /v1/checkpoint?since= responses); false seals every checkpoint full")
+		deltaThr  = flag.Float64("delta-threshold", 0, "worker: dirty-node fraction above which a seal falls back to a full checkpoint (0 = 0.20 default)")
+		deltaChn  = flag.Int("delta-chain", 0, "worker: max delta checkpoint files between fulls in -state-dir (0 = 8 default)")
 		workers   = flag.String("workers", "", "coordinator: comma-separated worker base URLs, in partition order (required)")
 		batch     = flag.Int("batch", 4096, "coordinator: per-worker dispatch threshold in updates")
 		window    = flag.Int("window", 4, "coordinator: max in-flight sends per worker")
 		attempts  = flag.Int("attempts", 6, "coordinator: send attempts per batch before giving up")
 		mergeIntv = flag.Duration("merge-interval", 0, "coordinator: background checkpoint-merge period (0 = only on /v1/refresh and shutdown)")
+		noDeltaRf = flag.Bool("no-delta-refresh", false, "coordinator: disable incremental delta refresh (always pull full checkpoints and rebuild the merged view)")
 	)
 	flag.Parse()
 
@@ -121,6 +125,10 @@ func run() int {
 	defer stop()
 
 	ecfg := core.Config{NumNodes: uint32(*nodes), Seed: *seed, Shards: *shards}
+	ecfg.DeltaCheckpointThreshold = *deltaThr
+	if !*deltaCkpt {
+		ecfg.DeltaCheckpointThreshold = -1
+	}
 	switch *mode {
 	case "worker":
 		var dur gzserve.Durability
@@ -136,11 +144,16 @@ func run() int {
 				FsyncInterval:      *fsyncIntv,
 				SegmentBytes:       *walSegB,
 				CheckpointInterval: *ckptIntv,
+				DeltaThreshold:     ecfg.DeltaCheckpointThreshold,
+				MaxDeltaChain:      *deltaChn,
+			}
+			if !*deltaCkpt {
+				dur.MaxDeltaChain = -1
 			}
 		}
 		return runWorker(ctx, ln, ecfg, *workerIdx, *workerCnt, *finalCkpt, dur)
 	default:
-		return runCoordinator(ctx, ln, ecfg, *workers, *batch, *window, *attempts, *mergeIntv)
+		return runCoordinator(ctx, ln, ecfg, *workers, *batch, *window, *attempts, *mergeIntv, *noDeltaRf)
 	}
 }
 
@@ -229,7 +242,7 @@ func runWorker(ctx context.Context, ln net.Listener, ecfg core.Config, idx, cnt 
 	return 0
 }
 
-func runCoordinator(ctx context.Context, ln net.Listener, ecfg core.Config, workerList string, batch, window, attempts int, mergeIntv time.Duration) int {
+func runCoordinator(ctx context.Context, ln net.Listener, ecfg core.Config, workerList string, batch, window, attempts int, mergeIntv time.Duration, noDeltaRefresh bool) int {
 	var addrs []string
 	for _, a := range strings.Split(workerList, ",") {
 		if a = strings.TrimSpace(a); a != "" {
@@ -241,11 +254,12 @@ func runCoordinator(ctx context.Context, ln net.Listener, ecfg core.Config, work
 		return 2
 	}
 	co, err := gzserve.NewCoordinator(gzserve.CoordinatorConfig{
-		Engine:        ecfg,
-		Workers:       addrs,
-		BatchSize:     batch,
-		Client:        gzserve.ClientConfig{MaxInFlight: window, MaxAttempts: attempts},
-		MergeInterval: mergeIntv,
+		Engine:         ecfg,
+		Workers:        addrs,
+		BatchSize:      batch,
+		Client:         gzserve.ClientConfig{MaxInFlight: window, MaxAttempts: attempts},
+		MergeInterval:  mergeIntv,
+		NoDeltaRefresh: noDeltaRefresh,
 	})
 	if err != nil {
 		log.Printf("coordinator: %v", err)

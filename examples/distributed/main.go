@@ -162,10 +162,54 @@ func main() {
 			i, w.Batches, w.Updates, w.Retries, w.Duplicates)
 	}
 	fmt.Printf("  merged cut covered %d/%d updates\n", st.LastMergeUpdates, len(res.Updates))
+
+	// A trickle of further updates, then a second refresh. The first
+	// refresh acknowledged a full checkpoint per worker, so this one rides
+	// the delta path: each worker ships only the node sketches dirtied
+	// since its acked seal (GET /v1/checkpoint?since=<id>), and the
+	// coordinator patches exactly those nodes into the live merged view
+	// instead of rebuilding it.
+	// Re-sending a prefix of the stream XOR-cancels those edges — a
+	// deletion trickle. Small enough to stay under every worker's delta
+	// threshold (20% of the node universe dirty since its last seal).
+	fullBytes := pulledBytes(co)
+	trickle := res.Updates[:24]
+	if err := co.Ingest(trickle); err != nil {
+		log.Fatal(err)
+	}
+	if err := co.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := co.Refresh(ctx); err != nil {
+		log.Fatal(err)
+	}
+	_, count2, err := co.ConnectedComponents(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st = co.Stats()
+	var deltas uint64
+	for _, w := range st.Workers {
+		deltas += w.DeltaCheckpoints
+	}
+	fmt.Printf("delta refresh after a %d-update trickle: %d delta pulls, %d bytes (the full pull was %d); components: %d\n",
+		len(trickle), deltas, pulledBytes(co)-fullBytes, fullBytes, count2)
+	fmt.Printf("  coordinator took the delta path %d time(s)\n", st.DeltaRefreshes)
+
 	if err := co.Close(ctx); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("worker 0 died mid-stream and nobody lost an update; linearity stitched the answer together over HTTP")
+}
+
+// pulledBytes sums the checkpoint bytes the coordinator has pulled from
+// its workers so far.
+func pulledBytes(co *gzserve.Coordinator) uint64 {
+	var n uint64
+	for _, w := range co.Stats().Workers {
+		n += w.CheckpointBytes
+	}
+	return n
 }
 
 // listenAndServe serves h on an OS-picked loopback port and returns its

@@ -16,6 +16,18 @@ var ErrIncompatibleCheckpoint = core.ErrIncompatibleCheckpoint
 // a checkpoint stream is malformed or a section fails its checksum.
 var ErrCorruptCheckpoint = core.ErrCorruptCheckpoint
 
+// ErrDeltaCheckpoint is returned (wrapped; compare with errors.Is) when a
+// GZD1 delta checkpoint stream is handed to an operation that needs a
+// self-contained checkpoint (restore, merge): a delta only has meaning
+// applied on top of its exact base state via ApplyDeltaCheckpoint.
+var ErrDeltaCheckpoint = core.ErrDeltaCheckpoint
+
+// ErrCheckpointChain is returned (wrapped; compare with errors.Is) by
+// ApplyDeltaCheckpoint when the delta does not chain onto this Graph's
+// current checkpoint state — wrong lineage, stale base, or out-of-order
+// application. Fall back to a full checkpoint.
+var ErrCheckpointChain = core.ErrCheckpointChain
+
 // WriteCheckpoint drains buffered updates and writes the Graph's full
 // sketch state to w in the sectioned GZE3 format (per-shard-pool parallel
 // encode, per-section CRC-32C checksums, a footer enabling parallel
@@ -50,6 +62,71 @@ func (g *Graph) SaveCheckpoint(path string) error {
 // check.
 func (g *Graph) MergeCheckpoint(r io.Reader) error {
 	return g.engine.MergeCheckpoint(r)
+}
+
+// CheckpointID returns the chain id of the Graph's current checkpoint
+// state: the id minted by the last seal, adopted from the last restore,
+// or advanced by the last ApplyDeltaCheckpoint (0 before any of those).
+// Pass it as the baseID of a later WriteDeltaCheckpoint on the *source*
+// Graph to receive a delta this Graph can apply.
+func (g *Graph) CheckpointID() uint64 { return g.engine.Stats().LastCheckpointID }
+
+// WriteDeltaCheckpoint seals and streams a checkpoint that, when
+// possible, is a sparse GZD1 delta against this Graph's earlier seal
+// baseID: only the nodes whose sketches changed since that seal are
+// shipped, and a consumer holding the base state advances to this state
+// with ApplyDeltaCheckpoint. It reports which format was written — the
+// seal transparently falls back to a full checkpoint when baseID is 0 or
+// unknown, when delta checkpoints are disabled, or when the dirty
+// fraction exceeds WithDeltaCheckpointThreshold. Unlike WriteCheckpoint,
+// it never truncates the write-ahead log: the log past the base is what
+// recovers a lost or corrupt delta (see RecoverChain), so only a durably
+// landed *full* checkpoint (or CompactCheckpoints) should shorten it.
+func (g *Graph) WriteDeltaCheckpoint(w io.Writer, baseID uint64) (delta bool, err error) {
+	return g.engine.WriteDeltaCheckpoint(w, baseID)
+}
+
+// ApplyDeltaCheckpoint advances this Graph from a delta's base state to
+// its tip by replacing the shipped nodes' sketches. The Graph must hold
+// exactly the base state (same lineage, same base id and WAL coverage) —
+// ErrCheckpointChain otherwise, with no state changed; corrupt or
+// truncated streams are rejected with the body fully validated before
+// any installation, so a failed apply never leaves partial state.
+func (g *Graph) ApplyDeltaCheckpoint(r io.Reader) error {
+	return g.engine.ApplyDeltaCheckpoint(r, nil)
+}
+
+// CompactCheckpoints folds a full base checkpoint file plus an ordered
+// GZD1 delta chain into one full checkpoint at outPath (written with the
+// crash-safe temp-fsync-rename discipline). The compacted file carries
+// the chain tip's WAL coverage and metadata, so once it has durably
+// replaced the chain the delta files can be deleted and the log
+// truncated through the tip — this is what bounds chain length and log
+// growth for deployments that persist deltas.
+func CompactCheckpoints(outPath, basePath string, deltaPaths []string, opts ...Option) error {
+	var cfg core.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return core.CompactCheckpoints(outPath, basePath, deltaPaths, cfg)
+}
+
+// RecoverChain is Recover over a delta checkpoint chain: the full base
+// checkpoint plus ordered delta files, then the write-ahead log suffix
+// above whatever prefix of the chain applied. A missing or corrupt delta
+// file is not fatal — deltas never truncate the log, so replay covers
+// everything past the last good chain state. The result is bit-identical
+// to a Graph that never crashed, exactly as for Recover.
+func RecoverChain(numNodes uint32, basePath string, deltaPaths []string, opts ...Option) (*Graph, *Recovery, error) {
+	cfg := core.Config{NumNodes: numNodes}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	eng, rec, err := core.RecoverChain(basePath, deltaPaths, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Graph{engine: eng, numNodes: eng.Config().NumNodes}, rec, nil
 }
 
 // ReadCheckpoint restores a Graph from a checkpoint stream (GZE3 or legacy

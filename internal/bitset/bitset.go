@@ -67,6 +67,21 @@ func (s *Set) ForEach(fn func(i uint64) bool) {
 // Bytes returns the memory footprint of the bit array in bytes.
 func (s *Set) Bytes() int { return len(s.words) * 8 }
 
+// OrInto ORs this set into dst (a plain Set of at least the same
+// capacity) and returns the number of bits newly set in dst. The engine
+// unions the per-seal dirty records of a checkpoint chain this way.
+func (s *Set) OrInto(dst *Set) uint64 {
+	var added uint64
+	for wi, w := range s.words {
+		if w == 0 {
+			continue
+		}
+		added += uint64(bits.OnesCount64(w &^ dst.words[wi]))
+		dst.words[wi] |= w
+	}
+	return added
+}
+
 // padWords pads an Atomic's word array on both sides so adjacent Atomics
 // (one per ingest shard, allocated back to back) never share a cache line:
 // the writer's word updates must not bounce a neighbor shard's hot lines.

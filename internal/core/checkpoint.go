@@ -74,12 +74,19 @@ var (
 	checkpointMagicV3 = [4]byte{'G', 'Z', 'E', '3'}
 	checkpointMagicV2 = [4]byte{'G', 'Z', 'E', '2'}
 	footerMagic       = [4]byte{'G', 'Z', 'F', '3'}
+	// deltaMagic opens a sparse GZD1 delta checkpoint (delta.go): same
+	// 48-byte header layout as GZE4, but the sections carry sorted dirty
+	// node ids plus their serialized slots instead of dense node ranges.
+	deltaMagic = [4]byte{'G', 'Z', 'D', '1'}
 )
 
 const (
 	checkpointHeaderLenV3 = 32
 	checkpointHeaderLen   = 48 // GZE4: V3's 32 + walLSN(8) + metaLen(4) + metaCRC(4)
-	sectionHeaderLen      = 20
+	// checkpointVersionDelta tags a decoded GZD1 header; delta streams are
+	// only consumable by ApplyDeltaCheckpoint, never by restore or merge.
+	checkpointVersionDelta = 5
+	sectionHeaderLen       = 20
 	footerEntryLen        = 16
 	footerTrailerLen      = 16
 	// maxCheckpointMeta bounds the meta blob; a scanned metaLen above it
@@ -307,32 +314,21 @@ func (e *Engine) WriteCheckpointFile(path string) error {
 		return err
 	}
 	defer cs.Close()
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := cs.StreamTo(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := cs.WriteFile(path); err != nil {
 		return err
 	}
 	e.truncateWAL(cs.walLSN)
 	return nil
 }
+
+// TruncateWALThrough drops WAL segments wholly covered by lsn.
+// Best-effort, like the truncation WriteCheckpointFile performs. Call it
+// only once state covering lsn is durably on disk — for the delta chain
+// that means a *full* checkpoint file landed (or CompactCheckpoints
+// folded the chain into one): a delta file alone never licenses
+// truncation, because the log past the base is what recovers a lost or
+// corrupt delta.
+func (e *Engine) TruncateWALThrough(lsn uint64) { e.truncateWAL(lsn) }
 
 // CheckpointSnapshot is a sealed, consistent cut of an engine's sketch
 // state, ready to stream with StreamTo. Sealing is the only phase that
@@ -345,12 +341,25 @@ type CheckpointSnapshot struct {
 	e         *Engine
 	updates   uint64
 	walLSN    uint64 // last WAL LSN the cut covers (0 with the WAL off)
-	meta      []byte // caller metadata sealed with the cut
+	meta      []byte // chain envelope + caller metadata sealed with the cut
 	nSections int
 	nps       uint32
-	snap      *ckptSnap // non-nil iff disk mode
+	snap      *ckptSnap // non-nil iff disk mode full checkpoint
 	written   bool
 	closed    bool
+
+	// Chain identity (delta.go): ckptID is the id this seal minted. For a
+	// delta snapshot, baseID/baseLSN name the base checkpoint it chains
+	// onto, deltaIDs the sorted dirty node ids, and deltaBuf their
+	// serialized slots, materialized at seal time under the quiesce lock
+	// (a delta is small by construction, so no copy-on-write machinery is
+	// needed to stream it with ingestion live).
+	ckptID   uint64
+	baseID   uint64
+	baseLSN  uint64
+	delta    bool
+	deltaIDs []uint32
+	deltaBuf []byte
 }
 
 // SealCheckpoint drains buffered updates and seals a snapshot of the
@@ -358,8 +367,24 @@ type CheckpointSnapshot struct {
 // drain + seal duration lands in Stats.CheckpointStallNanos). The caller
 // must Close the returned snapshot, after streaming it with StreamTo.
 func (e *Engine) SealCheckpoint() (*CheckpointSnapshot, error) {
+	return e.SealCheckpointSince(0)
+}
+
+// SealCheckpointSince seals a snapshot that, when possible, is a sparse
+// GZD1 delta against the checkpoint this engine previously sealed with id
+// baseID: only the nodes dirtied since that seal are included, and the
+// consumer chains it onto its copy of the base with ApplyDeltaCheckpoint.
+// The seal falls back to a full GZE4 checkpoint — transparently; inspect
+// IsDelta — when baseID is 0 or unknown (not this engine's lineage, or
+// older than the retained seal history), when delta checkpoints are
+// disabled, or when the dirty fraction exceeds
+// Config.DeltaCheckpointThreshold. Delta snapshots never truncate the
+// WAL, whatever path writes them: the log remains the recovery truth past
+// the base, so a lost or corrupt delta file degrades to replay, never to
+// data loss.
+func (e *Engine) SealCheckpointSince(baseID uint64) (*CheckpointSnapshot, error) {
 	e.ckptMu.Lock()
-	cs, err := e.sealCheckpointLocked()
+	cs, err := e.sealCheckpointLocked(baseID)
 	if err != nil {
 		e.ckptMu.Unlock()
 		return nil, err
@@ -367,7 +392,7 @@ func (e *Engine) SealCheckpoint() (*CheckpointSnapshot, error) {
 	return cs, nil
 }
 
-func (e *Engine) sealCheckpointLocked() (*CheckpointSnapshot, error) {
+func (e *Engine) sealCheckpointLocked(baseID uint64) (*CheckpointSnapshot, error) {
 	stallStart := time.Now()
 	e.quiesce.Lock()
 	if e.closed.Load() {
@@ -383,13 +408,36 @@ func (e *Engine) sealCheckpointLocked() (*CheckpointSnapshot, error) {
 	// every WAL append belongs to an ingest call that also finished its
 	// buffer insert (same read-lock hold), so the drained sketch state
 	// covers exactly the LSNs up to this tail; and the meta supplier
-	// observes precisely the committed-gate state of the same cut.
+	// observes precisely the committed-gate state of the same cut. A
+	// WAL-less engine restored from a checkpoint still covers the restored
+	// position and meta — propagating both is what lets CompactCheckpoints
+	// fold a chain into a full checkpoint that carries the tip's WAL
+	// coverage and gate snapshot.
+	cs.walLSN = e.restoredWALPos
 	if e.log != nil {
 		cs.walLSN = e.log.TailLSN()
 	}
+	user := e.restoredMeta
 	if e.ckptMeta != nil {
-		cs.meta = e.ckptMeta()
+		user = e.ckptMeta()
 	}
+	// Every seal advances the chain: capture and reset the dirty-since-seal
+	// vectors into the seal history and mint the new state id, full or not —
+	// a full checkpoint is as valid a delta base as any.
+	cs.ckptID = e.mintSealID(cs.walLSN)
+	if ids, baseLSN, ok := e.planDelta(baseID, cs.ckptID); ok {
+		cs.delta, cs.baseID, cs.baseLSN = true, baseID, baseLSN
+		cs.meta = encodeMetaEnvelope(e.chainTag, cs.ckptID, baseID, baseLSN, user)
+		cs.deltaIDs = ids
+		if err := e.materializeDelta(cs); err != nil {
+			e.quiesce.Unlock()
+			return nil, err
+		}
+		e.quiesce.Unlock()
+		e.lastCkptStall.Store(int64(time.Since(stallStart)))
+		return cs, nil
+	}
+	cs.meta = encodeMetaEnvelope(e.chainTag, cs.ckptID, 0, 0, user)
 	cs.nSections, cs.nps = e.checkpointSections()
 	if e.store == nil {
 		if err := e.sealSlabs(); err != nil {
@@ -448,6 +496,12 @@ func (cs *CheckpointSnapshot) Updates() uint64 { return cs.updates }
 // directly, without buffering it first.
 func (cs *CheckpointSnapshot) Size() int64 {
 	e := cs.e
+	if cs.delta {
+		nSec, _ := deltaSectionPlan(len(cs.deltaIDs), e.slotSize)
+		return int64(4+checkpointHeaderLen) + int64(len(cs.meta)) +
+			int64(nSec)*int64(sectionHeaderLen) +
+			int64(len(cs.deltaIDs))*int64(4+e.slotSize)
+	}
 	return int64(4+checkpointHeaderLen+footerTrailerLen) + int64(len(cs.meta)) +
 		int64(cs.nSections)*int64(sectionHeaderLen+footerEntryLen) +
 		int64(e.cfg.NumNodes)*int64(e.slotSize)
@@ -456,13 +510,81 @@ func (cs *CheckpointSnapshot) Size() int64 {
 // WALPos returns the last WAL LSN the sealed cut covers.
 func (cs *CheckpointSnapshot) WALPos() uint64 { return cs.walLSN }
 
+// ID returns the chain id this seal minted: pass it back as the `since`
+// of a later SealCheckpointSince to receive a delta against this state.
+func (cs *CheckpointSnapshot) ID() uint64 { return cs.ckptID }
+
+// BaseID returns the chain id of the base checkpoint a delta snapshot
+// chains onto (0 for a full checkpoint).
+func (cs *CheckpointSnapshot) BaseID() uint64 { return cs.baseID }
+
+// IsDelta reports whether the seal produced a sparse GZD1 delta (nodes
+// dirtied since the base) rather than a full GZE4 checkpoint.
+func (cs *CheckpointSnapshot) IsDelta() bool { return cs.delta }
+
+// Nodes returns how many node slots the snapshot carries: the dirty-id
+// count for a delta, the whole universe for a full checkpoint.
+func (cs *CheckpointSnapshot) Nodes() int {
+	if cs.delta {
+		return len(cs.deltaIDs)
+	}
+	return int(cs.e.cfg.NumNodes)
+}
+
 // StreamTo streams the sealed snapshot to w; ingestion is live throughout.
 func (cs *CheckpointSnapshot) StreamTo(w io.Writer) error {
 	if cs.closed || cs.written {
 		return errors.New("core: checkpoint snapshot already streamed or closed")
 	}
 	cs.written = true
-	return cs.e.streamCheckpoint(w, cs)
+	var err error
+	if cs.delta {
+		err = cs.e.streamDeltaCheckpoint(w, cs)
+	} else {
+		err = cs.e.streamCheckpoint(w, cs)
+	}
+	if err == nil {
+		if cs.delta {
+			cs.e.deltaCkpts.Add(1)
+			cs.e.deltaCkptBytes.Add(uint64(cs.Size()))
+		} else {
+			cs.e.fullCkptBytes.Add(uint64(cs.Size()))
+		}
+	}
+	return err
+}
+
+// WriteFile streams the snapshot to path with crash-safe ordering (stream
+// to a same-directory temporary file, fsync, rename over path) and —
+// unlike WriteCheckpointFile — never truncates the WAL: chain file
+// management and the decision of when the log may be shortened belong to
+// the caller (a delta never licenses truncation; see TruncateWALThrough
+// for the full-checkpoint case).
+func (cs *CheckpointSnapshot) WriteFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := cs.StreamTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // Close releases the snapshot: the disk-mode capture is retired (waking
@@ -698,12 +820,15 @@ func readCheckpointHeader(br *bufio.Reader) (checkpointHeader, error) {
 			rounds:   int(binary.LittleEndian.Uint32(hdr[16:])),
 			updates:  binary.LittleEndian.Uint64(hdr[20:]),
 		}, nil
-	case checkpointMagicV3, checkpointMagic:
+	case checkpointMagicV3, checkpointMagic, deltaMagic:
 		n := checkpointHeaderLenV3
 		version := 3
-		if m == checkpointMagic {
+		if m != checkpointMagicV3 {
 			n = checkpointHeaderLen
 			version = 4
+			if m == deltaMagic {
+				version = checkpointVersionDelta
+			}
 		}
 		var hdr [checkpointHeaderLen]byte
 		if _, err := io.ReadFull(br, hdr[:n]); err != nil {
@@ -718,7 +843,7 @@ func readCheckpointHeader(br *bufio.Reader) (checkpointHeader, error) {
 			updates:  binary.LittleEndian.Uint64(hdr[20:]),
 			sections: int(binary.LittleEndian.Uint32(hdr[28:])),
 		}
-		if version == 4 {
+		if version >= 4 {
 			h.walLSN = binary.LittleEndian.Uint64(hdr[32:])
 			h.metaLen = int(binary.LittleEndian.Uint32(hdr[40:]))
 			h.metaCRC = binary.LittleEndian.Uint32(hdr[44:])
@@ -726,12 +851,18 @@ func readCheckpointHeader(br *bufio.Reader) (checkpointHeader, error) {
 				return checkpointHeader{}, fmt.Errorf("%w: %d-byte meta blob", ErrCorruptCheckpoint, h.metaLen)
 			}
 		}
-		if h.sections <= 0 || uint32(h.sections) > h.numNodes {
+		// A delta may legitimately carry zero sections (nothing dirtied
+		// since the base); dense formats must cover the node universe.
+		minSections := 1
+		if version == checkpointVersionDelta {
+			minSections = 0
+		}
+		if h.sections < minSections || uint32(h.sections) > h.numNodes {
 			return checkpointHeader{}, fmt.Errorf("%w: %d sections for %d nodes", ErrCorruptCheckpoint, h.sections, h.numNodes)
 		}
 		return h, nil
 	default:
-		return checkpointHeader{}, fmt.Errorf("%w: not a GZE2/GZE3/GZE4 checkpoint", ErrCorruptCheckpoint)
+		return checkpointHeader{}, fmt.Errorf("%w: not a GZE2/GZE3/GZE4/GZD1 checkpoint", ErrCorruptCheckpoint)
 	}
 }
 
@@ -844,6 +975,9 @@ func ReadCheckpoint(r io.Reader, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if h.version == checkpointVersionDelta {
+		return nil, fmt.Errorf("%w: cannot restore from a delta stream", ErrDeltaCheckpoint)
+	}
 	meta, err := readCheckpointMeta(br, h)
 	if err != nil {
 		return nil, err
@@ -852,8 +986,7 @@ func ReadCheckpoint(r io.Reader, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.restoredWALPos = h.walLSN
-	e.restoredMeta = meta
+	e.adoptChainMeta(h, meta)
 	if h.version == 2 {
 		if err := e.readLegacyBody(br, h); err != nil {
 			e.Close()
@@ -967,6 +1100,9 @@ func ReadCheckpointAt(ra io.ReaderAt, size int64, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if h.version == checkpointVersionDelta {
+		return nil, fmt.Errorf("%w: cannot restore from a delta file", ErrDeltaCheckpoint)
+	}
 	var meta []byte
 	if h.version >= 4 && h.metaLen > 0 {
 		metaOff := int64(4 + checkpointHeaderLen)
@@ -1019,8 +1155,7 @@ func ReadCheckpointAt(ra io.ReaderAt, size int64, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.restoredWALPos = h.walLSN
-	e.restoredMeta = meta
+	e.adoptChainMeta(h, meta)
 	workers := len(e.shards)
 	if workers > h.sections {
 		workers = h.sections
@@ -1138,6 +1273,9 @@ func (e *Engine) MergeCheckpoint(r io.Reader) error {
 	if err != nil {
 		return err
 	}
+	if h.version == checkpointVersionDelta {
+		return fmt.Errorf("%w: cannot merge a delta stream", ErrDeltaCheckpoint)
+	}
 	if err := e.checkCompatible(h); err != nil {
 		return err
 	}
@@ -1147,27 +1285,44 @@ func (e *Engine) MergeCheckpoint(r io.Reader) error {
 	if _, err := readCheckpointMeta(br, h); err != nil {
 		return err
 	}
+	// A slot equal to the empty-sketch encoding XORs as the identity, so
+	// the set of nodes the merge actually changes is exactly the incoming
+	// non-empty slots: mark those precisely (dirty for the incremental
+	// query, dirtySeal for the delta checkpoint chain) instead of the old
+	// dirty-everything reset, so the next query after a sparse merge runs
+	// the delta path over the touched components only.
+	empty := e.emptySlotBytes()
 	if h.version == 2 {
-		if err := e.mergeLegacyBody(br, h); err != nil {
+		if err := e.mergeLegacyBody(br, h, empty); err != nil {
 			return err
 		}
 	} else {
-		if err := e.mergeSections(br, h); err != nil {
+		if err := e.mergeSections(br, h, empty); err != nil {
 			return err
 		}
 	}
 	e.updates.Add(h.updates)
-	// The sketched graph changed without an ingest call; invalidate any
-	// cached query answer. The merge bypassed the batch path's per-node
-	// dirty tracking, so every node's sketches may have changed — dirty
-	// everything and let the next query run from scratch.
-	e.dirtyAll.Store(true)
 	e.epoch.Add(1)
 	return nil
 }
 
+// emptySlotBytes returns the serialized encoding of a node that never
+// received an update. It is identical for every node of a given geometry
+// (the per-round headers depend only on the engine parameters), which is
+// what lets the merge and delta paths recognize no-op slots by byte
+// comparison. Allocates; callers are whole-checkpoint operations.
+func (e *Engine) emptySlotBytes() []byte {
+	seeds := make([]uint64, e.cfg.Rounds)
+	for r := range seeds {
+		seeds[r] = e.roundSeed(r)
+	}
+	buf := make([]byte, e.slotSize)
+	cubesketch.NewSlab(1, e.vecLen, e.cfg.Columns, seeds).MarshalNode(0, buf)
+	return buf
+}
+
 // mergeSections merges a GZE3 body section by section.
-func (e *Engine) mergeSections(br *bufio.Reader, h checkpointHeader) error {
+func (e *Engine) mergeSections(br *bufio.Reader, h checkpointHeader, empty []byte) error {
 	cursor := uint32(0)
 	for s := 0; s < h.sections; s++ {
 		sec, err := e.readSectionHeader(br, cursor)
@@ -1183,7 +1338,7 @@ func (e *Engine) mergeSections(br *bufio.Reader, h checkpointHeader) error {
 			e.putSectionBuf(incoming)
 			return fmt.Errorf("%w: checksum mismatch in section at node %d", ErrCorruptCheckpoint, sec.start)
 		}
-		err = e.mergeSectionPayload(sec.start, sec.count, incoming)
+		err = e.mergeSectionPayload(sec.start, sec.count, incoming, empty)
 		e.putSectionBuf(incoming)
 		if err != nil {
 			return err
@@ -1197,14 +1352,20 @@ func (e *Engine) mergeSections(br *bufio.Reader, h checkpointHeader) error {
 }
 
 // mergeSectionPayload XORs one verified section of serialized slots into
-// the engine state.
-func (e *Engine) mergeSectionPayload(start uint32, count int, incoming []byte) error {
+// the engine state, skipping (and leaving unmarked) slots equal to the
+// empty encoding.
+func (e *Engine) mergeSectionPayload(start uint32, count int, incoming, empty []byte) error {
 	if e.store == nil {
 		k := uint32(len(e.shards))
 		for j := 0; j < count; j++ {
 			node := start + uint32(j)
+			slot := incoming[j*e.slotSize : (j+1)*e.slotSize]
+			if bytes.Equal(slot, empty) {
+				continue
+			}
+			e.markChangedNode(node)
 			sh := e.shards[node%k]
-			if err := sh.slab.MergeNodeBinary(int(node/k), incoming[j*e.slotSize:(j+1)*e.slotSize]); err != nil {
+			if err := sh.slab.MergeNodeBinary(int(node/k), slot); err != nil {
 				return fmt.Errorf("core: merging node %d: %w", node, err)
 			}
 		}
@@ -1216,6 +1377,10 @@ func (e *Engine) mergeSectionPayload(start uint32, count int, incoming []byte) e
 		return fmt.Errorf("core: merge read of nodes [%d,%d): %w", start, int(start)+count, err)
 	}
 	for j := 0; j < count; j++ {
+		if bytes.Equal(incoming[j*e.slotSize:(j+1)*e.slotSize], empty) {
+			continue
+		}
+		e.markChangedNode(start + uint32(j))
 		for r := 0; r < e.cfg.Rounds; r++ {
 			off := j*e.slotSize + r*e.sketchSize
 			if err := cubesketch.MergeSerialized(local[off:off+e.sketchSize], incoming[off:off+e.sketchSize]); err != nil {
@@ -1231,7 +1396,7 @@ func (e *Engine) mergeSectionPayload(start uint32, count int, incoming []byte) e
 
 // mergeLegacyBody merges a flat GZE2 slot array, one slot at a time, via
 // the same zero-alloc slot-merge primitives.
-func (e *Engine) mergeLegacyBody(br *bufio.Reader, h checkpointHeader) error {
+func (e *Engine) mergeLegacyBody(br *bufio.Reader, h checkpointHeader, empty []byte) error {
 	incoming := e.getSectionBuf(e.slotSize)
 	defer e.putSectionBuf(incoming)
 	var local []byte
@@ -1243,6 +1408,10 @@ func (e *Engine) mergeLegacyBody(br *bufio.Reader, h checkpointHeader) error {
 		if _, err := io.ReadFull(br, incoming); err != nil {
 			return fmt.Errorf("core: checkpoint truncated at node %d: %w", node, err)
 		}
+		if bytes.Equal(incoming, empty) {
+			continue
+		}
+		e.markChangedNode(node)
 		if e.store == nil {
 			sh, localIdx := e.shardOf(node)
 			if err := sh.slab.MergeNodeBinary(localIdx, incoming); err != nil {

@@ -151,6 +151,14 @@ type Config struct {
 	// path would re-solve most of the graph anyway while paying its extra
 	// bookkeeping, so the query runs from scratch instead (default 0.10).
 	DeltaQueryMaxDirtyFrac float64
+	// DeltaCheckpointThreshold is the delta checkpoint fallback threshold:
+	// SealCheckpointSince cuts a sparse GZD1 delta only while the fraction
+	// of nodes dirtied since the base seal is at or below it — above,
+	// shipping the dense full format costs less than the sparse encoding
+	// saves, so the seal falls back to a full GZE4 checkpoint. Zero picks
+	// the 0.20 default; negative disables delta checkpoints entirely
+	// (every seal is full, kept for ablation).
+	DeltaCheckpointThreshold float64
 	// QueryScanBytes is the target size of one sequential ReadRange the
 	// disk-mode query scan issues (default 1 MiB): each Boruvka round
 	// reads the still-live stretch of the sketch store in chunks of this
@@ -227,6 +235,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.DeltaQueryMaxDirtyFrac > 1 {
 		c.DeltaQueryMaxDirtyFrac = 1
+	}
+	if c.DeltaCheckpointThreshold == 0 {
+		c.DeltaCheckpointThreshold = 0.20
+	}
+	if c.DeltaCheckpointThreshold > 1 {
+		c.DeltaCheckpointThreshold = 1
 	}
 	if c.RebalanceInterval <= 0 {
 		c.RebalanceInterval = 2 * time.Millisecond

@@ -339,7 +339,8 @@ func TestAdoptQueryBaseline(t *testing.T) {
 	}
 
 	// Rebuild "the next refresh": same state plus a couple of new edges,
-	// arriving via checkpoint merge (which marks everything dirty).
+	// arriving via checkpoint merge (which marks exactly the non-empty
+	// incoming slots dirty).
 	var buf bytes.Buffer
 	if err := old.WriteCheckpoint(&buf); err != nil {
 		t.Fatal(err)
@@ -355,8 +356,13 @@ func TestAdoptQueryBaseline(t *testing.T) {
 	mustUpdate(t, fresh, 40, 41)
 	edges = append(edges, stream.Edge{U: 40, V: 41})
 
-	if st := fresh.Stats(); st.DirtyNodes != n {
-		t.Fatalf("pre-adoption DirtyNodes = %d, want %d (merge dirties everything)", st.DirtyNodes, n)
+	// The merged checkpoint's non-empty slots are nodes 0..30 (31 nodes);
+	// the direct update dirties 40 and 41 on top.
+	if err := fresh.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if st := fresh.Stats(); st.DirtyNodes != 33 {
+		t.Fatalf("pre-adoption DirtyNodes = %d, want 33 (merge marks exactly the non-empty slots)", st.DirtyNodes)
 	}
 	if !fresh.AdoptQueryBaseline(old) {
 		t.Fatal("AdoptQueryBaseline refused compatible engines")

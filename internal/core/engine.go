@@ -87,6 +87,19 @@ type Stats struct {
 	// capture). The stream write itself runs with ingestion live, so this
 	// is bounded by drain + O(slab copy), not by writer bandwidth.
 	CheckpointStallNanos uint64
+	// DeltaCheckpoints counts seals that produced a sparse GZD1 delta
+	// checkpoint instead of a full GZE4 one; DeltaCheckpointBytes and
+	// FullCheckpointBytes accumulate the streamed sizes of each kind, so
+	// the shipping savings of a delta chain are directly observable.
+	DeltaCheckpoints     uint64
+	DeltaCheckpointBytes uint64
+	FullCheckpointBytes  uint64
+	// LastCheckpointID is the chain id of the engine's current checkpoint
+	// state — minted by the most recent seal, or carried by the most
+	// recent restore/delta apply; LastCheckpointWALLSN is the WAL position
+	// that state covers. Both zero before any checkpoint activity.
+	LastCheckpointID     uint64
+	LastCheckpointWALLSN uint64
 	// MemoryBytes estimates the RAM held by sketches, gutters and the
 	// write-back cache; DiskBytes the on-device footprint (sketch slots +
 	// gutter tree).
@@ -220,6 +233,29 @@ type Engine struct {
 	lastCkptStall atomic.Int64
 	cowBudget     int // 0 = checkpointCOWBudget; tests shrink it
 
+	// Delta-checkpoint chain state (delta.go). chainTag is a random
+	// per-lineage token minted at engine creation and adopted from the
+	// envelope on restore: two engine incarnations can only chain to each
+	// other's checkpoints when they share it, so a restarted worker that
+	// re-mints the same small ids can never be mistaken for its previous
+	// life. ckptSeq is the id of the engine's current checkpoint state
+	// (last sealed, restored or delta-applied); ckptLSN the WAL position
+	// that state covers. sealHist is a bounded ring of per-seal dirty-node
+	// sets: a delta against base id b is the union of the records with
+	// id > b, valid while b has not fallen below histFloor (the id of the
+	// state preceding the oldest retained record). sealHist/histFloor are
+	// guarded by ckptMu; the atomics feed Stats.
+	chainTag     uint64
+	ckptSeq      atomic.Uint64
+	ckptLSN      atomic.Uint64
+	sealHist     []sealRecord
+	histFloor    uint64
+	histFloorLSN uint64
+
+	deltaCkpts     atomic.Uint64
+	deltaCkptBytes atomic.Uint64
+	fullCkptBytes  atomic.Uint64
+
 	// Durability state (recover.go). log, when non-nil, is the write-ahead
 	// log every accepted batch is appended to before buffering — the
 	// commit point of the durable ingest path. loggedHook, when set, is
@@ -281,6 +317,14 @@ type shard struct {
 	// padding isolates its words; see bitset.NewAtomic.
 	dirty *bitset.Atomic
 
+	// dirtySeal marks, in the same whole-universe single-writer shape as
+	// dirty, the nodes this worker changed since the last checkpoint seal.
+	// Unlike dirty it is never touched by queries: it is captured into the
+	// seal history and cleared only at seal time, under the quiesce write
+	// lock with the workers idle, and feeds the sparse delta checkpoint
+	// format (delta.go).
+	dirtySeal *bitset.Atomic
+
 	// before maps each node this worker *first*-dirtied since the last
 	// cached query to the node's serialized pre-change sketch stack (RAM
 	// mode only). The delta query's diff materialization XORs these against
@@ -313,8 +357,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		cfg:    cfg,
-		vecLen: cfg.VectorLen(),
+		cfg:      cfg,
+		vecLen:   cfg.VectorLen(),
+		chainTag: newChainTag(),
 	}
 	seeds := make([]uint64, cfg.Rounds)
 	for r := range seeds {
@@ -407,9 +452,10 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	for s := range e.shards {
 		sh := &shard{
-			id:    s,
-			queue: gutter.NewSPSC(queueCap),
-			dirty: bitset.NewAtomic(uint64(cfg.NumNodes)),
+			id:        s,
+			queue:     gutter.NewSPSC(queueCap),
+			dirty:     bitset.NewAtomic(uint64(cfg.NumNodes)),
+			dirtySeal: bitset.NewAtomic(uint64(cfg.NumNodes)),
 		}
 		if cfg.SketchesOnDisk {
 			if e.cache == nil {
@@ -813,7 +859,9 @@ func (e *Engine) applyBatch(sh *shard, b gutter.Batch) {
 	// Record the delta before touching the sketches: once set, the bit is
 	// only cleared after a query observed (and cached over) the applied
 	// state, so the incremental query path can never miss this change.
+	// dirtySeal gets the same treatment against the last checkpoint seal.
 	sh.dirty.Set(uint64(b.Node))
+	sh.dirtySeal.Set(uint64(b.Node))
 	if h := e.testApplyHook; h != nil {
 		defer h(b.Node)()
 	}
@@ -960,6 +1008,11 @@ func (e *Engine) Stats() Stats {
 		DeltaFallbacks:       e.deltaFallbacks.Load(),
 		SketchFailures:       e.sketchFailures.Load(),
 		CheckpointStallNanos: uint64(e.lastCkptStall.Load()),
+		DeltaCheckpoints:     e.deltaCkpts.Load(),
+		DeltaCheckpointBytes: e.deltaCkptBytes.Load(),
+		FullCheckpointBytes:  e.fullCkptBytes.Load(),
+		LastCheckpointID:     e.ckptSeq.Load(),
+		LastCheckpointWALLSN: e.ckptLSN.Load(),
 	}
 	st.Rebalances = e.rebalances.Load()
 	// The dirty count is the union, not the sum, across shards: a node can

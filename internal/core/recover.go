@@ -29,6 +29,12 @@ type Recovery struct {
 	// definition never acked under FsyncBatch).
 	CheckpointWALPos uint64
 	Torn             bool
+	// CheckpointID is the chain id of the restored checkpoint state (the
+	// tip of the applied delta chain for RecoverChain, the base's own id
+	// otherwise; 0 when starting fresh or from a pre-chain checkpoint).
+	// DeltaFiles counts the chain deltas RecoverChain applied.
+	CheckpointID uint64
+	DeltaFiles   int
 }
 
 // Recover rebuilds an engine after a crash from its durable state: the
@@ -64,6 +70,60 @@ func Recover(checkpointPath string, cfg Config) (*Engine, *Recovery, error) {
 		e.Close()
 		return nil, nil, err
 	}
+	rec.CheckpointID = e.ckptSeq.Load()
+	return e, rec, nil
+}
+
+// RecoverChain is Recover over a delta checkpoint chain: the full base
+// checkpoint at basePath plus the ordered GZD1 delta files, then the WAL
+// suffix above the tip of whatever prefix of the chain applied. Because a
+// delta never truncates the WAL (the log stays the recovery truth past the
+// base), a missing, corrupt, or out-of-chain delta file is not fatal —
+// application stops at the first failure (ApplyDeltaCheckpoint is atomic,
+// so the engine still holds the last good state exactly) and WAL replay
+// covers the rest. The result is byte-identical to an engine that never
+// crashed, exactly as for Recover.
+func RecoverChain(basePath string, deltaPaths []string, cfg Config) (*Engine, *Recovery, error) {
+	cfg.WAL = true
+	var e *Engine
+	var err error
+	if basePath != "" {
+		if _, statErr := os.Stat(basePath); statErr == nil {
+			e, err = OpenCheckpoint(basePath, cfg)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: recovering checkpoint %s: %w", basePath, err)
+			}
+		} else if !os.IsNotExist(statErr) {
+			return nil, nil, statErr
+		}
+	}
+	applied := 0
+	if e != nil {
+		for _, p := range deltaPaths {
+			f, openErr := os.Open(p)
+			if openErr != nil {
+				break
+			}
+			applyErr := e.ApplyDeltaCheckpoint(f, nil)
+			f.Close()
+			if applyErr != nil {
+				break
+			}
+			applied++
+		}
+	}
+	if e == nil {
+		if e, err = NewEngine(cfg); err != nil {
+			return nil, nil, err
+		}
+	}
+	rec, err := e.recoverWAL()
+	if err != nil {
+		e.Close()
+		return nil, nil, err
+	}
+	rec.CheckpointID = e.ckptSeq.Load()
+	rec.DeltaFiles = applied
 	return e, rec, nil
 }
 

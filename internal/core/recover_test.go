@@ -31,14 +31,28 @@ func recoverTestBatches(rng *rand.Rand, numNodes uint32, n int) [][]stream.Updat
 	return batches
 }
 
-// checkpointBytes drains and serializes an engine's full state.
+// checkpointBytes drains and serializes an engine's full state,
+// normalized for bit-identity comparison: the chain-identity bytes (meta
+// CRC in the header, random lineage tag and minted seal id in the GZM1
+// envelope) are zeroed, because two engines holding identical sketch
+// state still legitimately differ in lineage tag and seal count.
 func checkpointBytes(t *testing.T, e *Engine) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	if err := e.WriteCheckpoint(&buf); err != nil {
 		t.Fatalf("WriteCheckpoint: %v", err)
 	}
-	return buf.Bytes()
+	b := buf.Bytes()
+	const envOff = 4 + checkpointHeaderLen // meta blob offset
+	if len(b) >= envOff+metaEnvelopeLen && string(b[envOff:envOff+4]) == "GZM1" {
+		for i := 48; i < 52; i++ { // metaCRC
+			b[i] = 0
+		}
+		for i := envOff + 4; i < envOff+20; i++ { // chainTag + ckptID
+			b[i] = 0
+		}
+	}
+	return b
 }
 
 // sortedForest returns the spanning forest in canonical order.

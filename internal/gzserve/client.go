@@ -65,6 +65,13 @@ type ClientStats struct {
 	// counts batches abandoned after MaxAttempts.
 	InFlight int64  `json:"in_flight"`
 	Failed   uint64 `json:"failed"`
+	// Checkpoints counts successful checkpoint pulls from this worker,
+	// DeltaCheckpoints the subset the worker answered with a sparse GZD1
+	// delta, and CheckpointBytes the total checkpoint payload shipped —
+	// the bytes delta refresh exists to shrink.
+	Checkpoints      uint64 `json:"checkpoints,omitempty"`
+	DeltaCheckpoints uint64 `json:"delta_checkpoints,omitempty"`
+	CheckpointBytes  uint64 `json:"checkpoint_bytes,omitempty"`
 }
 
 // Client speaks the GZW1-over-HTTP protocol to one worker, assigning
@@ -83,12 +90,15 @@ type Client struct {
 	active  int       // sends registered but not yet settled
 	sendErr error     // first abandoned-batch error, surfaced by Drain
 
-	batches  atomic.Uint64
-	updates  atomic.Uint64
-	retries  atomic.Uint64
-	dups     atomic.Uint64
-	inflight atomic.Int64
-	failed   atomic.Uint64
+	batches   atomic.Uint64
+	updates   atomic.Uint64
+	retries   atomic.Uint64
+	dups      atomic.Uint64
+	inflight  atomic.Int64
+	failed    atomic.Uint64
+	ckpts     atomic.Uint64
+	deltaCk   atomic.Uint64
+	ckptBytes atomic.Uint64
 }
 
 // NewClient builds a client for the worker at base (e.g.
@@ -110,13 +120,16 @@ func (c *Client) Addr() string { return c.base }
 // Stats snapshots the connection counters.
 func (c *Client) Stats() ClientStats {
 	return ClientStats{
-		Addr:       c.base,
-		Batches:    c.batches.Load(),
-		Updates:    c.updates.Load(),
-		Retries:    c.retries.Load(),
-		Duplicates: c.dups.Load(),
-		InFlight:   c.inflight.Load(),
-		Failed:     c.failed.Load(),
+		Addr:             c.base,
+		Batches:          c.batches.Load(),
+		Updates:          c.updates.Load(),
+		Retries:          c.retries.Load(),
+		Duplicates:       c.dups.Load(),
+		InFlight:         c.inflight.Load(),
+		Failed:           c.failed.Load(),
+		Checkpoints:      c.ckpts.Load(),
+		DeltaCheckpoints: c.deltaCk.Load(),
+		CheckpointBytes:  c.ckptBytes.Load(),
 	}
 }
 
@@ -273,18 +286,39 @@ func (c *Client) ClearErr() {
 	c.mu.Unlock()
 }
 
-// Checkpoint pulls the worker's sealed checkpoint. The returned reader
-// yields exactly the GZE3 bytes (frame already stripped) and reports
-// ErrTruncatedFrame if the connection drops before the declared length
-// arrives; updates is the stream position of the cut.
-func (c *Client) Checkpoint(ctx context.Context) (io.ReadCloser, uint64, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+PathCheckpoint, nil)
+// CheckpointPull describes one checkpoint response: the stream position
+// of the sealed cut, the cut's chain id (pass it back as since to
+// request a delta against this state next time), whether the worker
+// answered with a sparse GZD1 delta rather than a full checkpoint, and
+// the payload length in bytes.
+type CheckpointPull struct {
+	Updates uint64
+	ID      uint64
+	Delta   bool
+	Bytes   int64
+}
+
+// Checkpoint pulls the worker's sealed checkpoint. since is the chain id
+// of the last checkpoint this caller holds from the worker (0 for none):
+// when non-zero the worker may answer with a GZD1 delta containing only
+// the nodes changed since that cut — pull.Delta says which it chose, and
+// a worker that lost the base (restart, aged-out history, too much
+// churn) transparently falls back to a full checkpoint. The returned
+// reader yields exactly the checkpoint bytes (frame already stripped)
+// and reports ErrTruncatedFrame if the connection drops before the
+// declared length arrives.
+func (c *Client) Checkpoint(ctx context.Context, since uint64) (io.ReadCloser, CheckpointPull, error) {
+	url := c.base + PathCheckpoint
+	if since != 0 {
+		url += fmt.Sprintf("?since=%d", since)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return nil, 0, err
+		return nil, CheckpointPull{}, err
 	}
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
-		return nil, 0, err
+		return nil, CheckpointPull{}, err
 	}
 	typ, length, err := ReadFrameHeader(resp.Body)
 	if err == nil && typ == MsgError {
@@ -304,11 +338,18 @@ func (c *Client) Checkpoint(ctx context.Context) (io.ReadCloser, uint64, error) 
 	if err != nil {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
-		return nil, 0, err
+		return nil, CheckpointPull{}, err
 	}
-	var updates uint64
-	fmt.Sscanf(resp.Header.Get("X-GZ-Updates"), "%d", &updates)
-	return &frameBody{r: resp.Body, remaining: int64(length)}, updates, nil
+	pull := CheckpointPull{Bytes: int64(length)}
+	fmt.Sscanf(resp.Header.Get("X-GZ-Updates"), "%d", &pull.Updates)
+	fmt.Sscanf(resp.Header.Get("X-GZ-Checkpoint-ID"), "%d", &pull.ID)
+	pull.Delta = resp.Header.Get("X-GZ-Checkpoint-Delta") == "1"
+	c.ckpts.Add(1)
+	if pull.Delta {
+		c.deltaCk.Add(1)
+	}
+	c.ckptBytes.Add(uint64(length))
+	return &frameBody{r: resp.Body, remaining: int64(length)}, pull, nil
 }
 
 // WorkerStatsz fetches the worker's /statsz document.

@@ -46,6 +46,16 @@ type CoordinatorConfig struct {
 	// SkipValidate skips the startup /v1/info compatibility handshake
 	// (tests that fake workers).
 	SkipValidate bool
+	// NoDeltaRefresh disables incremental refresh. By default the
+	// coordinator retains a per-worker mirror engine of each worker's
+	// last acknowledged checkpoint and asks /v1/checkpoint?since=<id>
+	// for a sparse delta on the next pull; when every worker obliges,
+	// Refresh patches only the changed node sketches into the live merged
+	// view instead of re-shipping and re-merging every worker's full
+	// state. The mirrors cost one extra in-RAM engine per worker; set
+	// NoDeltaRefresh to trade that memory back for full pulls every
+	// round.
+	NoDeltaRefresh bool
 }
 
 // CoordStats is the coordinator's /statsz document.
@@ -56,8 +66,12 @@ type CoordStats struct {
 	AcceptedBatches uint64 `json:"accepted_batches"`
 	// Merges counts refreshes; the Last* fields describe the most recent
 	// one: wall time of the pull+merge, the summed stream positions of
-	// the merged worker cuts, and its completion time.
+	// the merged worker cuts, and its completion time. DeltaRefreshes
+	// counts the refreshes that ran the incremental path — every worker
+	// shipped a sparse delta and the merged view was patched in place
+	// rather than rebuilt.
 	Merges           uint64 `json:"merges"`
+	DeltaRefreshes   uint64 `json:"delta_refreshes"`
 	LastMergeNanos   uint64 `json:"last_merge_nanos"`
 	LastMergeUpdates uint64 `json:"last_merge_updates"`
 	// Workers is each connection's send/retry/duplicate/in-flight
@@ -95,9 +109,21 @@ type Coordinator struct {
 	aggMu sync.RWMutex // held for write while swapping the merged view
 	agg   *aggView
 
+	// refreshMu serializes Refresh end to end. mirrors[i] (guarded by
+	// refreshMu) is an in-RAM engine holding worker i's last acknowledged
+	// checkpoint state under the worker's own chain identity, and
+	// mirrorIDs[i] that cut's chain id: the base the next pull's
+	// ?since=<id> names, and the state the worker's delta is applied to.
+	// Nil entries mean no acknowledged base (first refresh, a full-pull
+	// round, or NoDeltaRefresh).
+	refreshMu sync.Mutex
+	mirrors   []*core.Engine
+	mirrorIDs []uint64
+
 	accepted     atomic.Uint64
 	acceptedB    atomic.Uint64
 	merges       atomic.Uint64
+	deltaRefr    atomic.Uint64
 	lastMergeNs  atomic.Uint64
 	lastMergeUpd atomic.Uint64
 
@@ -124,10 +150,12 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		return nil, err
 	}
 	co := &Coordinator{
-		cfg:     cfg,
-		part:    part,
-		pending: make([][]stream.Update, len(cfg.Workers)),
-		gate:    newSeqGate(),
+		cfg:       cfg,
+		part:      part,
+		pending:   make([][]stream.Update, len(cfg.Workers)),
+		gate:      newSeqGate(),
+		mirrors:   make([]*core.Engine, len(cfg.Workers)),
+		mirrorIDs: make([]uint64, len(cfg.Workers)),
 	}
 	co.lifeCtx, co.lifeCancel = context.WithCancel(context.Background())
 	for _, addr := range cfg.Workers {
@@ -216,27 +244,40 @@ func (co *Coordinator) Flush() error {
 	return first
 }
 
-// Refresh drains the send pipeline, pulls a sealed checkpoint from
-// every worker in parallel, merges them into a fresh aggregator, and
-// atomically installs it as the view queries answer from. The merged
-// cut contains every update Ingest had accepted before Refresh began.
-func (co *Coordinator) Refresh(ctx context.Context) error {
-	if err := co.Flush(); err != nil {
-		return err
-	}
-	start := time.Now()
-	// Pull every worker's checkpoint concurrently (each worker seals its
-	// own cut and streams with ingestion live), then merge sequentially —
-	// MergeCheckpoint itself fans out across the aggregator's workers.
-	bufs := make([]*bytes.Buffer, len(co.clients))
+// ramCfg is the engine configuration mirrors and aggregators are built
+// from: the cluster parameters, forced into RAM with no WAL.
+func (co *Coordinator) ramCfg() core.Config {
+	cfg := co.cfg.Engine
+	cfg.SketchesOnDisk = false
+	cfg.Dir = ""
+	cfg.WAL = false
+	cfg.WALStorage = nil
+	return cfg
+}
+
+// checkpointPull is one worker's buffered /v1/checkpoint response.
+type checkpointPull struct {
+	buf  *bytes.Buffer
+	pull CheckpointPull
+}
+
+// pullCheckpoints pulls every worker's checkpoint concurrently (each
+// worker seals its own cut and streams with ingestion live), buffering
+// the bodies. since[i] is the chain id sent as ?since= (nil means full
+// pulls everywhere).
+func (co *Coordinator) pullCheckpoints(ctx context.Context, since []uint64) ([]checkpointPull, error) {
+	pulls := make([]checkpointPull, len(co.clients))
 	errs := make([]error, len(co.clients))
-	var cutSum atomic.Uint64
 	var wg sync.WaitGroup
 	for i, cl := range co.clients {
 		wg.Add(1)
 		go func(i int, cl *Client) {
 			defer wg.Done()
-			rc, updates, err := cl.Checkpoint(ctx)
+			var s uint64
+			if since != nil {
+				s = since[i]
+			}
+			rc, pull, err := cl.Checkpoint(ctx, s)
 			if err != nil {
 				errs[i] = err
 				return
@@ -247,26 +288,182 @@ func (co *Coordinator) Refresh(ctx context.Context) error {
 				errs[i] = err
 				return
 			}
-			cutSum.Add(updates)
-			bufs[i] = &buf
+			pulls[i] = checkpointPull{buf: &buf, pull: pull}
 		}(i, cl)
 	}
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return fmt.Errorf("gzserve: pulling checkpoint from worker %d (%s): %w", i, co.clients[i].Addr(), err)
+			return nil, fmt.Errorf("gzserve: pulling checkpoint from worker %d (%s): %w", i, co.clients[i].Addr(), err)
 		}
 	}
-	sources := make([]CheckpointSource, len(bufs))
-	for i, b := range bufs {
-		b := b
-		sources[i] = func() (io.ReadCloser, error) { return io.NopCloser(b), nil }
+	return pulls, nil
+}
+
+// Refresh drains the send pipeline, pulls a sealed checkpoint from every
+// worker in parallel, and advances the view queries answer from to the
+// combined cut; the cut contains every update Ingest had accepted before
+// Refresh began. When possible the advance is incremental: the
+// coordinator asks each worker for a delta since its last acknowledged
+// checkpoint, and if every worker obliges, only the changed node
+// sketches are shipped and patched — XOR-ing each replaced slot out of
+// the live merged view and its replacement in, with the replaced slots
+// feeding the incremental-query baseline, so a following query runs
+// delta Boruvka over exactly the patched nodes. Any worker answering
+// with a full checkpoint (restart, aged-out base, too much churn) — or
+// NoDeltaRefresh — falls back to the full path: rebuild a fresh
+// aggregator from complete checkpoints and swap it in atomically.
+func (co *Coordinator) Refresh(ctx context.Context) error {
+	if err := co.Flush(); err != nil {
+		return err
+	}
+	co.refreshMu.Lock()
+	defer co.refreshMu.Unlock()
+	start := time.Now()
+
+	co.aggMu.RLock()
+	old := co.agg
+	co.aggMu.RUnlock()
+
+	// Ask for deltas only when every worker has an acknowledged base and
+	// there is a live view to patch.
+	var since []uint64
+	if !co.cfg.NoDeltaRefresh && old != nil {
+		since = make([]uint64, len(co.clients))
+		for i, m := range co.mirrors {
+			if m == nil {
+				since = nil
+				break
+			}
+			since[i] = co.mirrorIDs[i]
+		}
+	}
+	pulls, err := co.pullCheckpoints(ctx, since)
+	if err != nil {
+		return err
+	}
+
+	allDelta := since != nil
+	var cutSum uint64
+	for _, p := range pulls {
+		cutSum += p.pull.Updates
+		allDelta = allDelta && p.pull.Delta
+	}
+
+	if allDelta {
+		ok, err := co.applyDeltaRefresh(old, pulls, cutSum)
+		if err != nil {
+			return err
+		}
+		if ok {
+			co.merges.Add(1)
+			co.deltaRefr.Add(1)
+			co.lastMergeNs.Store(uint64(time.Since(start).Nanoseconds()))
+			co.lastMergeUpd.Store(cutSum)
+			return nil
+		}
+	}
+	if since != nil {
+		// Either some worker declined the delta (dirtied past its
+		// threshold, restarted with a new lineage) or a delta failed to
+		// chain onto its mirror. The pulled buffers are unusable for a
+		// rebuild — a delta stream cannot be merged on its own — and
+		// nothing was patched into the view; re-pull everything full.
+		pulls, err = co.pullCheckpoints(ctx, nil)
+		if err != nil {
+			return err
+		}
+		cutSum = 0
+		for _, p := range pulls {
+			cutSum += p.pull.Updates
+		}
+	}
+
+	if err := co.fullRefresh(old, pulls, cutSum); err != nil {
+		return err
+	}
+	co.merges.Add(1)
+	co.lastMergeNs.Store(uint64(time.Since(start).Nanoseconds()))
+	co.lastMergeUpd.Store(cutSum)
+	return nil
+}
+
+// applyDeltaRefresh runs the incremental path: chain each worker's delta
+// onto its mirror, collecting the replaced slots, then patch them all
+// into the live merged view. Mirrors advance first and the view is only
+// touched once every delta chained cleanly, so ok=false (some delta did
+// not chain) leaves the view exactly as it was and the caller falls back
+// to a full round. Caller holds refreshMu.
+func (co *Coordinator) applyDeltaRefresh(view *aggView, pulls []checkpointPull, cutSum uint64) (ok bool, err error) {
+	type patch struct {
+		ids           []uint32
+		before, after []byte
+	}
+	patches := make([]patch, len(pulls))
+	for i, p := range pulls {
+		pt := &patches[i]
+		err := co.mirrors[i].ApplyDeltaCheckpoint(bytes.NewReader(p.buf.Bytes()), func(node uint32, before, after []byte) {
+			pt.ids = append(pt.ids, node)
+			pt.before = append(pt.before, before...)
+			pt.after = append(pt.after, after...)
+		})
+		if err != nil {
+			if errors.Is(err, core.ErrCheckpointChain) {
+				return false, nil
+			}
+			return false, fmt.Errorf("gzserve: applying delta from worker %d (%s): %w", i, co.clients[i].Addr(), err)
+		}
+		co.mirrorIDs[i] = p.pull.ID
+	}
+	// Every mirror advanced; patch the view in place. PatchNodes XORs the
+	// old slot out and the new one in under the engine's quiesce lock, so
+	// concurrent queries see either the old cut or the new one, and marks
+	// each patched node dirty for the incremental-query path.
+	for i := range patches {
+		pt := &patches[i]
+		if err := view.eng.PatchNodes(pt.ids, pt.before, pt.after, cutSum); err != nil {
+			return false, fmt.Errorf("gzserve: patching merged view from worker %d: %w", i, err)
+		}
+	}
+	co.aggMu.Lock()
+	co.agg = &aggView{eng: view.eng, updates: cutSum}
+	co.aggMu.Unlock()
+	return true, nil
+}
+
+// fullRefresh rebuilds the merged view from complete worker checkpoints
+// and swaps it in, rebuilding the per-worker mirrors alongside (from the
+// same buffered bytes, so each worker is pulled once). Caller holds
+// refreshMu.
+func (co *Coordinator) fullRefresh(old *aggView, pulls []checkpointPull, cutSum uint64) error {
+	sources := make([]CheckpointSource, len(pulls))
+	for i, p := range pulls {
+		b := p.buf.Bytes()
+		sources[i] = func() (io.ReadCloser, error) { return io.NopCloser(bytes.NewReader(b)), nil }
 	}
 	agg, err := Aggregate(co.cfg.Engine, sources)
 	if err != nil {
 		return err
 	}
-	view := &aggView{eng: agg, updates: cutSum.Load()}
+	if !co.cfg.NoDeltaRefresh {
+		// Rebuild each mirror from the full checkpoint it just shipped:
+		// ReadCheckpoint restores the worker's exact sealed state and
+		// adopts its chain identity, which is what lets the next round's
+		// delta chain onto the mirror.
+		for i, p := range pulls {
+			m, err := core.ReadCheckpoint(bytes.NewReader(p.buf.Bytes()), co.ramCfg())
+			if err != nil {
+				agg.Close()
+				return fmt.Errorf("gzserve: mirroring checkpoint from worker %d (%s): %w", i, co.clients[i].Addr(), err)
+			}
+			if co.mirrors[i] != nil {
+				co.mirrors[i].Close()
+			}
+			co.mirrors[i] = m
+			co.mirrorIDs[i] = p.pull.ID
+		}
+	}
+	view := &aggView{eng: agg, updates: cutSum}
 
 	// Seed the fresh aggregator's incremental-query state from the
 	// outgoing view before publishing: the merges above dirtied every
@@ -276,9 +473,6 @@ func (co *Coordinator) Refresh(ctx context.Context) error {
 	// view after a trickle of worker ingest runs the delta path instead of
 	// a cold full Boruvka. Done outside aggMu's write lock (the diff is an
 	// O(n) byte compare) so queries keep flowing off the old view.
-	co.aggMu.RLock()
-	old := co.agg
-	co.aggMu.RUnlock()
 	if old != nil {
 		agg.AdoptQueryBaseline(old.eng)
 	}
@@ -287,12 +481,9 @@ func (co *Coordinator) Refresh(ctx context.Context) error {
 	retired := co.agg
 	co.agg = view
 	co.aggMu.Unlock()
-	if retired != nil {
+	if retired != nil && retired.eng != view.eng {
 		retired.eng.Close()
 	}
-	co.merges.Add(1)
-	co.lastMergeNs.Store(uint64(time.Since(start).Nanoseconds()))
-	co.lastMergeUpd.Store(view.updates)
 	return nil
 }
 
@@ -355,6 +546,7 @@ func (co *Coordinator) Stats() CoordStats {
 		Accepted:         co.accepted.Load(),
 		AcceptedBatches:  co.acceptedB.Load(),
 		Merges:           co.merges.Load(),
+		DeltaRefreshes:   co.deltaRefr.Load(),
 		LastMergeNanos:   co.lastMergeNs.Load(),
 		LastMergeUpdates: co.lastMergeUpd.Load(),
 	}
@@ -384,6 +576,14 @@ func (co *Coordinator) Close(ctx context.Context) error {
 		co.agg = nil
 	}
 	co.aggMu.Unlock()
+	co.refreshMu.Lock()
+	for i, m := range co.mirrors {
+		if m != nil {
+			m.Close()
+			co.mirrors[i] = nil
+		}
+	}
+	co.refreshMu.Unlock()
 	return err
 }
 
@@ -451,10 +651,11 @@ func (co *Coordinator) handleRefresh(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, map[string]any{
-		"merged_updates": co.lastMergeUpd.Load(),
-		"merge_nanos":    co.lastMergeNs.Load(),
-		"wall_nanos":     time.Since(start).Nanoseconds(),
-		"workers":        len(co.clients),
+		"merged_updates":  co.lastMergeUpd.Load(),
+		"merge_nanos":     co.lastMergeNs.Load(),
+		"wall_nanos":      time.Since(start).Nanoseconds(),
+		"workers":         len(co.clients),
+		"delta_refreshes": co.deltaRefr.Load(),
 	})
 }
 

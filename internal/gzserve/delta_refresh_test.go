@@ -1,0 +1,234 @@
+package gzserve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"graphzeppelin/internal/core"
+	"graphzeppelin/internal/stream"
+)
+
+// toggled applies ups then extra to a presence map and returns the
+// surviving edges' exact partition.
+func toggled(numNodes uint32, ups, extra []stream.Update) ([]uint32, int) {
+	present := map[stream.Edge]bool{}
+	for _, u := range ups {
+		present[u.Edge] = u.Type == stream.Insert
+	}
+	for _, u := range extra {
+		present[u.Edge] = !present[u.Edge]
+	}
+	var edges []stream.Edge
+	for e, ok := range present {
+		if ok {
+			edges = append(edges, e)
+		}
+	}
+	return exactPartition(numNodes, edges)
+}
+
+// TestCoordinatorDeltaRefreshPath pins the incremental refresh: after a
+// full refresh acknowledged a base per worker, a refresh over a small
+// trickle must ride the delta path — fewer bytes, DeltaRefreshes
+// incremented — and still answer exactly.
+func TestCoordinatorDeltaRefreshPath(t *testing.T) {
+	const numNodes = 96
+	tc := startCluster(t, numNodes, 31, 2, ClientConfig{}, nil)
+	defer tc.shutdown(t)
+	ctx := context.Background()
+
+	ups, _ := randomStream(numNodes, 900, 7)
+	if err := tc.co.Ingest(ups); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.co.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+	fullBytes := tc.co.Stats().Workers[0].CheckpointBytes
+
+	// A trickle touching a handful of nodes on each worker's partition.
+	extra := []stream.Update{
+		{Edge: stream.Edge{U: 0, V: 1}, Type: stream.Insert},
+		{Edge: stream.Edge{U: 2, V: 3}, Type: stream.Insert},
+		{Edge: stream.Edge{U: 50, V: 51}, Type: stream.Insert},
+	}
+	if err := tc.co.Ingest(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.co.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	st := tc.co.Stats()
+	if st.DeltaRefreshes != 1 {
+		t.Fatalf("DeltaRefreshes = %d, want 1", st.DeltaRefreshes)
+	}
+	var deltaPulls uint64
+	for _, w := range st.Workers {
+		deltaPulls += w.DeltaCheckpoints
+	}
+	if deltaPulls == 0 {
+		t.Fatal("no worker served a delta checkpoint")
+	}
+	if got := st.Workers[0].CheckpointBytes; got >= 2*fullBytes {
+		t.Fatalf("delta refresh pulled %d bytes after a %d-byte full — not incremental", got-fullBytes, fullBytes)
+	}
+	if st.LastMergeUpdates != uint64(len(ups)+len(extra)) {
+		t.Fatalf("merged cut covers %d updates, want %d", st.LastMergeUpdates, len(ups)+len(extra))
+	}
+
+	rep, count, err := tc.co.ConnectedComponents(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRep, wantCount := toggled(numNodes, ups, extra)
+	if count != wantCount {
+		t.Fatalf("components = %d, want %d", count, wantCount)
+	}
+	if !partitionsAgree(rep, wantRep) {
+		t.Fatal("delta-refreshed partition does not match the exact reference")
+	}
+}
+
+// TestCoordinatorMixedDeltaFallback is the regression for the mixed-pull
+// round: one worker dirties past its delta threshold and answers a
+// ?since= pull with a full checkpoint while the other answers with a
+// delta. The coordinator cannot rebuild from that mix (a delta stream is
+// unusable without its base) — it must re-pull everything full and still
+// answer exactly.
+func TestCoordinatorMixedDeltaFallback(t *testing.T) {
+	const numNodes = 96 // ranges [0,48) and [48,96); threshold 0.20 → 19 nodes
+	tc := startCluster(t, numNodes, 37, 2, ClientConfig{}, nil)
+	defer tc.shutdown(t)
+	ctx := context.Background()
+
+	ups, _ := randomStream(numNodes, 900, 13)
+	if err := tc.co.Ingest(ups); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.co.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Worker 0: 24 disjoint edges dirty 48 nodes, past its threshold.
+	// Worker 1: one edge, comfortably a delta.
+	var extra []stream.Update
+	for u := uint32(0); u < 48; u += 2 {
+		extra = append(extra, stream.Update{Edge: stream.Edge{U: u, V: u + 1}, Type: stream.Insert})
+	}
+	extra = append(extra, stream.Update{Edge: stream.Edge{U: 60, V: 61}, Type: stream.Insert})
+	if err := tc.co.Ingest(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.co.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	st := tc.co.Stats()
+	if st.DeltaRefreshes != 0 {
+		t.Fatalf("DeltaRefreshes = %d, want 0 (mixed round must fall back to full)", st.DeltaRefreshes)
+	}
+	if st.LastMergeUpdates != uint64(len(ups)+len(extra)) {
+		t.Fatalf("merged cut covers %d updates, want %d", st.LastMergeUpdates, len(ups)+len(extra))
+	}
+	rep, count, err := tc.co.ConnectedComponents(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRep, wantCount := toggled(numNodes, ups, extra)
+	if count != wantCount {
+		t.Fatalf("components = %d, want %d", count, wantCount)
+	}
+	if !partitionsAgree(rep, wantRep) {
+		t.Fatal("fallback partition does not match the exact reference")
+	}
+
+	// The fallback repaired the mirrors: the next trickle rides the delta
+	// path again.
+	more := []stream.Update{{Edge: stream.Edge{U: 4, V: 7}, Type: stream.Insert}}
+	if err := tc.co.Ingest(more); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.co.Refresh(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := tc.co.Stats().DeltaRefreshes; got != 1 {
+		t.Fatalf("DeltaRefreshes after repaired round = %d, want 1", got)
+	}
+}
+
+// TestWorkerCheckpointSince covers the worker's ?since= surface: a
+// malformed id is the caller's fault, an unknown base degrades to a full
+// checkpoint, and a valid base yields a delta with the chain headers set.
+func TestWorkerCheckpointSince(t *testing.T) {
+	const numNodes = 64
+	wk, err := NewWorker(core.Config{NumNodes: numNodes, Seed: 17}, 0, numNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wk.Close()
+	srv := httptest.NewServer(wk.Handler())
+	defer srv.Close()
+
+	if err := wk.Engine().InsertEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + PathCheckpoint + "?since=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed since: status %d, want 400", resp.StatusCode)
+	}
+
+	get := func(url string) (*http.Response, uint64) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+		}
+		var id uint64
+		if _, err := fmt.Sscanf(resp.Header.Get("X-GZ-Checkpoint-ID"), "%d", &id); err != nil {
+			t.Fatalf("GET %s: bad checkpoint id header: %v", url, err)
+		}
+		return resp, id
+	}
+
+	resp, base := get(srv.URL + PathCheckpoint)
+	if resp.Header.Get("X-GZ-Checkpoint-Delta") == "1" {
+		t.Fatal("first checkpoint claimed to be a delta")
+	}
+
+	if err := wk.Engine().InsertEdge(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	resp, next := get(fmt.Sprintf("%s%s?since=%d", srv.URL, PathCheckpoint, base))
+	if resp.Header.Get("X-GZ-Checkpoint-Delta") != "1" {
+		t.Fatal("pull against the acked base did not yield a delta")
+	}
+	if next <= base {
+		t.Fatalf("chain id did not advance: %d -> %d", base, next)
+	}
+
+	// An id the worker never sealed (e.g. from a previous incarnation)
+	// degrades to a full checkpoint, never an error.
+	resp, _ = get(fmt.Sprintf("%s%s?since=%d", srv.URL, PathCheckpoint, next+100))
+	if resp.Header.Get("X-GZ-Checkpoint-Delta") == "1" {
+		t.Fatal("unknown base yielded a delta")
+	}
+
+	// /statsz reports the seal bookkeeping.
+	doc := getJSON(t, srv.URL+PathStatsz)
+	if _, ok := doc["last_checkpoint_id"]; !ok {
+		t.Fatalf("statsz lacks last_checkpoint_id: %v", doc)
+	}
+}

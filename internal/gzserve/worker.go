@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -55,10 +56,19 @@ type WorkerStats struct {
 	// Durable reports whether the worker logs to a WAL; on a durable
 	// worker RecoveredBatches/RecoveredUpdates count the WAL suffix the
 	// current process replayed at startup (zero after a clean restart).
-	Durable          bool       `json:"durable,omitempty"`
-	RecoveredBatches uint64     `json:"recovered_batches,omitempty"`
-	RecoveredUpdates uint64     `json:"recovered_updates,omitempty"`
-	Engine           core.Stats `json:"engine"`
+	Durable          bool   `json:"durable,omitempty"`
+	RecoveredBatches uint64 `json:"recovered_batches,omitempty"`
+	RecoveredUpdates uint64 `json:"recovered_updates,omitempty"`
+	// LastCheckpointID and LastCheckpointLSN identify the most recent
+	// seal: the checkpoint chain id it minted and the WAL position it
+	// covers. SealStallNanos accumulates the ingest-excluded seal windows
+	// across every checkpoint this worker served (local files and
+	// /v1/checkpoint pulls) — the total time ingestion stalled for
+	// durability, the number delta checkpoints exist to shrink.
+	LastCheckpointID  uint64     `json:"last_checkpoint_id,omitempty"`
+	LastCheckpointLSN uint64     `json:"last_checkpoint_lsn,omitempty"`
+	SealStallNanos    uint64     `json:"seal_stall_nanos,omitempty"`
+	Engine            core.Stats `json:"engine"`
 }
 
 // Worker owns one partition's engine and serves the batch-ingest,
@@ -82,19 +92,26 @@ type Worker struct {
 
 	// Durable-worker state (NewDurableWorker): the checkpoint file the
 	// periodic loop and graceful shutdown write, and the startup recovery
-	// summary. Nil/zero on plain workers.
-	durable   bool
-	ckptPath  string
-	ckptMu    sync.Mutex // serializes CheckpointLocal callers
-	stopCkpt  chan struct{}
-	ckptWG    sync.WaitGroup
-	closeOnce sync.Once
-	recovered core.Recovery
+	// summary. Nil/zero on plain workers. diskCkptID and deltaFiles track
+	// the on-disk checkpoint chain — the full checkpoint.gze plus the
+	// ordered delta-*.gzd files chained onto it — and are guarded by
+	// ckptMu, like every chain-file mutation.
+	durable       bool
+	ckptPath      string
+	ckptMu        sync.Mutex // serializes CheckpointLocal callers
+	stopCkpt      chan struct{}
+	ckptWG        sync.WaitGroup
+	closeOnce     sync.Once
+	recovered     core.Recovery
+	maxDeltaChain int
+	diskCkptID    uint64
+	deltaFiles    []string
 
-	batches atomic.Uint64
-	updates atomic.Uint64
-	dups    atomic.Uint64
-	closed  atomic.Bool
+	batches   atomic.Uint64
+	updates   atomic.Uint64
+	dups      atomic.Uint64
+	sealStall atomic.Int64
+	closed    atomic.Bool
 }
 
 // Durability configures a worker that survives crashes: every acked
@@ -118,11 +135,27 @@ type Durability struct {
 	// Zero means checkpoints happen only on Close (and via
 	// CheckpointLocal).
 	CheckpointInterval time.Duration
+	// DeltaThreshold overrides core.Config.DeltaCheckpointThreshold for
+	// the recovered engine: the dirty-node fraction above which a seal
+	// falls back to a full checkpoint. Zero keeps the config (and its
+	// 0.20 default); negative disables delta checkpoints entirely.
+	DeltaThreshold float64
+	// MaxDeltaChain bounds consecutive delta checkpoint files between
+	// full checkpoints (default 8). Once the chain is that long the next
+	// local checkpoint is sealed full, which truncates the WAL and
+	// retires the chain — bounding both recovery work (base + chain +
+	// log suffix) and state-directory growth. Negative forces every
+	// local checkpoint full.
+	MaxDeltaChain int
 }
 
 // CheckpointFileName is the checkpoint file a durable worker maintains
-// inside its state directory.
-const CheckpointFileName = "checkpoint.gze"
+// inside its state directory; DeltaFilePattern names the delta chain
+// files written after it (ordered by their zero-padded sequence number).
+const (
+	CheckpointFileName = "checkpoint.gze"
+	DeltaFilePattern   = "delta-*.gzd"
+)
 
 // NewWorker builds a worker over a fresh engine from cfg. rangeLo/Hi
 // document the node range the coordinator routes here (use 0, NumNodes
@@ -170,10 +203,31 @@ func NewDurableWorker(cfg core.Config, rangeLo, rangeHi uint32, d Durability) (*
 	if d.SegmentBytes > 0 {
 		cfg.WALSegmentBytes = d.SegmentBytes
 	}
+	if d.DeltaThreshold != 0 {
+		cfg.DeltaCheckpointThreshold = d.DeltaThreshold
+	}
+	maxChain := d.MaxDeltaChain
+	if maxChain == 0 {
+		maxChain = 8
+	} else if maxChain < 0 {
+		maxChain = 0
+	}
 	ckptPath := filepath.Join(d.StateDir, CheckpointFileName)
-	eng, rec, err := core.Recover(ckptPath, cfg)
+	deltas, err := filepath.Glob(filepath.Join(d.StateDir, DeltaFilePattern))
 	if err != nil {
 		return nil, nil, err
+	}
+	sort.Strings(deltas)
+	eng, rec, err := core.RecoverChain(ckptPath, deltas, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Chain files recovery could not apply (missing base, corruption, a
+	// break in the chain) are dead weight: the WAL replay above already
+	// covers everything they held, and the next full checkpoint would
+	// orphan them anyway.
+	for _, p := range deltas[rec.DeltaFiles:] {
+		os.Remove(p)
 	}
 	gate := newSeqGate()
 	if err := gate.restore(rec.Meta); err != nil {
@@ -182,14 +236,17 @@ func NewDurableWorker(cfg core.Config, rangeLo, rangeHi uint32, d Durability) (*
 	}
 	gate.markApplied(rec.Seqs)
 	wk := &Worker{
-		eng:       eng,
-		rangeLo:   rangeLo,
-		rangeHi:   rangeHi,
-		gate:      gate,
-		durable:   true,
-		ckptPath:  ckptPath,
-		stopCkpt:  make(chan struct{}),
-		recovered: *rec,
+		eng:           eng,
+		rangeLo:       rangeLo,
+		rangeHi:       rangeHi,
+		gate:          gate,
+		durable:       true,
+		ckptPath:      ckptPath,
+		stopCkpt:      make(chan struct{}),
+		recovered:     *rec,
+		maxDeltaChain: maxChain,
+		diskCkptID:    rec.CheckpointID,
+		deltaFiles:    deltas[:rec.DeltaFiles:rec.DeltaFiles],
 	}
 	// The hook runs inside the engine's ingest path, after the batch's
 	// WAL append succeeds and before the quiesce lock is released — the
@@ -209,15 +266,59 @@ func NewDurableWorker(cfg core.Config, rangeLo, rangeHi uint32, d Durability) (*
 	return wk, rec, nil
 }
 
-// CheckpointLocal writes the worker's checkpoint file (atomically, via
-// rename) and truncates the WAL prefix it covers. Durable workers only.
+// CheckpointLocal advances the worker's on-disk checkpoint chain
+// (atomically, via rename). While the chain is shorter than
+// MaxDeltaChain and few enough nodes changed since the previous seal,
+// that means appending a sparse delta-NNNNNN.gzd file — which never
+// touches the WAL, since the log past the full base is what recovers a
+// lost or corrupt delta. Otherwise it writes a full checkpoint.gze,
+// truncates the WAL prefix it covers, and deletes the now-subsumed
+// delta files. Durable workers only.
 func (wk *Worker) CheckpointLocal() error {
 	if !wk.durable {
 		return fmt.Errorf("gzserve: worker has no durable state directory")
 	}
 	wk.ckptMu.Lock()
 	defer wk.ckptMu.Unlock()
-	return wk.eng.WriteCheckpointFile(wk.ckptPath)
+	return wk.checkpointLocked(false)
+}
+
+// checkpointLocked writes the next chain file; forceFull skips the delta
+// attempt (shutdown wants a lone full checkpoint so restart recovers
+// without replay). Caller holds ckptMu.
+func (wk *Worker) checkpointLocked(forceFull bool) error {
+	since := uint64(0)
+	if !forceFull && wk.maxDeltaChain > 0 && len(wk.deltaFiles) < wk.maxDeltaChain {
+		since = wk.diskCkptID
+	}
+	start := time.Now()
+	cs, err := wk.eng.SealCheckpointSince(since)
+	wk.sealStall.Add(time.Since(start).Nanoseconds())
+	if err != nil {
+		return err
+	}
+	defer cs.Close()
+	if cs.IsDelta() {
+		p := filepath.Join(filepath.Dir(wk.ckptPath), fmt.Sprintf("delta-%06d.gzd", len(wk.deltaFiles)))
+		if err := cs.WriteFile(p); err != nil {
+			return err
+		}
+		wk.deltaFiles = append(wk.deltaFiles, p)
+		wk.diskCkptID = cs.ID()
+		return nil
+	}
+	if err := cs.WriteFile(wk.ckptPath); err != nil {
+		return err
+	}
+	// Only a durable full checkpoint licenses truncation and retires the
+	// chain — order matters: the rename above landed first.
+	wk.eng.TruncateWALThrough(cs.WALPos())
+	for _, p := range wk.deltaFiles {
+		os.Remove(p)
+	}
+	wk.deltaFiles = wk.deltaFiles[:0]
+	wk.diskCkptID = cs.ID()
+	return nil
 }
 
 // checkpointLoop is the periodic local-checkpoint goroutine.
@@ -246,15 +347,19 @@ func (wk *Worker) Recovered() core.Recovery { return wk.recovered }
 
 // Stats snapshots the worker's /statsz document.
 func (wk *Worker) Stats() WorkerStats {
+	est := wk.eng.Stats()
 	return WorkerStats{
-		SeqLowWater:      wk.gate.LowWater(),
-		Batches:          wk.batches.Load(),
-		Updates:          wk.updates.Load(),
-		Duplicates:       wk.dups.Load(),
-		Durable:          wk.durable,
-		RecoveredBatches: wk.recovered.Records,
-		RecoveredUpdates: wk.recovered.Updates,
-		Engine:           wk.eng.Stats(),
+		SeqLowWater:       wk.gate.LowWater(),
+		Batches:           wk.batches.Load(),
+		Updates:           wk.updates.Load(),
+		Duplicates:        wk.dups.Load(),
+		Durable:           wk.durable,
+		RecoveredBatches:  wk.recovered.Records,
+		RecoveredUpdates:  wk.recovered.Updates,
+		LastCheckpointID:  est.LastCheckpointID,
+		LastCheckpointLSN: est.LastCheckpointWALLSN,
+		SealStallNanos:    uint64(wk.sealStall.Load()),
+		Engine:            est,
 	}
 }
 
@@ -268,7 +373,13 @@ func (wk *Worker) Close() error {
 	if wk.durable {
 		wk.closeOnce.Do(func() { close(wk.stopCkpt) })
 		wk.ckptWG.Wait()
-		if err := wk.CheckpointLocal(); err != nil && !errors.Is(err, core.ErrClosed) {
+		// The shutdown checkpoint is always full: it retires the delta
+		// chain and truncates the log, so a graceful restart recovers from
+		// one file with nothing to replay.
+		wk.ckptMu.Lock()
+		err := wk.checkpointLocked(true)
+		wk.ckptMu.Unlock()
+		if err != nil && !errors.Is(err, core.ErrClosed) {
 			ckptErr = fmt.Errorf("gzserve: shutdown checkpoint: %w", err)
 		}
 	}
@@ -475,8 +586,26 @@ func (wk *Worker) writeAck(w http.ResponseWriter, seq uint64, applied bool) {
 // handleCheckpoint seals a consistent cut and streams it as one
 // length-prefixed MsgCheckpoint frame. The seal excludes ingestion only
 // for drain + snapshot; the network transfer runs with ingestion live.
+// A ?since=<id> query asks for a sparse GZD1 delta against the
+// checkpoint this worker previously sealed under that chain id; the
+// response's X-GZ-Checkpoint-Delta header reports whether the worker
+// obliged (it falls back to a full checkpoint when the base is unknown
+// — e.g. after a restart that re-minted the chain — or too many nodes
+// changed), and X-GZ-Checkpoint-ID carries the new cut's chain id for
+// the caller's next since.
 func (wk *Worker) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
-	cs, err := wk.eng.SealCheckpoint()
+	var since uint64
+	if s := r.URL.Query().Get("since"); s != "" {
+		v, perr := strconv.ParseUint(s, 10, 64)
+		if perr != nil {
+			writeWireError(w, http.StatusBadRequest, CodeBadRequest, "since must be a checkpoint chain id")
+			return
+		}
+		since = v
+	}
+	start := time.Now()
+	cs, err := wk.eng.SealCheckpointSince(since)
+	wk.sealStall.Add(time.Since(start).Nanoseconds())
 	if err != nil {
 		code := CodeInternal
 		status := http.StatusInternalServerError
@@ -499,6 +628,10 @@ func (wk *Worker) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-gzw1")
 	w.Header().Set("Content-Length", fmt.Sprintf("%d", int64(frameHeaderLen)+size))
 	w.Header().Set("X-GZ-Updates", fmt.Sprintf("%d", cs.Updates()))
+	w.Header().Set("X-GZ-Checkpoint-ID", fmt.Sprintf("%d", cs.ID()))
+	if cs.IsDelta() {
+		w.Header().Set("X-GZ-Checkpoint-Delta", "1")
+	}
 	if err := WriteFrameHeader(w, MsgCheckpoint, size); err != nil {
 		return
 	}
